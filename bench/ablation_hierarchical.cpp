@@ -1,0 +1,50 @@
+// Ablation for paper §IV-E: launching multiple ranks per node ("one MPI
+// process per NUMA socket") with node-local shared-memory pre-aggregation
+// via an RMA window, so that only node leaders join the global reduction.
+//
+// On the paper's hardware the win is NUMA locality of the graph (20-30%);
+// that part cannot be reproduced in one address space (DESIGN.md
+// substitution #4). What *is* reproduced: the communication structure -
+// hierarchical aggregation shrinks the global reduction from P to
+// P/ranks_per_node participants at the cost of a local window pass.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distbc;
+  bench::BenchConfig config(argc, argv);
+  bench::print_preamble("Ablation - hierarchical (per-node) aggregation",
+                        "paper §IV-E", config);
+
+  const auto& spec = gen::instance_by_name(
+      config.options.get_string("instance", "orkut-proxy"));
+  const auto graph = spec.build(config.scale, config.seed);
+  const int p = static_cast<int>(config.options.get_u64("ranks", 16));
+  std::printf("instance=%s |V|=%u P=%d\n\n", spec.name.c_str(),
+              graph.num_vertices(), p);
+
+  TablePrinter table({"ranks/node", "hierarchical", "epochs", "ADS (s)",
+                      "reduce (s)", "comm volume"});
+  struct Shape {
+    int ranks_per_node;
+    bool hierarchical;
+  };
+  const Shape shapes[] = {{1, false}, {2, false}, {2, true}, {4, true}};
+  for (const Shape& shape : shapes) {
+    bc::MpiKadabraOptions options = bench::bench_mpi_options(spec, config);
+    options.hierarchical = shape.hierarchical;
+    const bc::BcResult result = bc::kadabra_mpi(
+        graph, options, p, shape.ranks_per_node, bench::bench_network());
+    table.add_row(
+        {std::to_string(shape.ranks_per_node),
+         shape.hierarchical ? "yes" : "no",
+         TablePrinter::fmt_int(static_cast<long long>(result.epochs)),
+         TablePrinter::fmt(result.adaptive_seconds, 3),
+         TablePrinter::fmt(result.phases.seconds(Phase::kReduction), 3),
+         TablePrinter::fmt_bytes(static_cast<double>(result.comm_bytes))});
+  }
+  table.print();
+  std::printf("\nHierarchical aggregation routes (ranks_per_node - 1)/"
+              "ranks_per_node of the\ncontributions through cheap intra-node "
+              "windows instead of the global tree.\n");
+  return 0;
+}

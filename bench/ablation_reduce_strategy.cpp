@@ -1,0 +1,58 @@
+// Ablation for paper §IV-F: the aggregation strategy. The paper found that
+// MPI_Ireduce progresses poorly, that a non-blocking barrier followed by a
+// blocking reduce is considerably faster, and that a fully blocking
+// approach is "again detrimental". This bench compares all three under the
+// same interconnect model.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distbc;
+  bench::BenchConfig config(argc, argv);
+  bench::print_preamble("Ablation - aggregation strategy",
+                        "paper §IV-F (Ibarrier+Reduce vs Ireduce vs "
+                        "blocking)",
+                        config);
+
+  const auto& spec = gen::instance_by_name(
+      config.options.get_string("instance", "twitter-proxy"));
+  const auto graph = spec.build(config.scale, config.seed);
+  std::printf("instance=%s |V|=%u\n\n", spec.name.c_str(),
+              graph.num_vertices());
+
+  struct Strategy {
+    const char* name;
+    bc::Aggregation aggregation;
+  };
+  const Strategy strategies[] = {
+      {"ibarrier+reduce", bc::Aggregation::kIbarrierReduce},
+      {"ireduce", bc::Aggregation::kIreduce},
+      {"blocking", bc::Aggregation::kBlocking}};
+
+  TablePrinter table({"strategy", "P", "epochs", "ADS (s)", "ibarrier (s)",
+                      "reduce (s)", "samples/(s*P)"});
+  for (const int p : {4, 16}) {
+    for (const Strategy& strategy : strategies) {
+      bc::MpiKadabraOptions options = bench::bench_mpi_options(spec, config);
+      options.aggregation = strategy.aggregation;
+      const bc::BcResult result =
+          bc::kadabra_mpi(graph, options, p, 1, bench::bench_network());
+      const double rate =
+          result.adaptive_seconds > 0
+              ? static_cast<double>(result.samples_attempted) /
+                    (result.adaptive_seconds * p)
+              : 0.0;
+      table.add_row(
+          {strategy.name, std::to_string(p),
+           TablePrinter::fmt_int(static_cast<long long>(result.epochs)),
+           TablePrinter::fmt(result.adaptive_seconds, 3),
+           TablePrinter::fmt(result.phases.seconds(Phase::kBarrier), 3),
+           TablePrinter::fmt(result.phases.seconds(Phase::kReduction), 3),
+           TablePrinter::fmt(rate, 0)});
+    }
+  }
+  table.print();
+  std::printf("\nPaper finding: overlapped strategies keep the sampling "
+              "rate flat; the fully\nblocking variant loses throughput as P "
+              "grows because nothing hides the\naggregation latency.\n");
+  return 0;
+}

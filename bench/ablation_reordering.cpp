@@ -1,0 +1,59 @@
+// Ablation: vertex relabeling for cache locality - the single-address-space
+// analogue of the paper's §IV-E NUMA-placement concern (the 20-30% win of
+// binding the graph close to the cores that scan it). Measures sampler
+// throughput on the original labeling vs. degree-sorted vs. BFS-ordered.
+#include "bc/sampler.hpp"
+#include "bench_common.hpp"
+#include "epoch/state_frame.hpp"
+#include "graph/reorder.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+double sample_rate(const distbc::graph::Graph& graph, std::uint64_t samples,
+                   std::uint64_t seed) {
+  using namespace distbc;
+  bc::PathSampler sampler(graph, Rng(seed));
+  epoch::StateFrame frame(graph.num_vertices());
+  // Warm-up: fault in the adjacency arrays.
+  for (std::uint64_t i = 0; i < samples / 10; ++i) sampler.sample(frame);
+  WallTimer timer;
+  for (std::uint64_t i = 0; i < samples; ++i) sampler.sample(frame);
+  return static_cast<double>(samples) / timer.elapsed_s();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace distbc;
+  bench::BenchConfig config(argc, argv);
+  bench::print_preamble("Ablation - vertex relabeling (locality)",
+                        "analogue of paper §IV-E (memory placement)",
+                        config);
+  const std::uint64_t samples = config.options.get_u64("samples", 20000);
+
+  TablePrinter table({"instance", "original (samples/s)", "degree-sorted",
+                      "bfs-ordered", "best vs original"});
+  for (const auto& spec : config.suite()) {
+    const auto graph = spec.build(config.scale, config.seed);
+    const double original = sample_rate(graph, samples, config.seed);
+    const auto by_degree = graph::sort_by_degree(graph);
+    const double degree_rate =
+        sample_rate(by_degree.graph, samples, config.seed);
+    const auto by_bfs = graph::sort_by_bfs(graph);
+    const double bfs_rate = sample_rate(by_bfs.graph, samples, config.seed);
+    const double best = std::max({original, degree_rate, bfs_rate});
+    table.add_row({spec.name, TablePrinter::fmt(original, 0),
+                   TablePrinter::fmt(degree_rate, 0),
+                   TablePrinter::fmt(bfs_rate, 0),
+                   TablePrinter::fmt_ratio(best / original)});
+  }
+  table.print();
+  std::printf(
+      "\nHeavy-tailed graphs benefit from packing hubs into a dense id "
+      "prefix\n(every sample touches them); road networks prefer BFS order "
+      "(spatial\nneighborhoods become contiguous). At paper scale the same "
+      "effect is what\nmade one-process-per-NUMA-socket placement worth "
+      "20-30%%.\n");
+  return 0;
+}

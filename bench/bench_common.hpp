@@ -1,0 +1,104 @@
+// Shared plumbing for the paper-reproduction benches.
+//
+// Every bench accepts key=value arguments:
+//   scale=0.25       instance size relative to the default proxy size
+//   seed=42          generator seed
+//   ranks=...        override the rank sweep (single value)
+//   quick=1          use the 3-instance quick suite instead of all 10
+// and prints rows shaped like the paper's tables/figures.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bc/kadabra_mpi.hpp"
+#include "bc/kadabra_shm.hpp"
+#include "gen/instances.hpp"
+#include "graph/graph.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace distbc::bench {
+
+struct BenchConfig {
+  double scale = 0.25;
+  std::uint64_t seed = 42;
+  bool quick = false;
+  Options options;
+
+  BenchConfig(int argc, char** argv) : options(argc, argv) {
+    scale = options.get_double("scale", scale);
+    seed = options.get_u64("seed", seed);
+    quick = options.get_bool("quick", quick);
+  }
+
+  [[nodiscard]] const std::vector<gen::InstanceSpec>& suite() const {
+    return quick ? gen::quick_suite() : gen::instance_suite();
+  }
+};
+
+/// The rank counts of the paper's scaling experiments ("# compute nodes").
+inline std::vector<int> rank_sweep(const BenchConfig& config) {
+  if (config.options.has("ranks"))
+    return {static_cast<int>(config.options.get_u64("ranks", 16))};
+  return {1, 2, 4, 8, 16};
+}
+
+inline double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double value : values) log_sum += std::log(value);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/// Interconnect model used by all benches: OmniPath-flavored defaults.
+inline mpisim::NetworkModel bench_network() { return mpisim::NetworkModel{}; }
+
+/// KADABRA parameters for a proxy instance at bench scale.
+inline bc::KadabraParams bench_params(const gen::InstanceSpec& spec,
+                                      std::uint64_t seed) {
+  bc::KadabraParams params;
+  params.epsilon = spec.bench_epsilon;
+  params.delta = 0.1;
+  params.seed = seed;
+  return params;
+}
+
+/// Epoch-length base for benches. The paper's base of 1000 is tuned for
+/// eps = 0.001 runs with millions of samples; the scaled proxies stop after
+/// thousands, so the per-epoch budget scales down accordingly (same rule,
+/// smaller constant; override with n0base=...).
+inline std::uint64_t bench_epoch_base(const BenchConfig& config) {
+  return config.options.get_u64("n0base", 50);
+}
+
+inline bc::MpiKadabraOptions bench_mpi_options(const gen::InstanceSpec& spec,
+                                               const BenchConfig& config) {
+  bc::MpiKadabraOptions options;
+  options.params = bench_params(spec, config.seed);
+  options.epoch_base = bench_epoch_base(config);
+  return options;
+}
+
+inline bc::ShmKadabraOptions bench_shm_options(const gen::InstanceSpec& spec,
+                                               const BenchConfig& config) {
+  bc::ShmKadabraOptions options;
+  options.params = bench_params(spec, config.seed);
+  options.num_threads = 1;
+  options.epoch_base = bench_epoch_base(config);
+  return options;
+}
+
+/// Header block all benches print, so bench_output.txt is self-describing.
+inline void print_preamble(const char* experiment, const char* paper_ref,
+                           const BenchConfig& config) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("scale=%.3g seed=%llu suite=%s\n\n", config.scale,
+              static_cast<unsigned long long>(config.seed),
+              config.quick ? "quick" : "paper-proxies");
+}
+
+}  // namespace distbc::bench

@@ -1,0 +1,54 @@
+// Reproduces Figure 2b: breakdown of running time into the phases of the
+// epoch-based MPI algorithm - diameter, calibration, epoch transition,
+// non-blocking IBARRIER, blocking reduction, stopping-condition check -
+// averaged over the instance suite, as a function of P.
+//
+// Expected shape: the sequential diameter + calibration share grows with P
+// (it is the Amdahl term of Fig. 2a); transition/barrier stay small because
+// they are overlapped with sampling; the blocking reduction is the only
+// non-overlapped communication.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distbc;
+  bench::BenchConfig config(argc, argv);
+  bench::print_preamble(
+      "Figure 2b - phase breakdown of the MPI algorithm",
+      "paper Fig. 2b (fractions of total running time, mean over suite)",
+      config);
+
+  static constexpr Phase kShown[] = {
+      Phase::kDiameter, Phase::kCalibration, Phase::kSampling,
+      Phase::kEpochTransition, Phase::kBarrier, Phase::kReduction,
+      Phase::kStopCheck, Phase::kBroadcast};
+
+  TablePrinter table({"P", "diameter", "calibration", "sampling",
+                      "transition", "ibarrier", "reduction", "stop-check",
+                      "broadcast"});
+  for (const int p : bench::rank_sweep(config)) {
+    std::array<double, std::size(kShown)> fractions{};
+    int counted = 0;
+    for (const auto& spec : config.suite()) {
+      const auto graph = spec.build(config.scale, config.seed);
+      const bc::MpiKadabraOptions options =
+          bench::bench_mpi_options(spec, config);
+      const bc::BcResult result = bc::kadabra_mpi(
+          graph, options, p, /*ranks_per_node=*/1, bench::bench_network());
+      const double total = result.phases.total_s();
+      if (total <= 0) continue;
+      for (std::size_t i = 0; i < std::size(kShown); ++i)
+        fractions[i] += result.phases.seconds(kShown[i]) / total;
+      ++counted;
+    }
+    std::vector<std::string> row{std::to_string(p)};
+    for (const double fraction : fractions)
+      row.push_back(TablePrinter::fmt(fraction / counted * 100.0, 1) + "%");
+    table.add_row(row);
+  }
+  table.print();
+  std::printf(
+      "\nPaper shape: blue+orange (diameter+calibration) grow with P; "
+      "green+red\n(transition+ibarrier) stay overlapped; violet (reduction) "
+      "is the only\nnon-overlapped communication.\n");
+  return 0;
+}

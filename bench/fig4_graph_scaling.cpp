@@ -1,0 +1,88 @@
+// Reproduces Figure 4: adaptive-sampling time relative to graph size on
+// synthetic graphs - (a) R-MAT with Graph500 parameters, (b) random
+// hyperbolic graphs with power-law exponent 3; |E| = 30 |V| in both models.
+//
+// The paper sweeps |V| = 2^23..2^26 on 16 nodes; this proxy sweeps
+// 2^12..2^15 (scale with `minscale=`/`maxscale=`). Expected shape: time per
+// vertex grows mildly superlinearly on R-MAT (~1.85x from smallest to
+// largest in the paper) and stays flat on hyperbolic graphs.
+#include "bench_common.hpp"
+#include "gen/hyperbolic.hpp"
+#include "gen/rmat.hpp"
+#include "graph/components.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distbc;
+  bench::BenchConfig config(argc, argv);
+  bench::print_preamble("Figure 4 - ADS time vs graph size (R-MAT, RHG)",
+                        "paper Fig. 4a/4b", config);
+
+  const auto min_scale =
+      static_cast<std::uint32_t>(config.options.get_u64("minscale", 12));
+  const auto max_scale =
+      static_cast<std::uint32_t>(config.options.get_u64("maxscale", 15));
+  const int p = static_cast<int>(config.options.get_u64("ranks", 8));
+  const double epsilon = config.options.get_double("eps", 0.02);
+
+  auto run = [&](const graph::Graph& graph) {
+    bc::MpiKadabraOptions options;
+    options.params.epsilon = epsilon;
+    options.params.seed = config.seed;
+    options.epoch_base = bench::bench_epoch_base(config);
+    return bc::kadabra_mpi(graph, options, p, 1, bench::bench_network());
+  };
+
+  std::printf("(a) R-MAT, |E| = 30 |V|, P=%d, eps=%.3g\n", p, epsilon);
+  TablePrinter rmat_table(
+      {"log2 |V|", "|V|", "|E|", "ADS (s)", "time/|V| (us)"});
+  double rmat_first_per_vertex = 0.0;
+  double rmat_last_per_vertex = 0.0;
+  for (std::uint32_t s = min_scale; s <= max_scale; ++s) {
+    gen::RmatParams params;
+    params.scale = s;
+    params.edge_factor = 30.0;
+    const auto graph = graph::largest_component(gen::rmat(params, config.seed));
+    const auto result = run(graph);
+    const double per_vertex =
+        result.adaptive_seconds / graph.num_vertices() * 1e6;
+    if (s == min_scale) rmat_first_per_vertex = per_vertex;
+    rmat_last_per_vertex = per_vertex;
+    rmat_table.add_row(
+        {std::to_string(s), TablePrinter::fmt_int(graph.num_vertices()),
+         TablePrinter::fmt_int(static_cast<long long>(graph.num_edges())),
+         TablePrinter::fmt(result.adaptive_seconds, 2),
+         TablePrinter::fmt(per_vertex, 3)});
+  }
+  rmat_table.print();
+  std::printf("R-MAT growth factor (largest/smallest time-per-vertex): "
+              "%.2fx (paper: 1.85x)\n\n",
+              rmat_last_per_vertex / rmat_first_per_vertex);
+
+  std::printf("(b) Random hyperbolic, power law 3, |E| = 30 |V|\n");
+  TablePrinter rhg_table(
+      {"log2 |V|", "|V|", "|E|", "ADS (s)", "time/|V| (us)"});
+  double rhg_first_per_vertex = 0.0;
+  double rhg_last_per_vertex = 0.0;
+  for (std::uint32_t s = min_scale; s <= max_scale; ++s) {
+    gen::HyperbolicParams params;
+    params.num_vertices = 1u << s;
+    params.average_degree = 60.0;
+    const auto graph =
+        graph::largest_component(gen::hyperbolic(params, config.seed));
+    const auto result = run(graph);
+    const double per_vertex =
+        result.adaptive_seconds / graph.num_vertices() * 1e6;
+    if (s == min_scale) rhg_first_per_vertex = per_vertex;
+    rhg_last_per_vertex = per_vertex;
+    rhg_table.add_row(
+        {std::to_string(s), TablePrinter::fmt_int(graph.num_vertices()),
+         TablePrinter::fmt_int(static_cast<long long>(graph.num_edges())),
+         TablePrinter::fmt(result.adaptive_seconds, 2),
+         TablePrinter::fmt(per_vertex, 3)});
+  }
+  rhg_table.print();
+  std::printf("RHG growth factor: %.2fx (paper: ~1.0x, i.e. linear "
+              "scaling)\n",
+              rhg_last_per_vertex / rhg_first_per_vertex);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Table I: the instance suite with |V|, |E| and exact diameter,
+// side by side with the paper's real-world rows the proxies substitute.
+#include "bench_common.hpp"
+#include "graph/diameter.hpp"
+#include "graph/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distbc;
+  bench::BenchConfig config(argc, argv);
+  bench::print_preamble("Table I - instances",
+                        "paper Table I (KONECT/DIMACS instances -> synthetic "
+                        "proxies, see DESIGN.md substitution #2)",
+                        config);
+
+  TablePrinter table({"proxy", "paper instance", "paper |V|", "paper |E|",
+                      "paper D", "|V|", "|E|", "D", "avg deg"});
+  for (const auto& spec : config.suite()) {
+    const auto graph = spec.build(config.scale, config.seed);
+    const auto diameter = graph::ifub_diameter(graph).diameter;
+    const auto stats = graph::degree_stats(graph);
+    table.add_row({spec.name, spec.paper_name,
+                   spec.paper_vertices ? TablePrinter::fmt_int(
+                                             static_cast<long long>(
+                                                 spec.paper_vertices))
+                                       : "-",
+                   spec.paper_edges ? TablePrinter::fmt_int(
+                                          static_cast<long long>(
+                                              spec.paper_edges))
+                                    : "-",
+                   spec.paper_diameter
+                       ? TablePrinter::fmt_int(spec.paper_diameter)
+                       : "-",
+                   TablePrinter::fmt_int(graph.num_vertices()),
+                   TablePrinter::fmt_int(
+                       static_cast<long long>(graph.num_edges())),
+                   TablePrinter::fmt_int(diameter),
+                   TablePrinter::fmt(stats.mean, 1)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: road proxies keep avg deg < 4 and diameters in the "
+      "hundreds;\nsocial/web proxies keep heavy-tailed degrees and "
+      "diameters ~10-40, as in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Demonstrates the generic adaptive-sampling driver (the paper's
+// future-work claim made concrete): two more adaptive sampling algorithms -
+// mean shortest-path distance (scalar Bernstein stopping rule) and harmonic
+// closeness centrality (per-vertex adaptive rule, like KADABRA's) - running
+// on the exact same epoch-based MPI machinery that powers betweenness.
+//
+//   ./mean_distance [scale=13] [eps=0.05] [ranks=8]
+#include <cstdio>
+
+#include "adaptive/closeness.hpp"
+#include "adaptive/mean_distance.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road.hpp"
+#include "graph/components.hpp"
+#include "support/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distbc;
+  const Options options(argc, argv);
+  const int ranks = static_cast<int>(options.get_u64("ranks", 8));
+
+  adaptive::MeanDistanceParams params;
+  params.epsilon = options.get_double("eps", 0.05);
+  params.threads_per_rank = 1;
+
+  // A small-world social network vs a high-diameter road network: the same
+  // estimator adapts its sample count to the distance variance of each.
+  gen::RmatParams rmat_params;
+  rmat_params.scale =
+      static_cast<std::uint32_t>(options.get_u64("scale", 13));
+  rmat_params.edge_factor = 16.0;
+  const graph::Graph social =
+      graph::largest_component(gen::rmat(rmat_params, 31));
+
+  gen::RoadParams road_params;
+  road_params.width = 160;
+  road_params.height = 60;
+  const graph::Graph road = gen::road(road_params, 32);
+
+  struct Case {
+    const char* name;
+    const graph::Graph* graph;
+    double eps_factor;  // absolute precision scaled to the distance regime
+  };
+  for (const Case& c : {Case{"social (small world)", &social, 1.0},
+                        Case{"road (high diameter)", &road, 10.0}}) {
+    adaptive::MeanDistanceParams case_params = params;
+    case_params.epsilon = params.epsilon * c.eps_factor;
+    const auto result =
+        adaptive::mean_distance_mpi(*c.graph, case_params, ranks);
+    std::printf("%-22s |V|=%7u  mean distance = %6.3f +- %.3f hops  "
+                "(stddev %.2f, %llu samples, %llu epochs, %.2f s)\n",
+                c.name, c.graph->num_vertices(), result.mean,
+                result.half_width, result.stddev,
+                static_cast<unsigned long long>(result.samples),
+                static_cast<unsigned long long>(result.epochs),
+                result.total_seconds);
+  }
+  std::printf("\nThe high-variance road network needs far more samples even "
+              "at 10x looser\nabsolute precision - adaptivity spends the "
+              "budget exactly where it is needed.\n");
+
+  // Second algorithm: per-vertex harmonic closeness on the social proxy.
+  adaptive::ClosenessParams closeness_params;
+  closeness_params.epsilon = options.get_double("eps", 0.05);
+  const auto closeness =
+      adaptive::closeness_mpi(social, closeness_params, ranks);
+  std::printf("\nharmonic closeness on the social proxy (%llu BFS sources, "
+              "%llu epochs):\n",
+              static_cast<unsigned long long>(closeness.samples),
+              static_cast<unsigned long long>(closeness.epochs));
+  for (const graph::Vertex v : closeness.top_k(5))
+    std::printf("  vertex %6u  h~ = %.4f\n", v, closeness.scores[v]);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// The paper's motivating scenario (Section I): on social networks only a
+// handful of vertices have betweenness above 0.01, so reliably identifying
+// the top-k requires a small epsilon - which is exactly what the MPI
+// parallelization makes affordable.
+//
+// This example runs the same social-network proxy at eps = 0.01 and
+// eps = 0.001-scaled-equivalents and reports how many of the true top-k the
+// approximation recovers at each accuracy.
+//
+//   ./social_topk [k=20] [scale=12]
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bc/brandes_parallel.hpp"
+#include "bc/kadabra_mpi.hpp"
+#include "gen/rmat.hpp"
+#include "graph/components.hpp"
+#include "support/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distbc;
+  const Options options(argc, argv);
+  const std::size_t k = options.get_u64("k", 20);
+
+  gen::RmatParams gen_params;
+  gen_params.scale =
+      static_cast<std::uint32_t>(options.get_u64("scale", 12));
+  gen_params.edge_factor = 24.0;
+  const graph::Graph graph =
+      graph::largest_component(gen::rmat(gen_params, 7));
+  std::printf("social proxy: %u vertices, %llu edges\n",
+              graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  const bc::BcResult exact = bc::brandes_parallel(graph, 8);
+  const auto true_top = exact.top_k(k);
+  const std::set<graph::Vertex> truth(true_top.begin(), true_top.end());
+  std::printf("ground truth: top-%zu scores range %.5f .. %.5f\n", k,
+              exact.scores[true_top.back()], exact.scores[true_top.front()]);
+  std::size_t above_001 = 0;
+  for (const double score : exact.scores) above_001 += score > 0.01;
+  std::printf("vertices with b > 0.01: %zu of %u (the paper's point: very "
+              "few)\n\n",
+              above_001, graph.num_vertices());
+
+  for (const double eps : {0.05, 0.02, 0.008}) {
+    bc::MpiKadabraOptions bc_options;
+    bc_options.params.epsilon = eps;
+    bc_options.params.seed = 99;
+    const bc::BcResult approx =
+        bc::kadabra_mpi(graph, bc_options, /*num_ranks=*/8);
+    const auto found = approx.top_k(k);
+    std::size_t hits = 0;
+    for (const graph::Vertex v : found) hits += truth.contains(v);
+    std::printf("eps = %.3f: %llu samples, %.2f s, recovered %zu/%zu of the "
+                "true top-%zu\n",
+                eps, static_cast<unsigned long long>(approx.samples),
+                approx.total_seconds, hits, k, k);
+  }
+  std::printf("\nSmaller eps -> more of the top-k reliably identified, at "
+              "higher sampling cost;\nthe MPI parallelization is what makes "
+              "the small-eps runs practical at scale.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "adaptive/closeness.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "adaptive/driver.hpp"
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "support/random.hpp"
+
+namespace distbc::adaptive {
+
+std::vector<graph::Vertex> ClosenessResult::top_k(std::size_t k) const {
+  std::vector<graph::Vertex> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<graph::Vertex>(i);
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](graph::Vertex a, graph::Vertex b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+std::uint64_t closeness_sample_bound(std::uint32_t num_vertices,
+                                     double epsilon, double delta) {
+  // Hoeffding + union bound over all vertices: tau >= ln(2n/delta)/(2 eps^2).
+  return static_cast<std::uint64_t>(
+      std::ceil(std::log(2.0 * num_vertices / delta) /
+                (2.0 * epsilon * epsilon)));
+}
+
+namespace {
+
+/// One sample: a full BFS from a uniform source, crediting 1/d to every
+/// reached vertex.
+class SourceSampler {
+ public:
+  SourceSampler(const graph::Graph& graph, Rng rng)
+      : graph_(&graph), ws_(graph.num_vertices()), rng_(rng) {}
+
+  void sample(ClosenessFrame& frame) {
+    const auto source = static_cast<graph::Vertex>(
+        rng_.next_bounded(graph_->num_vertices()));
+    graph::bfs(*graph_, source, ws_);
+    for (const graph::Vertex v : ws_.queue()) {
+      if (v == source) continue;
+      frame.add_credit(v, 1.0 / static_cast<double>(ws_.dist(v)));
+    }
+    frame.finish_source();
+  }
+
+ private:
+  const graph::Graph* graph_;
+  graph::BfsWorkspace ws_;
+  Rng rng_;
+};
+
+}  // namespace
+
+ClosenessResult closeness_rank(const graph::Graph& graph,
+                               const ClosenessParams& params,
+                               mpisim::Comm& world) {
+  const graph::Vertex n = graph.num_vertices();
+  DISTBC_ASSERT(n >= 2);
+  const bool is_root = world.rank() == 0;
+  if (is_root) {
+    DISTBC_ASSERT_MSG(graph::is_connected(graph),
+                      "closeness_mpi requires a connected graph");
+  }
+
+  const double log_bernstein =
+      std::log(3.0 * static_cast<double>(n) / params.delta);
+  const double hoeffding_radius_log =
+      std::log(2.0 * static_cast<double>(n) / params.delta) / 2.0;
+
+  DriverOptions options;
+  options.threads_per_rank = params.threads_per_rank;
+  options.epoch_base = params.epoch_base;
+
+  auto make_sampler = [&](std::uint64_t global_thread) {
+    return SourceSampler(graph, Rng(params.seed).split(global_thread));
+  };
+  auto should_stop = [&](const ClosenessFrame& aggregate) {
+    const std::uint64_t tau = aggregate.sources();
+    if (tau < 2) return false;
+    const auto tau_d = static_cast<double>(tau);
+    const double hoeffding = std::sqrt(hoeffding_radius_log / tau_d);
+    if (hoeffding <= params.epsilon) return true;  // global worst case
+    for (graph::Vertex v = 0; v < n; ++v) {
+      const double bernstein =
+          std::sqrt(2.0 * aggregate.variance(v) * log_bernstein / tau_d) +
+          3.0 * log_bernstein / tau_d;
+      if (std::min(hoeffding, bernstein) > params.epsilon) return false;
+    }
+    return true;
+  };
+
+  auto driver_result = run_epoch_mpi(world, ClosenessFrame(n), make_sampler,
+                                     should_stop, options);
+
+  ClosenessResult result;
+  result.epochs = driver_result.epochs;
+  result.total_seconds = driver_result.total_seconds;
+  if (is_root) {
+    const ClosenessFrame& frame = driver_result.aggregate;
+    result.samples = frame.sources();
+    result.scores.resize(n);
+    // E[credit at v] = ((n-1)/n) h(v); correct by n/(n-1).
+    const double correction = static_cast<double>(n) / (n - 1.0);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      result.scores[v] = frame.credit_sum(v) /
+                         static_cast<double>(frame.sources()) * correction;
+    }
+  }
+  return result;
+}
+
+ClosenessResult closeness_mpi(const graph::Graph& graph,
+                              const ClosenessParams& params, int num_ranks,
+                              int ranks_per_node,
+                              mpisim::NetworkModel network) {
+  mpisim::RuntimeConfig config;
+  config.num_ranks = num_ranks;
+  config.ranks_per_node = ranks_per_node;
+  config.network = network;
+  mpisim::Runtime runtime(config);
+
+  ClosenessResult root_result;
+  std::mutex mu;
+  runtime.run([&](mpisim::Comm& world) {
+    ClosenessResult local = closeness_rank(graph, params, world);
+    if (world.rank() == 0) {
+      std::lock_guard lock(mu);
+      root_result = std::move(local);
+    }
+  });
+  return root_result;
+}
+
+}  // namespace distbc::adaptive

@@ -1,0 +1,168 @@
+// Generic epoch-based MPI adaptive-sampling driver.
+//
+// The paper's conclusion: "In future work, we would like to apply our
+// method to other adaptive sampling algorithms. We expect the necessary
+// changes to be small." This header delivers that generalization: the
+// KADABRA-specific pieces of Algorithm 2 (the state-frame layout, the
+// sampling kernel, the stopping rule) become template parameters, while the
+// parallelization machinery - per-thread wait-free frames, epoch
+// transitions, the Ibarrier + blocking-Reduce aggregation, the overlapped
+// termination broadcast - is reused verbatim.
+//
+// Requirements on Frame:
+//   Frame(const Frame&)            - copyable prototype construction
+//   void clear()
+//   void merge(const Frame&)
+//   std::span<std::uint64_t> raw() - flat aggregation view; merge must be
+//                                    equivalent to elementwise sum of raw()
+// Requirements on the sampler factory: Sampler make(global_thread_index),
+// where Sampler provides void sample(Frame&). Requirements on the stop
+// functor (evaluated at world rank 0 only, on a consistent aggregate):
+// bool operator()(const Frame&).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "epoch/epoch_manager.hpp"
+#include "mpisim/comm.hpp"
+#include "support/timer.hpp"
+
+namespace distbc::adaptive {
+
+struct DriverOptions {
+  int threads_per_rank = 1;
+  /// Total samples per epoch across all threads: base * (PT)^exponent.
+  std::uint64_t epoch_base = 1000;
+  double epoch_exponent = 1.33;
+  /// Hard cap on epochs (safety net for never-converging stop rules).
+  std::uint64_t max_epochs = 1u << 20;
+};
+
+template <typename Frame>
+struct DriverResult {
+  Frame aggregate;  // consistent final state (valid at world rank 0)
+  std::uint64_t epochs = 0;
+  std::uint64_t samples_attempted = 0;  // all ranks (valid at rank 0)
+  PhaseTimer phases;
+  double total_seconds = 0.0;
+};
+
+template <typename Frame, typename MakeSampler, typename StopFn>
+DriverResult<Frame> run_epoch_mpi(mpisim::Comm& world, const Frame& prototype,
+                                  MakeSampler&& make_sampler,
+                                  StopFn&& should_stop,
+                                  const DriverOptions& options) {
+  DISTBC_ASSERT(options.threads_per_rank >= 1);
+  WallTimer total_timer;
+  DriverResult<Frame> result{prototype};
+  result.aggregate.clear();
+
+  const int num_ranks = world.size();
+  const int num_threads = options.threads_per_rank;
+  const int rank = world.rank();
+  const bool is_root = rank == 0;
+  const std::uint64_t total_threads =
+      static_cast<std::uint64_t>(num_ranks) * num_threads;
+  const std::uint64_t n0 = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(options.epoch_base) *
+             std::pow(static_cast<double>(total_threads),
+                      options.epoch_exponent)) /
+             total_threads);
+
+  epoch::EpochManager<Frame> manager(num_threads, prototype);
+  std::vector<std::uint64_t> taken(num_threads, 0);
+
+  auto sampler_main = [&](int t) {
+    auto sampler =
+        make_sampler(static_cast<std::uint64_t>(rank) * num_threads + t);
+    std::uint32_t epoch = 0;
+    std::uint64_t count = 0;
+    while (!manager.stopped()) {
+      sampler.sample(manager.frame(t, epoch));
+      ++count;
+      if (manager.check_transition(t, epoch)) ++epoch;
+    }
+    taken[t] = count;
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads - 1);
+  for (int t = 1; t < num_threads; ++t) workers.emplace_back(sampler_main, t);
+
+  {
+    auto sampler =
+        make_sampler(static_cast<std::uint64_t>(rank) * num_threads);
+    Frame snapshot(prototype);
+    Frame epoch_agg(prototype);
+    std::uint8_t done_flag = 0;
+    std::uint32_t epoch = 0;
+    std::uint64_t count = 0;
+
+    auto overlap_sample = [&] {
+      sampler.sample(manager.frame(0, epoch + 1));
+      ++count;
+    };
+
+    while (true) {
+      result.phases.timed(Phase::kSampling, [&] {
+        for (std::uint64_t i = 0; i < n0; ++i) {
+          sampler.sample(manager.frame(0, epoch));
+          ++count;
+        }
+      });
+      result.phases.timed(Phase::kEpochTransition, [&] {
+        manager.force_transition(epoch);
+        while (!manager.transition_done(epoch)) overlap_sample();
+      });
+      snapshot.clear();
+      manager.collect(epoch, snapshot);
+
+      result.phases.timed(Phase::kBarrier, [&] {
+        mpisim::Request barrier = world.ibarrier();
+        while (!barrier.test()) overlap_sample();
+      });
+      result.phases.timed(Phase::kReduction, [&] {
+        world.reduce(std::span<const std::uint64_t>(snapshot.raw()),
+                     epoch_agg.raw(), 0);
+      });
+      if (is_root) {
+        result.aggregate.merge(epoch_agg);
+        done_flag = result.phases.timed(Phase::kStopCheck, [&] {
+          return should_stop(
+                     static_cast<const Frame&>(result.aggregate)) ||
+                         result.epochs + 1 >= options.max_epochs
+                     ? 1
+                     : 0;
+        });
+      }
+      result.phases.timed(Phase::kBroadcast, [&] {
+        mpisim::Request bcast = world.ibcast(std::span{&done_flag, 1}, 0);
+        while (!bcast.test()) overlap_sample();
+      });
+
+      ++result.epochs;
+      if (done_flag != 0) {
+        manager.signal_stop();
+        break;
+      }
+      ++epoch;
+    }
+    taken[0] = count;
+  }
+  for (auto& worker : workers) worker.join();
+
+  std::uint64_t local_taken = 0;
+  for (const std::uint64_t t : taken) local_taken += t;
+  std::uint64_t world_taken = 0;
+  world.reduce(std::span<const std::uint64_t>(&local_taken, 1),
+               std::span{&world_taken, 1}, 0);
+  result.samples_attempted = is_root ? world_taken : local_taken;
+  result.total_seconds = total_timer.elapsed_s();
+  return result;
+}
+
+}  // namespace distbc::adaptive

@@ -1,0 +1,127 @@
+#include "adaptive/mean_distance.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "adaptive/driver.hpp"
+#include "graph/bidirectional_bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/diameter.hpp"
+#include "support/random.hpp"
+
+namespace distbc::adaptive {
+
+double MomentFrame::variance() const {
+  const std::uint64_t n = count();
+  if (n < 2) return 0.0;
+  const double mean_value = mean();
+  const double raw_second =
+      static_cast<double>(data_[2]) / static_cast<double>(n);
+  const double biased = raw_second - mean_value * mean_value;
+  return std::max(0.0, biased * static_cast<double>(n) /
+                           static_cast<double>(n - 1));
+}
+
+double bernstein_half_width(double variance, double range, double delta,
+                            std::uint64_t n) {
+  DISTBC_ASSERT(n > 0);
+  const double log_term = std::log(3.0 / delta);
+  return std::sqrt(2.0 * variance * log_term / static_cast<double>(n)) +
+         3.0 * range * log_term / static_cast<double>(n);
+}
+
+namespace {
+
+/// One sample: a uniform distinct pair's shortest-path distance.
+class DistanceSampler {
+ public:
+  DistanceSampler(const graph::Graph& graph, Rng rng)
+      : graph_(&graph), bfs_(graph.num_vertices()), rng_(rng) {}
+
+  void sample(MomentFrame& frame) {
+    const auto [s, t] = rng_.next_distinct_pair(graph_->num_vertices());
+    const auto pair = bfs_.run(*graph_, static_cast<graph::Vertex>(s),
+                               static_cast<graph::Vertex>(t));
+    DISTBC_ASSERT_MSG(pair.connected,
+                      "mean_distance requires a connected graph");
+    frame.record(pair.distance);
+  }
+
+ private:
+  const graph::Graph* graph_;
+  graph::BidirectionalBfs bfs_;
+  Rng rng_;
+};
+
+}  // namespace
+
+MeanDistanceResult mean_distance_rank(const graph::Graph& graph,
+                                      const MeanDistanceParams& params,
+                                      mpisim::Comm& world) {
+  DISTBC_ASSERT(graph.num_vertices() >= 2);
+  const bool is_root = world.rank() == 0;
+
+  // Range bound for the Bernstein term: cheap 2-approximate diameter,
+  // computed once at rank 0 and broadcast (mirrors KADABRA's phase 1).
+  std::uint32_t range = 0;
+  if (is_root) {
+    DISTBC_ASSERT_MSG(graph::is_connected(graph),
+                      "mean_distance requires a connected graph");
+    range = graph::vertex_diameter(graph, /*exact=*/false);
+  }
+  world.bcast(std::span{&range, 1}, 0);
+
+  DriverOptions options;
+  options.threads_per_rank = params.threads_per_rank;
+  options.epoch_base = params.epoch_base;
+
+  auto make_sampler = [&](std::uint64_t global_thread) {
+    return DistanceSampler(graph, Rng(params.seed).split(global_thread));
+  };
+  auto should_stop = [&](const MomentFrame& aggregate) {
+    const std::uint64_t n = aggregate.count();
+    if (n < 2) return false;
+    return bernstein_half_width(aggregate.variance(), range, params.delta,
+                                n) <= params.epsilon;
+  };
+
+  auto driver_result = run_epoch_mpi(world, MomentFrame{}, make_sampler,
+                                     should_stop, options);
+
+  MeanDistanceResult result;
+  result.epochs = driver_result.epochs;
+  result.total_seconds = driver_result.total_seconds;
+  if (is_root) {
+    const MomentFrame& frame = driver_result.aggregate;
+    result.mean = frame.mean();
+    result.stddev = std::sqrt(frame.variance());
+    result.samples = frame.count();
+    result.half_width = bernstein_half_width(frame.variance(), range,
+                                             params.delta, frame.count());
+  }
+  return result;
+}
+
+MeanDistanceResult mean_distance_mpi(const graph::Graph& graph,
+                                     const MeanDistanceParams& params,
+                                     int num_ranks, int ranks_per_node,
+                                     mpisim::NetworkModel network) {
+  mpisim::RuntimeConfig config;
+  config.num_ranks = num_ranks;
+  config.ranks_per_node = ranks_per_node;
+  config.network = network;
+  mpisim::Runtime runtime(config);
+
+  MeanDistanceResult root_result;
+  std::mutex mu;
+  runtime.run([&](mpisim::Comm& world) {
+    MeanDistanceResult local = mean_distance_rank(graph, params, world);
+    if (world.rank() == 0) {
+      std::lock_guard lock(mu);
+      root_result = local;
+    }
+  });
+  return root_result;
+}
+
+}  // namespace distbc::adaptive

@@ -1,0 +1,90 @@
+// Adaptive estimation of a graph's mean shortest-path distance - the
+// "other adaptive sampling algorithm" demonstrating the generic driver
+// (paper's future-work claim).
+//
+// Samples uniform vertex pairs, measures d(s, t) with the same
+// bidirectional BFS the betweenness sampler uses, and stops once the
+// empirical-Bernstein confidence interval (Maurer & Pontil 2009) of the
+// mean is tighter than epsilon:
+//   hw(n) = sqrt(2 V_n ln(3/delta) / n) + 3 R ln(3/delta) / n <= epsilon,
+// with V_n the sample variance and R an upper bound on the distance range
+// (a cheap 2-approximate diameter). Everything else - wait-free per-thread
+// frames, overlapped epoch transitions and reductions, rank-0 stop checks -
+// comes from adaptive::run_epoch_mpi unchanged.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mpisim/runtime.hpp"
+#include "support/timer.hpp"
+
+namespace distbc::adaptive {
+
+/// Flat moment accumulator: [pair count, sum of d, sum of d^2].
+class MomentFrame {
+ public:
+  MomentFrame() : data_(3, 0) {}
+
+  void clear() { std::fill(data_.begin(), data_.end(), 0); }
+  void merge(const MomentFrame& other) {
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  }
+  [[nodiscard]] std::span<std::uint64_t> raw() { return data_; }
+  [[nodiscard]] std::span<const std::uint64_t> raw() const { return data_; }
+
+  void record(std::uint32_t distance) {
+    data_[0] += 1;
+    data_[1] += distance;
+    data_[2] += static_cast<std::uint64_t>(distance) * distance;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return data_[0]; }
+  [[nodiscard]] double mean() const {
+    return count() == 0 ? 0.0
+                        : static_cast<double>(data_[1]) /
+                              static_cast<double>(data_[0]);
+  }
+  /// Unbiased sample variance (0 while fewer than two samples).
+  [[nodiscard]] double variance() const;
+
+ private:
+  std::vector<std::uint64_t> data_;
+};
+
+struct MeanDistanceParams {
+  double epsilon = 0.1;  // absolute half-width target, in hops
+  double delta = 0.1;
+  int threads_per_rank = 1;
+  std::uint64_t seed = 0x5eed;
+  std::uint64_t epoch_base = 1000;
+};
+
+struct MeanDistanceResult {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double half_width = 0.0;   // final confidence half-width
+  std::uint64_t samples = 0;
+  std::uint64_t epochs = 0;
+  double total_seconds = 0.0;
+};
+
+/// Empirical-Bernstein half-width; exposed for tests.
+[[nodiscard]] double bernstein_half_width(double variance, double range,
+                                          double delta, std::uint64_t n);
+
+/// Per-rank driver; run inside mpisim::Runtime::run on every rank.
+/// Result fields are valid at world rank 0. Requires a connected graph.
+[[nodiscard]] MeanDistanceResult mean_distance_rank(
+    const graph::Graph& graph, const MeanDistanceParams& params,
+    mpisim::Comm& world);
+
+/// Convenience wrapper over a fresh simulated cluster.
+[[nodiscard]] MeanDistanceResult mean_distance_mpi(
+    const graph::Graph& graph, const MeanDistanceParams& params,
+    int num_ranks, int ranks_per_node = 1, mpisim::NetworkModel network = {});
+
+}  // namespace distbc::adaptive

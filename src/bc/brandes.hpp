@@ -1,0 +1,15 @@
+// Brandes' exact betweenness algorithm (J. Math. Sociol. 2001) - the
+// O(|V||E|) baseline the paper's Section II discusses, and the accuracy
+// oracle for every approximation algorithm in this library.
+#pragma once
+
+#include "bc/result.hpp"
+#include "graph/graph.hpp"
+
+namespace distbc::bc {
+
+/// Exact normalized betweenness: b(x) = (1/(n(n-1))) sum_{s != t}
+/// sigma_st(x)/sigma_st. Sequential; use brandes_parallel for large inputs.
+[[nodiscard]] BcResult brandes(const graph::Graph& graph);
+
+}  // namespace distbc::bc

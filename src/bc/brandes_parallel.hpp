@@ -1,0 +1,16 @@
+// Thread-parallel exact Brandes: sources are distributed over worker
+// threads (each with private workspaces and score accumulators, merged at
+// the end). This mirrors the "shared-memory parallel exact" baselines of
+// the paper's related-work section and keeps oracle computations for
+// medium-sized test graphs fast.
+#pragma once
+
+#include "bc/result.hpp"
+#include "graph/graph.hpp"
+
+namespace distbc::bc {
+
+[[nodiscard]] BcResult brandes_parallel(const graph::Graph& graph,
+                                        int num_threads);
+
+}  // namespace distbc::bc

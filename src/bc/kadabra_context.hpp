@@ -1,0 +1,54 @@
+// Shared preparation logic for all KADABRA drivers (sequential,
+// shared-memory, MPI): phase 1 (diameter -> omega) and phase 2
+// (calibration) produce a KadabraContext; phase 3 (adaptive sampling)
+// consults stop_satisfied() on consistent aggregated state frames.
+#pragma once
+
+#include <cstdint>
+
+#include "bc/calibration.hpp"
+#include "bc/kadabra_math.hpp"
+#include "epoch/state_frame.hpp"
+#include "graph/graph.hpp"
+
+namespace distbc::bc {
+
+struct KadabraContext {
+  KadabraParams params;
+  std::uint32_t vertex_diameter = 0;
+  std::uint64_t omega = 0;
+  std::uint64_t initial_samples = 0;
+  Calibration calibration;
+
+  /// Evaluates KADABRA's stopping condition on an aggregated state frame.
+  /// The frame must be a consistent snapshot (f and g are not monotone).
+  [[nodiscard]] bool stop_satisfied(const epoch::StateFrame& aggregate) const;
+};
+
+/// Phase 1: vertex diameter of the (connected) input graph.
+[[nodiscard]] std::uint32_t kadabra_vertex_diameter(const graph::Graph& graph,
+                                                    const KadabraParams& params);
+
+/// Derives omega and the calibration sample count from the diameter.
+[[nodiscard]] KadabraContext begin_context(const KadabraParams& params,
+                                           std::uint32_t vertex_diameter);
+
+/// Phase 2 completion: calibrate per-vertex failure shares from the
+/// aggregated non-adaptive samples.
+void finish_calibration(KadabraContext& context,
+                        const epoch::StateFrame& initial_frame);
+
+/// Epoch length rule of paper §IV-D: n0 = base * (total_threads)^exponent
+/// samples per epoch *in total* across all threads of all ranks. Every
+/// thread contributes at the same rate, so a driver's thread zero takes
+/// n0 / total_threads samples before forcing the transition (see
+/// epoch_share). The superlinear exponent makes epochs slightly longer per
+/// thread as the machine grows, amortizing the growing aggregation cost.
+[[nodiscard]] std::uint64_t epoch_length(std::uint64_t base, double exponent,
+                                         std::uint64_t total_threads);
+
+/// Thread-zero's sampling share of one epoch: ceil(n0 / total_threads).
+[[nodiscard]] std::uint64_t epoch_share(std::uint64_t base, double exponent,
+                                        std::uint64_t total_threads);
+
+}  // namespace distbc::bc

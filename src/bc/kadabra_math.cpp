@@ -1,0 +1,52 @@
+#include "bc/kadabra_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace distbc::bc {
+
+double stopping_f(double b_tilde, double delta_l, double omega,
+                  std::uint64_t tau) {
+  DISTBC_ASSERT(tau > 0);
+  DISTBC_ASSERT(delta_l > 0.0 && delta_l < 1.0);
+  const double log_term = std::log(1.0 / delta_l);
+  const double tmp = omega / static_cast<double>(tau) - 1.0 / 3.0;
+  const double err =
+      std::sqrt(tmp * tmp + 2.0 * b_tilde * omega / log_term) - tmp;
+  return err * log_term / static_cast<double>(tau);
+}
+
+double stopping_g(double b_tilde, double delta_u, double omega,
+                  std::uint64_t tau) {
+  DISTBC_ASSERT(tau > 0);
+  DISTBC_ASSERT(delta_u > 0.0 && delta_u < 1.0);
+  const double log_term = std::log(1.0 / delta_u);
+  const double tmp = omega / static_cast<double>(tau) + 1.0 / 3.0;
+  const double err =
+      std::sqrt(tmp * tmp + 2.0 * b_tilde * omega / log_term) + tmp;
+  return err * log_term / static_cast<double>(tau);
+}
+
+std::uint64_t compute_omega(std::uint32_t vertex_diameter, double epsilon,
+                            double delta) {
+  DISTBC_ASSERT(epsilon > 0.0 && epsilon < 1.0);
+  DISTBC_ASSERT(delta > 0.0 && delta < 1.0);
+  constexpr double kUniversalConstant = 0.5;
+  const double log2_vd =
+      vertex_diameter > 2
+          ? std::floor(std::log2(static_cast<double>(vertex_diameter - 2)))
+          : 0.0;
+  const double omega = kUniversalConstant / (epsilon * epsilon) *
+                       (log2_vd + 1.0 + std::log(2.0 / delta));
+  return static_cast<std::uint64_t>(std::ceil(omega));
+}
+
+std::uint64_t auto_initial_samples(std::uint64_t omega) {
+  // Enough to see the heavy hitters (whose delta allocation matters most)
+  // while remaining a small fraction of the adaptive budget.
+  return std::clamp<std::uint64_t>(omega / 64, 512, 65536);
+}
+
+}  // namespace distbc::bc

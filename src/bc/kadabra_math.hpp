@@ -1,0 +1,50 @@
+// KADABRA's statistical machinery (Borassi & Natale, ESA 2016): the static
+// sample budget omega and the adaptive stopping functions f and g
+// (paper §III-A).
+//
+// The algorithm stops once, for every vertex x,
+//   f(b~(x), delta_L(x), omega, tau) < eps  and
+//   g(b~(x), delta_U(x), omega, tau) < eps,
+// or unconditionally at tau >= omega (the Riondato-Kornaropoulos
+// VC-dimension budget, which alone guarantees the (eps, delta) property).
+// f and g are NOT monotone in the sampling state, which is why the check
+// must run on a consistent aggregated snapshot (paper §III-B).
+#pragma once
+
+#include <cstdint>
+
+namespace distbc::bc {
+
+struct KadabraParams {
+  double epsilon = 0.01;  // absolute error bound (paper experiments: 0.001)
+  double delta = 0.1;     // failure probability (paper: 0.1)
+  bool exact_diameter = true;  // iFUB (true) or 2-approximation (false)
+  std::uint64_t seed = 0x5eed;
+  /// Non-adaptive samples used to calibrate delta_L/delta_U; 0 = automatic
+  /// (scales with omega, see auto_initial_samples()).
+  std::uint64_t initial_samples = 0;
+  /// Fraction of the failure budget spread uniformly over all vertices
+  /// (guards vertices whose initial estimate was 0); the rest is balanced
+  /// by predicted stopping time.
+  double balancing = 0.01;
+};
+
+/// Upper confidence radius: after tau of at most omega samples, the true
+/// betweenness of a vertex with estimate b~ exceeds b~ + f only with
+/// probability delta_l.
+[[nodiscard]] double stopping_f(double b_tilde, double delta_l, double omega,
+                                std::uint64_t tau);
+
+/// Lower confidence radius, symmetric to stopping_f.
+[[nodiscard]] double stopping_g(double b_tilde, double delta_u, double omega,
+                                std::uint64_t tau);
+
+/// Static sample budget: omega = (c/eps^2) (floor(log2(VD-2)) + 1 +
+/// ln(2/delta)) with c = 0.5 and VD the vertex diameter (hops + 1).
+[[nodiscard]] std::uint64_t compute_omega(std::uint32_t vertex_diameter,
+                                          double epsilon, double delta);
+
+/// Default calibration sample count for a given budget omega.
+[[nodiscard]] std::uint64_t auto_initial_samples(std::uint64_t omega);
+
+}  // namespace distbc::bc

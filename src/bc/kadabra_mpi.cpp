@@ -1,0 +1,281 @@
+#include "bc/kadabra_mpi.hpp"
+
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "bc/sampler.hpp"
+#include "epoch/epoch_manager.hpp"
+#include "mpisim/window.hpp"
+#include "support/timer.hpp"
+
+namespace distbc::bc {
+
+namespace {
+
+using epoch::StateFrame;
+
+/// Phase 2: this rank's share of the calibration budget, sampled by all T
+/// threads in parallel into private frames (paper §IV-F: "sampling in all
+/// threads in parallel, followed by a blocking aggregation").
+StateFrame local_initial_samples(const graph::Graph& graph,
+                                 std::uint64_t total_budget,
+                                 std::uint64_t seed, int rank, int ranks,
+                                 int threads) {
+  const graph::Vertex n = graph.num_vertices();
+  const std::uint64_t pt = static_cast<std::uint64_t>(ranks) * threads;
+  std::vector<StateFrame> frames(threads, StateFrame(n));
+  auto worker = [&](int t) {
+    const std::uint64_t gti = static_cast<std::uint64_t>(rank) * threads + t;
+    PathSampler sampler(graph, Rng(seed).split(gti));
+    const std::uint64_t share =
+        total_budget / pt + (gti < total_budget % pt ? 1 : 0);
+    for (std::uint64_t i = 0; i < share; ++i) sampler.sample(frames[t]);
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
+  for (auto& thread : pool) thread.join();
+
+  StateFrame total(n);
+  for (const auto& frame : frames) total.merge(frame);
+  return total;
+}
+
+}  // namespace
+
+BcResult kadabra_mpi_rank(const graph::Graph& graph,
+                          const MpiKadabraOptions& options,
+                          mpisim::Comm& world) {
+  DISTBC_ASSERT(options.threads_per_rank >= 1);
+  WallTimer total_timer;
+  PhaseTimer phases;
+  BcResult result;
+  const graph::Vertex n = graph.num_vertices();
+  const int num_ranks = world.size();
+  const int num_threads = options.threads_per_rank;
+  const int rank = world.rank();
+  const bool is_root = rank == 0;
+  const KadabraParams& params = options.params;
+  if (n < 2) {
+    if (is_root) result.scores.assign(n, 0.0);
+    return result;
+  }
+
+  // --- Phase 1: diameter at rank zero (sequential, §IV-F), broadcast. ----
+  std::uint32_t vd = 0;
+  if (is_root) {
+    vd = phases.timed(Phase::kDiameter,
+                      [&] { return kadabra_vertex_diameter(graph, params); });
+  }
+  world.bcast(std::span{&vd, 1}, 0);
+  KadabraContext context = begin_context(params, vd);
+
+  // --- Phase 2: parallel calibration sampling + blocking reduce. ----------
+  phases.timed(Phase::kCalibration, [&] {
+    const StateFrame local = local_initial_samples(
+        graph, context.initial_samples, params.seed, rank, num_ranks,
+        num_threads);
+    StateFrame initial(n);
+    world.reduce(std::span<const std::uint64_t>(local.raw()),
+                 initial.raw(), 0);
+    if (is_root) finish_calibration(context, initial);
+  });
+
+  // --- Phase 3: epoch-based adaptive sampling (Algorithm 2). -------------
+  WallTimer adaptive_timer;
+
+  // Hierarchical topology (§IV-E): node-local window + node-leader comm.
+  std::optional<mpisim::Comm> local_comm;
+  std::optional<mpisim::Comm> leader_comm;
+  std::optional<mpisim::Window<std::uint64_t>> window;
+  if (options.hierarchical) {
+    local_comm.emplace(world.split_by_node());
+    leader_comm.emplace(world.split_node_leaders());
+    window.emplace(*local_comm, static_cast<std::size_t>(n) + 1);
+  }
+
+  epoch::EpochManager<StateFrame> manager(num_threads, StateFrame(n));
+  const std::uint64_t total_threads =
+      static_cast<std::uint64_t>(num_ranks) * num_threads;
+  // Thread zero's per-epoch share: the §IV-D rule fixes the *total*
+  // samples per epoch; all PT threads sample at the same rate. Clamp so
+  // the first stopping check happens within half the omega budget - on
+  // easy instances an unclamped epoch would sample far past termination.
+  const std::uint64_t n0 = std::min(
+      epoch_share(options.epoch_base, options.epoch_exponent, total_threads),
+      std::max<std::uint64_t>(1, context.omega / (2 * total_threads)));
+  std::vector<std::uint64_t> taken(num_threads, 0);
+
+  auto sampler_main = [&](int t) {
+    const std::uint64_t gti =
+        total_threads + static_cast<std::uint64_t>(rank) * num_threads + t;
+    PathSampler sampler(graph, Rng(params.seed).split(gti));
+    std::uint32_t epoch = 0;
+    while (!manager.stopped()) {
+      sampler.sample(manager.frame(t, epoch));
+      if (manager.check_transition(t, epoch)) ++epoch;
+    }
+    taken[t] = sampler.samples_taken();
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads - 1);
+  for (int t = 1; t < num_threads; ++t) workers.emplace_back(sampler_main, t);
+
+  // Thread zero of this rank: Algorithm 2's main loop.
+  {
+    const std::uint64_t gti =
+        total_threads + static_cast<std::uint64_t>(rank) * num_threads;
+    PathSampler sampler(graph, Rng(params.seed).split(gti));
+    StateFrame snapshot(n);   // S^e_loc: this rank's epoch aggregate
+    StateFrame epoch_agg(n);  // S^e: global epoch aggregate (valid at root)
+    StateFrame running(n);    // S: running total (valid at root)
+    std::uint8_t done_flag = 0;
+    std::uint32_t epoch = 0;
+
+    // Overlap helper: one sample into the *next* epoch's frame.
+    auto overlap_sample = [&] { sampler.sample(manager.frame(0, epoch + 1)); };
+
+    while (true) {
+      phases.timed(Phase::kSampling, [&] {
+        for (std::uint64_t i = 0; i < n0; ++i)
+          sampler.sample(manager.frame(0, epoch));
+      });
+
+      // Epoch transition, overlapped with sampling (Fig. 1).
+      phases.timed(Phase::kEpochTransition, [&] {
+        manager.force_transition(epoch);
+        while (!manager.transition_done(epoch)) overlap_sample();
+      });
+      snapshot.clear();
+      manager.collect(epoch, snapshot);
+
+      // Node-local pre-aggregation via the shared window (§IV-E).
+      bool in_global = true;
+      if (options.hierarchical) {
+        window->accumulate(snapshot.raw());
+        local_comm->barrier();
+        in_global = local_comm->rank() == 0;
+        if (in_global) {
+          window->read(snapshot.raw());
+          window->clear();
+        }
+        local_comm->barrier();
+      }
+
+      // Global aggregation to world rank zero (§IV-F strategies). With
+      // hierarchy the reduction runs on the node-leader communicator whose
+      // rank zero is world rank zero.
+      if (in_global) {
+        mpisim::Comm& global =
+            options.hierarchical ? *leader_comm : world;
+        const std::span<const std::uint64_t> send(snapshot.raw());
+        switch (options.aggregation) {
+          case Aggregation::kIbarrierReduce: {
+            phases.timed(Phase::kBarrier, [&] {
+              mpisim::Request barrier = global.ibarrier();
+              while (!barrier.test()) overlap_sample();
+            });
+            phases.timed(Phase::kReduction,
+                         [&] { global.reduce(send, epoch_agg.raw(), 0); });
+            break;
+          }
+          case Aggregation::kIreduce: {
+            phases.timed(Phase::kReduction, [&] {
+              mpisim::Request reduce =
+                  global.ireduce(send, epoch_agg.raw(), 0);
+              while (!reduce.test()) overlap_sample();
+            });
+            break;
+          }
+          case Aggregation::kBlocking: {
+            phases.timed(Phase::kReduction,
+                         [&] { global.reduce(send, epoch_agg.raw(), 0); });
+            break;
+          }
+        }
+      }
+
+      // Only rank zero evaluates the stopping condition (§IV): aggregation
+      // is the expensive part; shipping the verdict costs one byte.
+      if (is_root) {
+        running.merge(epoch_agg);
+        done_flag = phases.timed(Phase::kStopCheck, [&] {
+          return context.stop_satisfied(running) ? 1 : 0;
+        });
+      }
+      phases.timed(Phase::kBroadcast, [&] {
+        mpisim::Request bcast = world.ibcast(std::span{&done_flag, 1}, 0);
+        while (!bcast.test()) overlap_sample();
+      });
+
+      ++result.epochs;
+      if (done_flag != 0) {
+        manager.signal_stop();
+        break;
+      }
+      ++epoch;
+    }
+    taken[0] = sampler.samples_taken();
+
+    if (is_root) {
+      result.scores.assign(n, 0.0);
+      const auto tau = static_cast<double>(running.tau());
+      for (graph::Vertex v = 0; v < n; ++v)
+        result.scores[v] = static_cast<double>(running.count(v)) / tau;
+      result.samples = running.tau();
+    }
+  }
+  for (auto& worker : workers) worker.join();
+  result.adaptive_seconds = adaptive_timer.elapsed_s();
+
+  // Work accounting for Figure 3b: total samples attempted by all threads
+  // of all ranks (including overlap samples that were never aggregated).
+  std::uint64_t local_taken = 0;
+  for (const std::uint64_t t : taken) local_taken += t;
+  std::uint64_t world_taken = 0;
+  world.reduce(std::span<const std::uint64_t>(&local_taken, 1),
+               std::span{&world_taken, 1}, 0);
+
+  if (is_root) {
+    result.comm_bytes = world.stats().total_bytes();
+    if (options.hierarchical) {
+      result.comm_bytes += leader_comm->stats().total_bytes() +
+                           local_comm->stats().total_bytes();
+    }
+    result.omega = context.omega;
+    result.vertex_diameter = vd;
+    result.phases = phases;
+    result.samples_attempted = world_taken;
+  } else {
+    // Expose per-rank activity to tests: attempted samples of this rank.
+    result.samples_attempted = local_taken;
+  }
+  result.total_seconds = total_timer.elapsed_s();
+  return result;
+}
+
+BcResult kadabra_mpi(const graph::Graph& graph,
+                     const MpiKadabraOptions& options, int num_ranks,
+                     int ranks_per_node, mpisim::NetworkModel network) {
+  mpisim::RuntimeConfig config;
+  config.num_ranks = num_ranks;
+  config.ranks_per_node = ranks_per_node;
+  config.network = network;
+  mpisim::Runtime runtime(config);
+
+  BcResult root_result;
+  std::mutex result_mu;
+  runtime.run([&](mpisim::Comm& world) {
+    BcResult local = kadabra_mpi_rank(graph, options, world);
+    if (world.rank() == 0) {
+      std::lock_guard lock(result_mu);
+      root_result = std::move(local);
+    }
+  });
+  return root_result;
+}
+
+}  // namespace distbc::bc

@@ -1,0 +1,57 @@
+// Epoch-based MPI-parallel KADABRA - the paper's contribution (Algorithm 2).
+//
+// Every rank runs T sampler threads coordinated by the epoch-based
+// framework; thread zero of each rank additionally drives the inter-rank
+// aggregation: after an epoch transition it aggregates its rank's frames
+// into a snapshot, participates in a global reduction to rank zero, which
+// folds the epoch aggregate into the running state S and evaluates the
+// stopping condition on it; the verdict is broadcast back. Every
+// communication step is overlapped with sampling into the next epoch's
+// frame (Algorithm 2 lines 15, 21, 27).
+//
+// The aggregation strategy is selectable to reproduce the paper's §IV-F
+// finding (Ibarrier + blocking Reduce beats Ireduce beats fully blocking),
+// and the §IV-E hierarchical mode pre-reduces over node-local shared
+// memory (RMA window) before the inter-node reduction of node leaders.
+#pragma once
+
+#include "bc/kadabra_context.hpp"
+#include "bc/result.hpp"
+#include "graph/graph.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace distbc::bc {
+
+enum class Aggregation : std::uint8_t {
+  kIbarrierReduce,  // paper's final choice (§IV-F)
+  kIreduce,         // plain non-blocking reduction
+  kBlocking         // no overlap at all ("again detrimental", §IV-F)
+};
+
+struct MpiKadabraOptions {
+  KadabraParams params;
+  int threads_per_rank = 1;
+  Aggregation aggregation = Aggregation::kIbarrierReduce;
+  /// §IV-E: node-local shared-memory pre-aggregation; only node leaders
+  /// join the global reduction.
+  bool hierarchical = false;
+  /// Epoch length rule n0 = epoch_base * (P*T)^epoch_exponent (§IV-D).
+  std::uint64_t epoch_base = 1000;
+  double epoch_exponent = 1.33;
+};
+
+/// Per-rank driver; call from inside mpisim::Runtime::run() on every rank.
+/// The returned result carries scores and statistics on world rank 0 and
+/// only local timing elsewhere.
+[[nodiscard]] BcResult kadabra_mpi_rank(const graph::Graph& graph,
+                                        const MpiKadabraOptions& options,
+                                        mpisim::Comm& world);
+
+/// Convenience wrapper: spins up a simulated cluster of `num_ranks` ranks
+/// (`ranks_per_node` per node) and returns rank zero's result.
+[[nodiscard]] BcResult kadabra_mpi(const graph::Graph& graph,
+                                   const MpiKadabraOptions& options,
+                                   int num_ranks, int ranks_per_node = 1,
+                                   mpisim::NetworkModel network = {});
+
+}  // namespace distbc::bc

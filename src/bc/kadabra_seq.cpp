@@ -1,0 +1,68 @@
+#include "bc/kadabra_seq.hpp"
+
+#include <algorithm>
+
+#include "bc/sampler.hpp"
+#include "support/timer.hpp"
+
+namespace distbc::bc {
+
+BcResult kadabra_sequential(const graph::Graph& graph,
+                            const KadabraParams& params) {
+  WallTimer total_timer;
+  PhaseTimer phases;
+  BcResult result;
+  const graph::Vertex n = graph.num_vertices();
+  result.scores.assign(n, 0.0);
+  if (n < 2) return result;
+
+  // Phase 1: diameter.
+  const std::uint32_t vd = phases.timed(Phase::kDiameter, [&] {
+    return kadabra_vertex_diameter(graph, params);
+  });
+  KadabraContext context = begin_context(params, vd);
+
+  // Phase 2: calibration on non-adaptive samples (discarded afterwards, as
+  // in KADABRA: the adaptive guarantee is only over fresh samples).
+  phases.timed(Phase::kCalibration, [&] {
+    epoch::StateFrame initial(n);
+    PathSampler sampler(graph, Rng(params.seed).split(0));
+    for (std::uint64_t i = 0; i < context.initial_samples; ++i)
+      sampler.sample(initial);
+    finish_calibration(context, initial);
+  });
+
+  // Phase 3: adaptive sampling; the stopping condition is evaluated every
+  // n0 samples (the sequential analogue of an epoch).
+  WallTimer adaptive_timer;
+  epoch::StateFrame aggregate(n);
+  PathSampler sampler(graph, Rng(params.seed).split(1));
+  // Sequentially, a stop check costs O(|V|) against O(n0) BFS samples, so
+  // it can run much more often than in the parallel drivers; scale the
+  // interval with the budget so small instances do not overshoot omega.
+  const std::uint64_t n0 = std::clamp<std::uint64_t>(
+      context.omega / 20, 100, epoch_length(1000, 1.33, 1));
+  while (true) {
+    phases.timed(Phase::kSampling, [&] {
+      for (std::uint64_t i = 0; i < n0; ++i) sampler.sample(aggregate);
+    });
+    ++result.epochs;
+    const bool done = phases.timed(Phase::kStopCheck, [&] {
+      return context.stop_satisfied(aggregate);
+    });
+    if (done) break;
+  }
+  result.adaptive_seconds = adaptive_timer.elapsed_s();
+
+  const auto tau = static_cast<double>(aggregate.tau());
+  for (graph::Vertex v = 0; v < n; ++v)
+    result.scores[v] = static_cast<double>(aggregate.count(v)) / tau;
+  result.samples = aggregate.tau();
+  result.omega = context.omega;
+  result.vertex_diameter = vd;
+  result.phases = phases;
+  result.total_seconds = total_timer.elapsed_s();
+  return result;
+}
+
+}  // namespace distbc::bc

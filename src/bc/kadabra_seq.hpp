@@ -1,0 +1,15 @@
+// Sequential KADABRA (Borassi & Natale): the reference implementation of
+// the three-phase algorithm - diameter, calibration, adaptive sampling -
+// and the correctness oracle for the parallel drivers.
+#pragma once
+
+#include "bc/kadabra_context.hpp"
+#include "bc/result.hpp"
+#include "graph/graph.hpp"
+
+namespace distbc::bc {
+
+[[nodiscard]] BcResult kadabra_sequential(const graph::Graph& graph,
+                                          const KadabraParams& params);
+
+}  // namespace distbc::bc

@@ -1,0 +1,137 @@
+#include "bc/kadabra_shm.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "bc/sampler.hpp"
+#include "epoch/epoch_manager.hpp"
+#include "support/timer.hpp"
+
+namespace distbc::bc {
+
+namespace {
+
+/// Phase-2 helper shared conceptually with the MPI driver: all T threads
+/// sample their share of the calibration budget into private frames.
+epoch::StateFrame parallel_initial_samples(const graph::Graph& graph,
+                                           std::uint64_t budget,
+                                           std::uint64_t seed,
+                                           int num_threads) {
+  const graph::Vertex n = graph.num_vertices();
+  std::vector<epoch::StateFrame> frames(num_threads, epoch::StateFrame(n));
+  auto worker = [&](int t) {
+    PathSampler sampler(graph, Rng(seed).split(t));
+    const std::uint64_t share =
+        budget / num_threads + (t < static_cast<int>(budget % num_threads));
+    for (std::uint64_t i = 0; i < share; ++i) sampler.sample(frames[t]);
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (int t = 1; t < num_threads; ++t) threads.emplace_back(worker, t);
+  worker(0);
+  for (auto& thread : threads) thread.join();
+
+  epoch::StateFrame total(n);
+  for (const auto& frame : frames) total.merge(frame);
+  return total;
+}
+
+}  // namespace
+
+BcResult kadabra_shm(const graph::Graph& graph,
+                     const ShmKadabraOptions& options) {
+  DISTBC_ASSERT(options.num_threads >= 1);
+  WallTimer total_timer;
+  PhaseTimer phases;
+  BcResult result;
+  const graph::Vertex n = graph.num_vertices();
+  result.scores.assign(n, 0.0);
+  if (n < 2) return result;
+  const int num_threads = options.num_threads;
+  const KadabraParams& params = options.params;
+
+  // Phase 1: diameter (sequential, as in the paper).
+  const std::uint32_t vd = phases.timed(Phase::kDiameter, [&] {
+    return kadabra_vertex_diameter(graph, params);
+  });
+  KadabraContext context = begin_context(params, vd);
+
+  // Phase 2: embarrassingly parallel calibration sampling.
+  phases.timed(Phase::kCalibration, [&] {
+    const epoch::StateFrame initial = parallel_initial_samples(
+        graph, context.initial_samples, params.seed, num_threads);
+    finish_calibration(context, initial);
+  });
+
+  // Phase 3: epoch-based adaptive sampling.
+  WallTimer adaptive_timer;
+  epoch::EpochManager<epoch::StateFrame> manager(num_threads,
+                                                 epoch::StateFrame(n));
+  // Per-thread epoch share, clamped so the first stopping check happens
+  // within half the omega budget (see the MPI driver for rationale).
+  const std::uint64_t n0 = std::min(
+      epoch_share(options.epoch_base, options.epoch_exponent,
+                  static_cast<std::uint64_t>(num_threads)),
+      std::max<std::uint64_t>(
+          1, context.omega / (2 * static_cast<std::uint64_t>(num_threads))));
+  std::vector<std::uint64_t> taken(num_threads, 0);
+
+  auto sampler_main = [&](int t) {
+    PathSampler sampler(graph,
+                        Rng(params.seed).split(num_threads + t));
+    std::uint32_t epoch = 0;
+    while (!manager.stopped()) {
+      sampler.sample(manager.frame(t, epoch));
+      if (manager.check_transition(t, epoch)) ++epoch;
+    }
+    taken[t] = sampler.samples_taken();
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads - 1);
+  for (int t = 1; t < num_threads; ++t) workers.emplace_back(sampler_main, t);
+
+  // Thread zero: Algorithm 2 without the MPI layer.
+  {
+    PathSampler sampler(graph, Rng(params.seed).split(num_threads));
+    epoch::StateFrame aggregate(n);
+    std::uint32_t epoch = 0;
+    while (true) {
+      phases.timed(Phase::kSampling, [&] {
+        for (std::uint64_t i = 0; i < n0; ++i)
+          sampler.sample(manager.frame(0, epoch));
+      });
+      phases.timed(Phase::kEpochTransition, [&] {
+        manager.force_transition(epoch);
+        while (!manager.transition_done(epoch))
+          sampler.sample(manager.frame(0, epoch + 1));
+      });
+      manager.collect(epoch, aggregate);
+      ++result.epochs;
+      const bool done = phases.timed(Phase::kStopCheck, [&] {
+        return context.stop_satisfied(aggregate);
+      });
+      if (done) {
+        manager.signal_stop();
+        break;
+      }
+      ++epoch;
+    }
+    taken[0] = sampler.samples_taken();
+
+    const auto tau = static_cast<double>(aggregate.tau());
+    for (graph::Vertex v = 0; v < n; ++v)
+      result.scores[v] = static_cast<double>(aggregate.count(v)) / tau;
+    result.samples = aggregate.tau();
+  }
+  for (auto& worker : workers) worker.join();
+  result.adaptive_seconds = adaptive_timer.elapsed_s();
+
+  result.omega = context.omega;
+  result.vertex_diameter = vd;
+  result.phases = phases;
+  result.total_seconds = total_timer.elapsed_s();
+  return result;
+}
+
+}  // namespace distbc::bc

@@ -1,0 +1,29 @@
+// Shared-memory parallel KADABRA: the epoch-based algorithm of van der
+// Grinten, Angriman, Meyerhenke (Euro-Par 2019), the paper's Ref. [24] and
+// the state-of-the-art competitor the MPI algorithm is benchmarked against
+// (Figures 2a and 3a).
+//
+// T threads sample wait-free into per-epoch state frames; thread zero
+// periodically forces an epoch transition (overlapping it with its own
+// sampling), aggregates the completed epoch's frames, and evaluates the
+// stopping condition on the consistent aggregate.
+#pragma once
+
+#include "bc/kadabra_context.hpp"
+#include "bc/result.hpp"
+#include "graph/graph.hpp"
+
+namespace distbc::bc {
+
+struct ShmKadabraOptions {
+  KadabraParams params;
+  int num_threads = 1;
+  /// Epoch length rule n0 = epoch_base * T^epoch_exponent (paper §IV-D).
+  std::uint64_t epoch_base = 1000;
+  double epoch_exponent = 1.33;
+};
+
+[[nodiscard]] BcResult kadabra_shm(const graph::Graph& graph,
+                                   const ShmKadabraOptions& options);
+
+}  // namespace distbc::bc

@@ -1,0 +1,41 @@
+// Unified result type for all betweenness algorithms in the library:
+// exact (Brandes), fixed sampling (RK), and the KADABRA variants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/timer.hpp"
+
+namespace distbc::bc {
+
+struct BcResult {
+  /// Normalized betweenness per vertex: exact values or estimates b~.
+  std::vector<double> scores;
+
+  // --- Sampling statistics (zero for exact algorithms) -------------------
+  std::uint64_t samples = 0;          // tau at termination
+  /// Samples attempted across all threads/ranks, including overlap samples
+  /// never aggregated (>= samples); drives the Figure 3b rate metric.
+  std::uint64_t samples_attempted = 0;
+  std::uint64_t epochs = 0;           // aggregation rounds
+  std::uint64_t omega = 0;            // static budget
+  std::uint32_t vertex_diameter = 0;  // VD used for omega
+
+  // --- Timing -------------------------------------------------------------
+  double total_seconds = 0.0;
+  double adaptive_seconds = 0.0;  // adaptive-sampling phase only
+  PhaseTimer phases;              // thread-zero/rank-zero phase windows
+
+  // --- Communication (MPI variants only) ----------------------------------
+  std::uint64_t comm_bytes = 0;  // total payload moved by aggregations
+
+  /// Indices of the k highest-scoring vertices, descending by score.
+  [[nodiscard]] std::vector<graph::Vertex> top_k(std::size_t k) const;
+
+  /// Largest absolute difference to another score vector (same graph).
+  [[nodiscard]] double max_abs_difference(const BcResult& other) const;
+};
+
+}  // namespace distbc::bc

@@ -1,0 +1,50 @@
+// Per-thread path sampler: one KADABRA sample = a uniform vertex pair plus
+// a uniform shortest path between them, taken via bidirectional BFS.
+// Threads own their sampler (workspaces and RNG stream included), so taking
+// a sample involves no shared state whatsoever - the property the paper's
+// scenario assumes ("a single sample can be taken locally").
+#pragma once
+
+#include <cstdint>
+
+#include "epoch/state_frame.hpp"
+#include "graph/bidirectional_bfs.hpp"
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+
+namespace distbc::bc {
+
+class PathSampler {
+ public:
+  PathSampler(const graph::Graph& graph, Rng rng)
+      : graph_(&graph), bfs_(graph.num_vertices()), rng_(rng) {
+    scratch_.reserve(64);
+  }
+
+  /// Takes one sample and records it into `frame`.
+  void sample(epoch::StateFrame& frame) {
+    const auto [s64, t64] = rng_.next_distinct_pair(graph_->num_vertices());
+    const auto s = static_cast<graph::Vertex>(s64);
+    const auto t = static_cast<graph::Vertex>(t64);
+    const auto pair = bfs_.run(*graph_, s, t);
+    ++taken_;
+    if (!pair.connected) {
+      frame.record_empty();
+      return;
+    }
+    scratch_.clear();
+    bfs_.sample_path(*graph_, rng_, scratch_);
+    frame.record(scratch_);
+  }
+
+  [[nodiscard]] std::uint64_t samples_taken() const { return taken_; }
+
+ private:
+  const graph::Graph* graph_;
+  graph::BidirectionalBfs bfs_;
+  Rng rng_;
+  std::vector<graph::Vertex> scratch_;
+  std::uint64_t taken_ = 0;
+};
+
+}  // namespace distbc::bc

@@ -1,0 +1,12 @@
+#include "epoch/state_frame.hpp"
+
+// StateFrame is header-only; this translation unit exists so the epoch
+// library has a concrete object and template instantiations below surface
+// errors at library build time.
+#include "epoch/epoch_manager.hpp"
+
+namespace distbc::epoch {
+
+template class EpochManager<StateFrame>;
+
+}  // namespace distbc::epoch

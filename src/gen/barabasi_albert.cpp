@@ -1,0 +1,45 @@
+#include "gen/barabasi_albert.hpp"
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "support/random.hpp"
+
+namespace distbc::gen {
+
+graph::Graph barabasi_albert(graph::Vertex num_vertices, std::uint32_t attach,
+                             std::uint64_t seed) {
+  DISTBC_ASSERT(attach >= 1);
+  DISTBC_ASSERT(num_vertices > attach);
+
+  Rng rng(seed);
+  graph::Builder builder(num_vertices);
+
+  // Endpoint list trick: picking a uniform entry of `endpoints` selects a
+  // vertex with probability proportional to its degree.
+  std::vector<graph::Vertex> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(num_vertices) * attach * 2);
+
+  // Seed clique over the first (attach + 1) vertices.
+  for (graph::Vertex u = 0; u <= attach; ++u) {
+    for (graph::Vertex v = u + 1; v <= attach; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  for (graph::Vertex v = attach + 1; v < num_vertices; ++v) {
+    for (std::uint32_t k = 0; k < attach; ++k) {
+      const graph::Vertex target =
+          endpoints[rng.next_bounded(endpoints.size())];
+      // Parallel edges collapse in the builder; acceptable for BA.
+      builder.add_edge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return builder.finish();
+}
+
+}  // namespace distbc::gen

@@ -1,0 +1,16 @@
+// Barabasi-Albert preferential attachment: every new vertex attaches to
+// `attach` existing vertices with probability proportional to degree.
+// A second power-law model for generator cross-validation in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace distbc::gen {
+
+[[nodiscard]] graph::Graph barabasi_albert(graph::Vertex num_vertices,
+                                           std::uint32_t attach,
+                                           std::uint64_t seed);
+
+}  // namespace distbc::gen

@@ -1,0 +1,22 @@
+#include "gen/erdos_renyi.hpp"
+
+#include "graph/builder.hpp"
+#include "support/random.hpp"
+
+namespace distbc::gen {
+
+graph::Graph erdos_renyi(graph::Vertex num_vertices, std::uint64_t num_edges,
+                         std::uint64_t seed) {
+  DISTBC_ASSERT(num_vertices >= 2);
+  Rng rng(seed);
+  graph::Builder builder(num_vertices);
+  builder.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    const auto [u, v] = rng.next_distinct_pair(num_vertices);
+    builder.add_edge(static_cast<graph::Vertex>(u),
+                     static_cast<graph::Vertex>(v));
+  }
+  return builder.finish();
+}
+
+}  // namespace distbc::gen

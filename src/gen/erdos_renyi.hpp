@@ -1,0 +1,16 @@
+// Erdos-Renyi G(n, m)-style generator: m candidate edges sampled uniformly
+// with replacement, then deduplicated. Used in tests as the "no structure"
+// control model.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace distbc::gen {
+
+[[nodiscard]] graph::Graph erdos_renyi(graph::Vertex num_vertices,
+                                       std::uint64_t num_edges,
+                                       std::uint64_t seed);
+
+}  // namespace distbc::gen

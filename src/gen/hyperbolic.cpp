@@ -1,0 +1,154 @@
+#include "gen/hyperbolic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "support/random.hpp"
+
+namespace distbc::gen {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Inverse-CDF sample of the radial coordinate:
+/// F(r) = (cosh(alpha r) - 1) / (cosh(alpha R) - 1).
+double sample_radius(Rng& rng, double alpha, double radius) {
+  const double u = rng.next_double();
+  const double cosh_ar = 1.0 + u * (std::cosh(alpha * radius) - 1.0);
+  return std::acosh(cosh_ar) / alpha;
+}
+
+/// Disk radius such that the expected average degree matches `target`
+/// (Gugelmann, Panagiotou, Peter asymptotics):
+///   E[deg] ~ (2 / pi) * n * e^{-R/2} * (alpha / (alpha - 1/2))^2.
+double calibrate_radius(double n, double alpha, double target) {
+  DISTBC_ASSERT_MSG(alpha > 0.5, "gamma must exceed 2 (alpha > 1/2)");
+  const double xi = alpha / (alpha - 0.5);
+  return 2.0 * std::log(2.0 * n * xi * xi / (kPi * target));
+}
+
+}  // namespace
+
+double hyperbolic_distance(double r1, double t1, double r2, double t2) {
+  const double dt = kPi - std::abs(kPi - std::abs(t1 - t2));
+  const double arg = std::cosh(r1) * std::cosh(r2) -
+                     std::sinh(r1) * std::sinh(r2) * std::cos(dt);
+  return std::acosh(std::max(1.0, arg));
+}
+
+graph::Graph hyperbolic(const HyperbolicParams& params, std::uint64_t seed) {
+  DISTBC_ASSERT(params.num_vertices >= 2);
+  DISTBC_ASSERT(params.gamma > 2.0);
+  const auto n = params.num_vertices;
+  const double alpha = (params.gamma - 1.0) / 2.0;
+  const double radius =
+      calibrate_radius(static_cast<double>(n), alpha, params.average_degree);
+  const std::uint32_t num_bands =
+      params.num_bands > 0
+          ? params.num_bands
+          : std::max(2u, static_cast<std::uint32_t>(std::ceil(
+                             std::log2(static_cast<double>(n)))));
+
+  Rng rng(seed);
+  std::vector<double> vertex_radius(n);
+  std::vector<double> vertex_angle(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    vertex_radius[v] = sample_radius(rng, alpha, radius);
+    vertex_angle[v] = rng.next_double() * 2.0 * kPi;
+  }
+
+  // Concentric bands with geometrically shrinking widths toward the rim,
+  // where most vertices concentrate. band_floor[j] is the inner radius.
+  std::vector<double> band_floor(num_bands + 1);
+  for (std::uint32_t j = 0; j <= num_bands; ++j) {
+    const double frac = static_cast<double>(j) / num_bands;
+    band_floor[j] = radius * (1.0 - std::pow(2.0, -frac * 10.0)) /
+                    (1.0 - std::pow(2.0, -10.0));
+  }
+  band_floor[0] = 0.0;
+  band_floor[num_bands] = radius + 1e-9;
+
+  auto band_of = [&](double r) {
+    const auto it =
+        std::upper_bound(band_floor.begin(), band_floor.end(), r);
+    const auto j = static_cast<std::uint32_t>(it - band_floor.begin());
+    return std::min(j == 0 ? 0u : j - 1, num_bands - 1);
+  };
+
+  // Per band: vertex ids sorted by angle.
+  std::vector<std::vector<graph::Vertex>> bands(num_bands);
+  for (std::uint32_t v = 0; v < n; ++v)
+    bands[band_of(vertex_radius[v])].push_back(v);
+  for (auto& band : bands) {
+    std::sort(band.begin(), band.end(),
+              [&](graph::Vertex a, graph::Vertex b) {
+                return vertex_angle[a] < vertex_angle[b];
+              });
+  }
+
+  // Max angular separation at which (r1, band inner radius rb) can still be
+  // within hyperbolic distance R. Monotone in rb, so using the band floor
+  // yields a superset of true neighbours, each checked exactly below.
+  auto angular_window = [&](double r1, double rb) {
+    if (r1 + rb <= radius) return kPi;  // always connected regardless of angle
+    const double num = std::cosh(r1) * std::cosh(rb) - std::cosh(radius);
+    const double den = std::sinh(r1) * std::sinh(rb);
+    if (den <= 0.0) return kPi;
+    const double cos_dt = num / den;
+    if (cos_dt <= -1.0) return kPi;
+    if (cos_dt >= 1.0) return 0.0;
+    return std::acos(cos_dt);
+  };
+
+  graph::Builder builder(n);
+  builder.reserve(static_cast<std::size_t>(params.average_degree / 2.0 * n));
+
+  // Scan candidates of vertex v inside `band` within +-window of v's angle.
+  auto scan_band = [&](graph::Vertex v, const std::vector<graph::Vertex>& band,
+                       double window, bool same_band) {
+    if (band.empty()) return;
+    const double theta = vertex_angle[v];
+    auto angle_less = [&](graph::Vertex a, double value) {
+      return vertex_angle[a] < value;
+    };
+    // Examine the circular interval [theta - window, theta + window].
+    const double lo = theta - window;
+    const double hi = theta + window;
+    auto emit_range = [&](double from, double to) {
+      auto first = std::lower_bound(band.begin(), band.end(), from, angle_less);
+      for (auto it = first; it != band.end() && vertex_angle[*it] <= to; ++it) {
+        const graph::Vertex u = *it;
+        if (u == v) continue;
+        // In the shared band, count each pair once via id ordering.
+        if (same_band && u < v) continue;
+        if (hyperbolic_distance(vertex_radius[v], theta, vertex_radius[u],
+                                vertex_angle[u]) <= radius) {
+          builder.add_edge(v, u);
+        }
+      }
+    };
+    if (window >= kPi) {
+      emit_range(0.0, 2.0 * kPi);
+    } else {
+      if (lo < 0.0) emit_range(lo + 2.0 * kPi, 2.0 * kPi);
+      emit_range(std::max(0.0, lo), std::min(hi, 2.0 * kPi));
+      if (hi > 2.0 * kPi) emit_range(0.0, hi - 2.0 * kPi);
+    }
+  };
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t home = band_of(vertex_radius[v]);
+    for (std::uint32_t j = home; j < num_bands; ++j) {
+      const double window = angular_window(vertex_radius[v], band_floor[j]);
+      if (window <= 0.0) continue;
+      scan_band(v, bands[j], window, j == home);
+    }
+  }
+  return builder.finish();
+}
+
+}  // namespace distbc::gen

@@ -1,0 +1,38 @@
+// Threshold random hyperbolic graph generator, the paper's second synthetic
+// model (power-law exponent 3, |E| ≈ 30 |V|).
+//
+// Vertices are placed in a hyperbolic disk of radius R with radial density
+// alpha * sinh(alpha r) / (cosh(alpha R) - 1) and uniform angle; two vertices
+// connect iff their hyperbolic distance is at most R. The power-law exponent
+// is gamma = 2 * alpha + 1, so gamma = 3 corresponds to alpha = 1. R is
+// calibrated from the target average degree using the Gugelmann et al.
+// asymptotic expectation.
+//
+// Generation uses the band partitioning of von Looz et al.: the disk is cut
+// into concentric bands, each band's vertices are sorted by angle, and for
+// every vertex only an angular window (computed from the band's inner
+// radius) is examined — near-linear work instead of all n^2 pairs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace distbc::gen {
+
+struct HyperbolicParams {
+  std::uint32_t num_vertices = 1u << 16;
+  double average_degree = 60.0;  // 2 * edge_factor; paper uses |E| = 30 |V|
+  double gamma = 3.0;            // power-law exponent, must be > 2
+  std::uint32_t num_bands = 0;   // 0 = auto (ceil(log2 n))
+};
+
+[[nodiscard]] graph::Graph hyperbolic(const HyperbolicParams& params,
+                                      std::uint64_t seed);
+
+/// Hyperbolic distance between polar points (r1, t1) and (r2, t2);
+/// exposed for tests.
+[[nodiscard]] double hyperbolic_distance(double r1, double t1, double r2,
+                                         double t2);
+
+}  // namespace distbc::gen

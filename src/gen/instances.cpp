@@ -1,0 +1,212 @@
+#include "gen/instances.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "gen/hyperbolic.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road.hpp"
+#include "graph/components.hpp"
+#include "support/assert.hpp"
+
+namespace distbc::gen {
+
+namespace {
+
+graph::Graph build_road(double scale, std::uint64_t seed, std::uint32_t width,
+                        std::uint32_t height) {
+  RoadParams params;
+  // Scale area by `scale`, keeping the aspect ratio (and thus the
+  // diameter-vs-size relation) intact.
+  const double side = std::sqrt(scale);
+  params.width = std::max(4u, static_cast<std::uint32_t>(width * side));
+  params.height = std::max(4u, static_cast<std::uint32_t>(height * side));
+  return road(params, seed);
+}
+
+graph::Graph build_rmat(double scale, std::uint64_t seed, std::uint32_t base_scale,
+                        double edge_factor) {
+  RmatParams params;
+  const int shift = scale >= 1.0 ? 0
+                                 : static_cast<int>(std::round(-std::log2(scale)));
+  params.scale = base_scale > static_cast<std::uint32_t>(shift) + 4
+                     ? base_scale - static_cast<std::uint32_t>(shift)
+                     : 4;
+  params.edge_factor = edge_factor;
+  return graph::largest_component(rmat(params, seed));
+}
+
+graph::Graph build_hyperbolic(double scale, std::uint64_t seed,
+                              std::uint32_t base_vertices, double avg_degree) {
+  HyperbolicParams params;
+  params.num_vertices = std::max(
+      64u, static_cast<std::uint32_t>(base_vertices * scale));
+  params.average_degree = avg_degree;
+  return graph::largest_component(hyperbolic(params, seed));
+}
+
+std::vector<InstanceSpec> make_suite() {
+  std::vector<InstanceSpec> suite;
+
+  // --- Road networks: sparse, near-planar, huge diameter. -----------------
+  suite.push_back({.name = "road-pa-proxy",
+                   .paper_name = "roadNet-PA",
+                   .family = InstanceFamily::kRoad,
+                   .paper_vertices = 1'087'562,
+                   .paper_edges = 1'541'514,
+                   .paper_diameter = 794,
+                   .build = [](double s, std::uint64_t seed) {
+                     return build_road(s, seed, 360, 120);
+                   },
+                   .bench_epsilon = 0.01});
+  suite.push_back({.name = "road-ca-proxy",
+                   .paper_name = "roadNet-CA",
+                   .family = InstanceFamily::kRoad,
+                   .paper_vertices = 1'957'027,
+                   .paper_edges = 2'760'388,
+                   .paper_diameter = 865,
+                   .build = [](double s, std::uint64_t seed) {
+                     return build_road(s, seed, 440, 150);
+                   },
+                   .bench_epsilon = 0.01});
+  suite.push_back({.name = "road-ne-proxy",
+                   .paper_name = "dimacs9-NE",
+                   .family = InstanceFamily::kRoad,
+                   .paper_vertices = 1'524'453,
+                   .paper_edges = 3'868'020,
+                   .paper_diameter = 2'098,
+                   .build = [](double s, std::uint64_t seed) {
+                     // Long, thin region: highest diameter of the suite.
+                     return build_road(s, seed, 1000, 56);
+                   },
+                   .bench_epsilon = 0.01});
+
+  // --- Social networks: heavy tail, avg degree 15-76, tiny diameter. ------
+  suite.push_back({.name = "orkut-proxy",
+                   .paper_name = "orkut-links",
+                   .family = InstanceFamily::kSocial,
+                   .paper_vertices = 3'072'441,
+                   .paper_edges = 117'184'899,
+                   .paper_diameter = 10,
+                   .build = [](double s, std::uint64_t seed) {
+                     return build_rmat(s, seed, 15, 38.0);
+                   },
+                   .bench_epsilon = 0.01});
+  suite.push_back({.name = "dbpedia-proxy",
+                   .paper_name = "dbpedia-link",
+                   .family = InstanceFamily::kSocial,
+                   .paper_vertices = 18'265'512,
+                   .paper_edges = 136'535'446,
+                   .paper_diameter = 12,
+                   .build = [](double s, std::uint64_t seed) {
+                     return build_rmat(s, seed, 16, 7.5);
+                   },
+                   .bench_epsilon = 0.01});
+  suite.push_back({.name = "wikipedia-proxy",
+                   .paper_name = "wikipedia_link_en",
+                   .family = InstanceFamily::kSocial,
+                   .paper_vertices = 13'591'759,
+                   .paper_edges = 437'266'152,
+                   .paper_diameter = 10,
+                   .build = [](double s, std::uint64_t seed) {
+                     return build_rmat(s, seed, 15, 32.0);
+                   },
+                   .bench_epsilon = 0.01});
+  suite.push_back({.name = "twitter-proxy",
+                   .paper_name = "twitter",
+                   .family = InstanceFamily::kSocial,
+                   .paper_vertices = 41'652'230,
+                   .paper_edges = 1'468'365'480,
+                   .paper_diameter = 23,
+                   .build = [](double s, std::uint64_t seed) {
+                     return build_rmat(s, seed, 16, 35.0);
+                   },
+                   .bench_epsilon = 0.01});
+  suite.push_back({.name = "friendster-proxy",
+                   .paper_name = "friendster",
+                   .family = InstanceFamily::kSocial,
+                   .paper_vertices = 67'492'106,
+                   .paper_edges = 2'585'071'391,
+                   .paper_diameter = 38,
+                   .build = [](double s, std::uint64_t seed) {
+                     return build_hyperbolic(s, seed, 1u << 16, 60.0);
+                   },
+                   .bench_epsilon = 0.01});
+
+  // --- Hyperlink/web graphs: heavy tail with moderate diameter. -----------
+  suite.push_back({.name = "uk2002-proxy",
+                   .paper_name = "dimacs10-uk-2002",
+                   .family = InstanceFamily::kWeb,
+                   .paper_vertices = 18'459'128,
+                   .paper_edges = 261'556'721,
+                   .paper_diameter = 45,
+                   .build = [](double s, std::uint64_t seed) {
+                     return build_hyperbolic(s, seed, 1u << 15, 28.0);
+                   },
+                   .bench_epsilon = 0.01});
+  suite.push_back({.name = "uk2007-proxy",
+                   .paper_name = "dimacs10-uk-2007-05",
+                   .family = InstanceFamily::kWeb,
+                   .paper_vertices = 104'288'749,
+                   .paper_edges = 3'293'805'080,
+                   .paper_diameter = 112,
+                   .build = [](double s, std::uint64_t seed) {
+                     return build_hyperbolic(s, seed, 1u << 16, 63.0);
+                   },
+                   .bench_epsilon = 0.01});
+  return suite;
+}
+
+std::vector<InstanceSpec> make_quick_suite() {
+  std::vector<InstanceSpec> suite;
+  suite.push_back({.name = "quick-road",
+                   .paper_name = "(road smoke instance)",
+                   .family = InstanceFamily::kRoad,
+                   .build = [](double s, std::uint64_t seed) {
+                     return build_road(s, seed, 80, 40);
+                   },
+                   .bench_epsilon = 0.05});
+  suite.push_back({.name = "quick-social",
+                   .paper_name = "(social smoke instance)",
+                   .family = InstanceFamily::kSocial,
+                   .build = [](double s, std::uint64_t seed) {
+                     return build_rmat(s, seed, 11, 16.0);
+                   },
+                   .bench_epsilon = 0.05});
+  suite.push_back({.name = "quick-web",
+                   .paper_name = "(web smoke instance)",
+                   .family = InstanceFamily::kWeb,
+                   .build = [](double s, std::uint64_t seed) {
+                     return build_hyperbolic(s, seed, 2048, 16.0);
+                   },
+                   .bench_epsilon = 0.05});
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<InstanceSpec>& instance_suite() {
+  static const std::vector<InstanceSpec> suite = make_suite();
+  return suite;
+}
+
+const std::vector<InstanceSpec>& quick_suite() {
+  static const std::vector<InstanceSpec> suite = make_quick_suite();
+  return suite;
+}
+
+const InstanceSpec& instance_by_name(const std::string& name) {
+  for (const auto& spec : instance_suite())
+    if (spec.name == name) return spec;
+  for (const auto& spec : quick_suite())
+    if (spec.name == name) return spec;
+  std::fprintf(stderr, "unknown instance '%s'; valid names:\n", name.c_str());
+  for (const auto& spec : instance_suite())
+    std::fprintf(stderr, "  %s\n", spec.name.c_str());
+  for (const auto& spec : quick_suite())
+    std::fprintf(stderr, "  %s\n", spec.name.c_str());
+  std::exit(2);
+}
+
+}  // namespace distbc::gen

@@ -1,0 +1,54 @@
+// Proxy-instance suite mirroring the paper's Table I.
+//
+// The paper evaluates on the 10 largest non-bipartite KONECT graphs (road,
+// social, hyperlink networks) with up to 3.3 billion edges. Those data sets
+// are not available offline and exceed single-host memory, so each row is
+// substituted by a *synthetic proxy* with the same structural signature
+// (degree regime, heavy tail or not, diameter regime), scaled down by
+// roughly 2^4 - 2^10. DESIGN.md documents the substitution rationale;
+// EXPERIMENTS.md records the paper-vs-proxy comparison.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace distbc::gen {
+
+enum class InstanceFamily : std::uint8_t { kRoad, kSocial, kWeb };
+
+struct InstanceSpec {
+  std::string name;        // proxy name, e.g. "road-pa-proxy"
+  std::string paper_name;  // KONECT/DIMACS name in the paper's Table I
+  InstanceFamily family = InstanceFamily::kSocial;
+
+  // The paper's Table I row for side-by-side reporting.
+  std::uint64_t paper_vertices = 0;
+  std::uint64_t paper_edges = 0;
+  std::uint32_t paper_diameter = 0;
+
+  /// Builds the proxy at the given size scale (1.0 = default proxy size;
+  /// benches use < 1 for quick runs). Result is connected (largest CC).
+  std::function<graph::Graph(double scale, std::uint64_t seed)> build;
+
+  /// Approximation error used by benches on this proxy. Scaled up from the
+  /// paper's 0.001 so that sample counts stay proportionate to the scaled
+  /// instance sizes.
+  double bench_epsilon = 0.01;
+};
+
+/// All 10 proxies, in the paper's Table I order.
+const std::vector<InstanceSpec>& instance_suite();
+
+/// Lookup by proxy name; aborts with a message listing valid names if
+/// absent.
+const InstanceSpec& instance_by_name(const std::string& name);
+
+/// Small instances for unit tests and quick smoke benches (a road grid,
+/// a social R-MAT, a hyperbolic web proxy — each a few thousand vertices).
+const std::vector<InstanceSpec>& quick_suite();
+
+}  // namespace distbc::gen

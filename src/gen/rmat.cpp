@@ -1,0 +1,53 @@
+#include "gen/rmat.hpp"
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "support/random.hpp"
+
+namespace distbc::gen {
+
+graph::Graph rmat(const RmatParams& params, std::uint64_t seed) {
+  DISTBC_ASSERT(params.scale >= 1 && params.scale <= 31);
+  const double sum = params.a + params.b + params.c + params.d;
+  DISTBC_ASSERT_MSG(std::abs(sum - 1.0) < 1e-9,
+                    "R-MAT quadrant probabilities must sum to 1");
+
+  const auto n = static_cast<graph::Vertex>(1u << params.scale);
+  const auto target_edges =
+      static_cast<std::uint64_t>(params.edge_factor * n);
+
+  Rng rng(seed);
+  graph::Builder builder(n);
+  builder.reserve(target_edges);
+
+  for (std::uint64_t i = 0; i < target_edges; ++i) {
+    std::uint32_t u = 0;
+    std::uint32_t v = 0;
+    for (std::uint32_t bit = params.scale; bit > 0; --bit) {
+      // Jitter the quadrant probabilities per level, then renormalize.
+      const double na = params.a * (1.0 + params.noise * (rng.next_double() - 0.5));
+      const double nb = params.b * (1.0 + params.noise * (rng.next_double() - 0.5));
+      const double nc = params.c * (1.0 + params.noise * (rng.next_double() - 0.5));
+      const double nd = params.d * (1.0 + params.noise * (rng.next_double() - 0.5));
+      const double total = na + nb + nc + nd;
+      const double pick = rng.next_double() * total;
+      u <<= 1;
+      v <<= 1;
+      if (pick < na) {
+        // upper-left quadrant: no bits set
+      } else if (pick < na + nb) {
+        v |= 1;
+      } else if (pick < na + nb + nc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.add_edge(u, v);
+  }
+  return builder.finish();
+}
+
+}  // namespace distbc::gen

@@ -1,0 +1,29 @@
+// R-MAT generator (Chakrabarti, Zhan, Faloutsos), the paper's first
+// synthetic model: (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) matching the
+// Graph500 benchmark, |E| = edge_factor * |V|.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace distbc::gen {
+
+struct RmatParams {
+  std::uint32_t scale = 16;      // |V| = 2^scale
+  double edge_factor = 30.0;     // undirected edges per vertex (paper: 30)
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Per-level multiplicative noise on (a,b,c,d); Graph500 uses ~0.1 to
+  /// avoid degenerate self-similarity.
+  double noise = 0.1;
+};
+
+/// Generates the simple undirected R-MAT graph (deduplicated, no self
+/// loops); the realized edge count is therefore slightly below
+/// edge_factor * |V|.
+[[nodiscard]] graph::Graph rmat(const RmatParams& params, std::uint64_t seed);
+
+}  // namespace distbc::gen

@@ -1,0 +1,39 @@
+#include "gen/road.hpp"
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "support/random.hpp"
+
+namespace distbc::gen {
+
+graph::Graph road(const RoadParams& params, std::uint64_t seed) {
+  DISTBC_ASSERT(params.width >= 2 && params.height >= 2);
+  DISTBC_ASSERT(params.keep > 0.0 && params.keep <= 1.0);
+  const std::uint64_t n64 =
+      static_cast<std::uint64_t>(params.width) * params.height;
+  DISTBC_ASSERT_MSG(n64 < graph::kInvalidVertex, "grid too large");
+  const auto n = static_cast<graph::Vertex>(n64);
+
+  Rng rng(seed);
+  graph::Builder builder(n);
+  auto id = [&](std::uint32_t x, std::uint32_t y) {
+    return static_cast<graph::Vertex>(y * params.width + x);
+  };
+
+  for (std::uint32_t y = 0; y < params.height; ++y) {
+    for (std::uint32_t x = 0; x < params.width; ++x) {
+      if (x + 1 < params.width && rng.next_bool(params.keep))
+        builder.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < params.height && rng.next_bool(params.keep))
+        builder.add_edge(id(x, y), id(x, y + 1));
+      // Local diagonal shortcuts model highway ramps / bridges.
+      if (x + 1 < params.width && y + 1 < params.height &&
+          rng.next_bool(params.shortcut_fraction)) {
+        builder.add_edge(id(x, y), id(x + 1, y + 1));
+      }
+    }
+  }
+  return graph::largest_component(builder.finish());
+}
+
+}  // namespace distbc::gen

@@ -1,0 +1,28 @@
+// Road-network-like generator.
+//
+// The paper's hardest shared-memory instances are road networks
+// (roadNet-PA/CA, dimacs9-NE): near-planar, average degree < 3, and diameter
+// in the hundreds to thousands — exactly the regime where sampling via BFS
+// is slow and many epochs are needed. Real DIMACS/KONECT road graphs are not
+// available offline, so this generator produces a perturbed grid with the
+// same signature: a W x H lattice where each lattice edge survives with
+// probability `keep`, plus a few local diagonal shortcuts; the largest
+// connected component is returned.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace distbc::gen {
+
+struct RoadParams {
+  std::uint32_t width = 512;
+  std::uint32_t height = 128;
+  double keep = 0.80;              // survival probability of lattice edges
+  double shortcut_fraction = 0.02; // diagonal shortcuts per vertex
+};
+
+[[nodiscard]] graph::Graph road(const RoadParams& params, std::uint64_t seed);
+
+}  // namespace distbc::gen

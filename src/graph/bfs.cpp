@@ -1,0 +1,40 @@
+#include "graph/bfs.hpp"
+
+namespace distbc::graph {
+
+BfsSummary bfs(const Graph& graph, Vertex source, BfsWorkspace& ws) {
+  DISTBC_ASSERT(source < graph.num_vertices());
+  ws.reset();
+  auto& queue = ws.queue();
+  queue.push_back(source);
+  ws.mark(source, 0);
+
+  BfsSummary summary;
+  summary.reached = 1;
+  summary.farthest = source;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex u = queue[head];
+    const std::uint32_t du = ws.dist(u);
+    for (const Vertex w : graph.neighbors(u)) {
+      if (ws.visited(w)) continue;
+      ws.mark(w, du + 1);
+      queue.push_back(w);
+      ++summary.reached;
+      if (du + 1 > summary.eccentricity) {
+        summary.eccentricity = du + 1;
+        summary.farthest = w;
+      }
+    }
+  }
+  return summary;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& graph, Vertex source) {
+  BfsWorkspace ws(graph.num_vertices());
+  bfs(graph, source, ws);
+  std::vector<std::uint32_t> dist(graph.num_vertices(), kUnreachable);
+  for (const Vertex v : ws.queue()) dist[v] = ws.dist(v);
+  return dist;
+}
+
+}  // namespace distbc::graph

@@ -1,0 +1,195 @@
+#include "graph/bidirectional_bfs.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+
+namespace distbc::graph {
+
+BidirectionalBfs::BidirectionalBfs(Vertex num_vertices)
+    : s_side_(num_vertices), t_side_(num_vertices) {
+  meeting_vertices_.reserve(64);
+  meeting_weights_.reserve(64);
+}
+
+void BidirectionalBfs::reset(Vertex s, Vertex t) {
+  ++generation_;
+  if (generation_ == 0) {  // stamp wraparound: rare full clear
+    std::fill(s_side_.stamp.begin(), s_side_.stamp.end(), 0);
+    std::fill(t_side_.stamp.begin(), t_side_.stamp.end(), 0);
+    generation_ = 1;
+  }
+  for (Side* side : {&s_side_, &t_side_}) {
+    side->order.clear();
+    side->level_starts.clear();
+    side->completed_levels = 0;
+  }
+  s_ = s;
+  t_ = t;
+  connected_ = false;
+  distance_ = 0;
+  meet_level_ = 0;
+  meeting_vertices_.clear();
+  meeting_weights_.clear();
+  num_paths_ = 0.0;
+  touched_ = 0;
+
+  auto seed_side = [&](Side& side, Vertex root) {
+    side.stamp[root] = generation_;
+    side.dist[root] = 0;
+    side.sigma[root] = 1.0;
+    side.order.push_back(root);
+    side.level_starts.push_back(0);
+  };
+  seed_side(s_side_, s);
+  seed_side(t_side_, t);
+}
+
+bool BidirectionalBfs::expand_level(const Graph& graph, Side& side,
+                                    const Side& other) {
+  const std::uint32_t level = side.completed_levels;
+  const std::uint32_t begin = side.level_starts[level];
+  const std::uint32_t end = static_cast<std::uint32_t>(side.order.size());
+
+  side.level_starts.push_back(end);  // level + 1 starts here
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const Vertex u = side.order[i];
+    const double sigma_u = side.sigma[u];
+    for (const Vertex w : graph.neighbors(u)) {
+      ++touched_;
+      if (side.stamp[w] == generation_) {
+        // Already discovered by this side; accumulate counts if w sits on
+        // the next level (another shortest path into w).
+        if (side.dist[w] == level + 1) side.sigma[w] += sigma_u;
+        continue;
+      }
+      side.stamp[w] = generation_;
+      side.dist[w] = level + 1;
+      side.sigma[w] = sigma_u;
+      side.order.push_back(w);
+    }
+  }
+  side.completed_levels = level + 1;
+
+  // Intersection check: the balls were disjoint before this expansion, so
+  // any intersection vertex lies in the freshly completed level.
+  std::uint32_t best = kUnreachable;
+  for (std::uint32_t i = end; i < side.order.size(); ++i) {
+    const Vertex w = side.order[i];
+    if (other.stamp[w] == generation_)
+      best = std::min(best, level + 1 + other.dist[w]);
+  }
+  if (best == kUnreachable) return false;
+  connected_ = true;
+  distance_ = best;
+  return true;
+}
+
+BidirectionalBfs::PairResult BidirectionalBfs::run(const Graph& graph,
+                                                   Vertex s, Vertex t) {
+  DISTBC_ASSERT(s < graph.num_vertices() && t < graph.num_vertices());
+  DISTBC_ASSERT_MSG(s != t, "betweenness pairs must be distinct");
+  reset(s, t);
+
+  auto frontier_volume = [&](const Side& side) {
+    std::uint64_t volume = 0;
+    const std::uint32_t begin = side.level_starts[side.completed_levels];
+    for (std::uint32_t i = begin; i < side.order.size(); ++i)
+      volume += graph.degree(side.order[i]);
+    return volume;
+  };
+
+  while (true) {
+    const std::uint32_t s_begin = s_side_.level_starts[s_side_.completed_levels];
+    const std::uint32_t t_begin = t_side_.level_starts[t_side_.completed_levels];
+    const bool s_alive = s_begin < s_side_.order.size();
+    const bool t_alive = t_begin < t_side_.order.size();
+    if (!s_alive || !t_alive) {
+      // One ball covers its whole component without meeting the other:
+      // s and t are disconnected.
+      return {};
+    }
+    Side& grow = frontier_volume(s_side_) <= frontier_volume(t_side_)
+                     ? s_side_
+                     : t_side_;
+    Side& other = (&grow == &s_side_) ? t_side_ : s_side_;
+    if (expand_level(graph, grow, other)) break;
+  }
+
+  collect_meeting_set(s_side_, t_side_);
+  return {connected_, distance_, num_paths_};
+}
+
+void BidirectionalBfs::collect_meeting_set(const Side& from_s_view,
+                                           const Side& from_t_view) {
+  const std::uint32_t level_s = from_s_view.completed_levels;
+  const std::uint32_t level_t = from_t_view.completed_levels;
+  DISTBC_ASSERT(distance_ <= level_s + level_t);
+
+  // Any m with L - level_t <= m <= level_s (clamped to [0, L]) works; both
+  // sides have final sigma values up to their completed level. Prefer the
+  // midpoint to keep the meeting set small.
+  const std::uint32_t lo =
+      distance_ > level_t ? distance_ - level_t : 0;
+  const std::uint32_t hi = std::min(level_s, distance_);
+  DISTBC_ASSERT(lo <= hi);
+  meet_level_ = std::clamp((distance_ + 1) / 2, lo, hi);
+
+  const std::uint32_t begin = from_s_view.level_starts[meet_level_];
+  const std::uint32_t end =
+      meet_level_ + 1 <= from_s_view.completed_levels
+          ? from_s_view.level_starts[meet_level_ + 1]
+          : static_cast<std::uint32_t>(from_s_view.order.size());
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const Vertex v = from_s_view.order[i];
+    if (from_t_view.stamp[v] != generation_) continue;
+    if (from_t_view.dist[v] != distance_ - meet_level_) continue;
+    meeting_vertices_.push_back(v);
+    meeting_weights_.push_back(from_s_view.sigma[v] * from_t_view.sigma[v]);
+    num_paths_ += meeting_weights_.back();
+  }
+  DISTBC_ASSERT_MSG(!meeting_vertices_.empty(),
+                    "connected pair must have a meeting vertex");
+}
+
+void BidirectionalBfs::walk_to_root(const Graph& graph, const Side& side,
+                                    Vertex v, Rng& rng,
+                                    std::vector<Vertex>& out) const {
+  std::uint32_t depth = side.dist[v];
+  Vertex current = v;
+  // Reservoir-style predecessor pick: a predecessor u (at depth - 1) is the
+  // previous hop of a uniform path with probability sigma(u) / sum(sigma).
+  while (depth > 0) {
+    double total = 0.0;
+    Vertex choice = kInvalidVertex;
+    for (const Vertex w : graph.neighbors(current)) {
+      if (side.stamp[w] != generation_ || side.dist[w] != depth - 1) continue;
+      total += side.sigma[w];
+      if (rng.next_double() * total < side.sigma[w]) choice = w;
+    }
+    DISTBC_ASSERT_MSG(choice != kInvalidVertex,
+                      "BFS predecessor must exist above the root");
+    --depth;
+    current = choice;
+    if (depth > 0) out.push_back(current);  // exclude the root itself
+  }
+}
+
+void BidirectionalBfs::sample_path(const Graph& graph, Rng& rng,
+                                   std::vector<Vertex>& out) {
+  DISTBC_ASSERT_MSG(connected_, "sample_path requires a connected pair");
+  const std::size_t pick =
+      pick_weighted(rng, meeting_weights_.data(), meeting_weights_.size());
+  const Vertex v = meeting_vertices_[pick];
+
+  // Prefix: interior vertices from s to v, in s -> v order.
+  const std::size_t prefix_begin = out.size();
+  walk_to_root(graph, s_side_, v, rng, out);
+  std::reverse(out.begin() + static_cast<std::ptrdiff_t>(prefix_begin),
+               out.end());
+  if (v != s_ && v != t_) out.push_back(v);
+  // Suffix: interior vertices from v to t, already in v -> t order.
+  walk_to_root(graph, t_side_, v, rng, out);
+}
+
+}  // namespace distbc::graph

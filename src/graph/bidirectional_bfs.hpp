@@ -1,0 +1,92 @@
+// Balanced bidirectional BFS with shortest-path counting and uniform
+// shortest-path sampling — KADABRA's improvement (ii) over earlier samplers.
+//
+// For a pair (s, t) the search grows BFS balls from both endpoints,
+// expanding the side with the smaller frontier volume, and stops as soon as
+// the balls intersect. Shortest-path counts sigma are maintained per side;
+// the set M of vertices at a fixed "meeting level" m (dist_s = m,
+// dist_t = L - m) tiles all shortest s-t paths, so
+//   sigma_st = sum_{v in M} sigma_s(v) * sigma_t(v)
+// and a uniformly random shortest path is drawn by picking v in M with
+// probability proportional to sigma_s(v) * sigma_t(v), then walking
+// backwards to each endpoint weighted by the respective sigma values.
+//
+// sigma values are doubles: counts can exceed 2^64 on dense low-diameter
+// graphs, and only the *ratios* matter for uniform sampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+
+namespace distbc::graph {
+
+class BidirectionalBfs {
+ public:
+  explicit BidirectionalBfs(Vertex num_vertices);
+
+  struct PairResult {
+    bool connected = false;
+    std::uint32_t distance = 0;  // L = d(s, t), valid if connected
+    double num_paths = 0.0;      // sigma_st, valid if connected
+  };
+
+  /// Runs the search for one pair. State persists until the next run() and
+  /// backs sample_path(). Requires s != t.
+  PairResult run(const Graph& graph, Vertex s, Vertex t);
+
+  /// Draws a uniformly random shortest s-t path from the last run() and
+  /// appends its *internal* vertices (endpoints excluded) to `out`.
+  /// Must only be called if the last run() returned connected == true.
+  void sample_path(const Graph& graph, Rng& rng, std::vector<Vertex>& out);
+
+  /// Vertices touched by the last run (both sides) — proxy for work done.
+  [[nodiscard]] std::uint64_t last_touched() const { return touched_; }
+
+ private:
+  struct Side {
+    explicit Side(Vertex n) : stamp(n, 0), dist(n, 0), sigma(n, 0.0) {
+      order.reserve(1024);
+      level_starts.reserve(64);
+    }
+
+    std::vector<std::uint32_t> stamp;
+    std::vector<std::uint32_t> dist;
+    std::vector<double> sigma;
+    std::vector<Vertex> order;               // visited vertices in BFS order
+    std::vector<std::uint32_t> level_starts;  // order index where level begins
+    std::uint32_t completed_levels = 0;
+  };
+
+  void reset(Vertex s, Vertex t);
+  /// Expands one full level of `side`; returns true if the balls now
+  /// intersect (updating distance_/meeting bookkeeping).
+  bool expand_level(const Graph& graph, Side& side, const Side& other);
+  void collect_meeting_set(const Side& from_s_view, const Side& from_t_view);
+  /// Walks from `v` (at distance `depth` from the side's root) back to the
+  /// root, appending interior vertices. Includes `v` itself if it is not the
+  /// root; ordering of appends is root-ward.
+  void walk_to_root(const Graph& graph, const Side& side, Vertex v,
+                    Rng& rng, std::vector<Vertex>& out) const;
+
+  [[nodiscard]] bool side_visited(const Side& side, Vertex v) const {
+    return side.stamp[v] == generation_;
+  }
+
+  Side s_side_;
+  Side t_side_;
+  std::uint32_t generation_ = 0;
+  Vertex s_ = kInvalidVertex;
+  Vertex t_ = kInvalidVertex;
+  bool connected_ = false;
+  std::uint32_t distance_ = 0;
+  std::uint32_t meet_level_ = 0;           // m, measured from the s side
+  std::vector<Vertex> meeting_vertices_;   // M
+  std::vector<double> meeting_weights_;    // sigma_s(v) * sigma_t(v)
+  double num_paths_ = 0.0;
+  std::uint64_t touched_ = 0;
+};
+
+}  // namespace distbc::graph

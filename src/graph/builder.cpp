@@ -1,0 +1,59 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+namespace distbc::graph {
+
+Graph Builder::finish() {
+  // Symmetrize: materialize both arcs, dropping self loops.
+  std::vector<std::pair<Vertex, Vertex>> arcs;
+  arcs.reserve(edges_.size() * 2);
+  for (const auto& [u, v] : edges_) {
+    if (u == v) continue;
+    arcs.emplace_back(u, v);
+    arcs.emplace_back(v, u);
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (const auto& [u, v] : arcs) ++offsets[u + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<Vertex> adjacency(arcs.size());
+  for (std::size_t i = 0; i < arcs.size(); ++i) adjacency[i] = arcs[i].second;
+
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+Graph from_edges(Vertex num_vertices,
+                 const std::vector<std::pair<Vertex, Vertex>>& edges) {
+  Builder builder(num_vertices);
+  builder.reserve(edges.size());
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return builder.finish();
+}
+
+Graph induced_subgraph(const Graph& graph, const std::vector<Vertex>& keep) {
+  std::vector<Vertex> remap(graph.num_vertices(), kInvalidVertex);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    DISTBC_ASSERT(keep[i] < graph.num_vertices());
+    DISTBC_ASSERT_MSG(remap[keep[i]] == kInvalidVertex,
+                      "duplicate vertex in keep list");
+    remap[keep[i]] = static_cast<Vertex>(i);
+  }
+
+  Builder builder(static_cast<Vertex>(keep.size()));
+  for (const Vertex u : keep) {
+    for (const Vertex v : graph.neighbors(u)) {
+      if (remap[v] == kInvalidVertex) continue;
+      if (remap[u] < remap[v]) builder.add_edge(remap[u], remap[v]);
+    }
+  }
+  return builder.finish();
+}
+
+}  // namespace distbc::graph

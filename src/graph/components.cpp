@@ -1,0 +1,57 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace distbc::graph {
+
+std::uint32_t Components::largest() const {
+  DISTBC_ASSERT(!sizes.empty());
+  return static_cast<std::uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+Components connected_components(const Graph& graph) {
+  const Vertex n = graph.num_vertices();
+  Components result;
+  result.label.assign(n, kInvalidVertex);
+
+  std::vector<Vertex> queue;
+  for (Vertex root = 0; root < n; ++root) {
+    if (result.label[root] != kInvalidVertex) continue;
+    const auto id = static_cast<std::uint32_t>(result.sizes.size());
+    result.sizes.push_back(0);
+    queue.clear();
+    queue.push_back(root);
+    result.label[root] = id;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex u = queue[head];
+      ++result.sizes[id];
+      for (const Vertex w : graph.neighbors(u)) {
+        if (result.label[w] != kInvalidVertex) continue;
+        result.label[w] = id;
+        queue.push_back(w);
+      }
+    }
+  }
+  return result;
+}
+
+Graph largest_component(const Graph& graph) {
+  if (graph.num_vertices() == 0) return {};
+  const Components comps = connected_components(graph);
+  const std::uint32_t target = comps.largest();
+  std::vector<Vertex> keep;
+  keep.reserve(comps.sizes[target]);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v)
+    if (comps.label[v] == target) keep.push_back(v);
+  return induced_subgraph(graph, keep);
+}
+
+bool is_connected(const Graph& graph) {
+  if (graph.num_vertices() == 0) return true;
+  return connected_components(graph).count() == 1;
+}
+
+}  // namespace distbc::graph

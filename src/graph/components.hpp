@@ -1,0 +1,32 @@
+// Connected components; the paper evaluates on the largest connected
+// component of each (possibly disconnected) input graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace distbc::graph {
+
+struct Components {
+  std::vector<std::uint32_t> label;  // component id per vertex, 0-based
+  std::vector<std::uint64_t> sizes;  // vertices per component
+
+  [[nodiscard]] std::uint32_t count() const {
+    return static_cast<std::uint32_t>(sizes.size());
+  }
+  [[nodiscard]] std::uint32_t largest() const;
+};
+
+/// BFS-based component labeling.
+[[nodiscard]] Components connected_components(const Graph& graph);
+
+/// Extracts the largest connected component as a standalone graph
+/// (ids remapped to 0..k-1 preserving relative order).
+[[nodiscard]] Graph largest_component(const Graph& graph);
+
+/// True iff the graph is connected (the empty graph counts as connected).
+[[nodiscard]] bool is_connected(const Graph& graph);
+
+}  // namespace distbc::graph

@@ -1,0 +1,41 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace distbc::graph {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<Vertex> adjacency)
+    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+  DISTBC_ASSERT_MSG(!offsets_.empty(), "offsets must have n + 1 entries");
+  DISTBC_ASSERT(offsets_.front() == 0);
+  DISTBC_ASSERT(offsets_.back() == adjacency_.size());
+  DISTBC_ASSERT_MSG(adjacency_.size() % 2 == 0,
+                    "undirected graph must have an even number of arcs");
+#ifndef NDEBUG
+  for (std::size_t i = 0; i + 1 < offsets_.size(); ++i) {
+    DISTBC_ASSERT(offsets_[i] <= offsets_[i + 1]);
+    DISTBC_ASSERT(std::is_sorted(adjacency_.begin() + offsets_[i],
+                                 adjacency_.begin() + offsets_[i + 1]));
+  }
+#endif
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  DISTBC_DEBUG_ASSERT(u < num_vertices() && v < num_vertices());
+  const auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+std::uint64_t Graph::max_degree() const {
+  std::uint64_t best = 0;
+  for (Vertex v = 0; v < num_vertices(); ++v)
+    best = std::max(best, degree(v));
+  return best;
+}
+
+double Graph::average_degree() const {
+  if (num_vertices() == 0) return 0.0;
+  return static_cast<double>(num_arcs()) / num_vertices();
+}
+
+}  // namespace distbc::graph

@@ -1,0 +1,80 @@
+// Compressed-sparse-row graph, the substrate the whole library runs on.
+//
+// This mirrors the role of NetworKit's graph in the paper: an immutable,
+// undirected, unweighted adjacency structure with 32-bit vertex ids that every
+// sampler thread reads concurrently. Adjacency lists are sorted, enabling
+// binary-searched edge queries and deterministic iteration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace distbc::graph {
+
+/// 32-bit vertex id, as configured for NetworKit in the paper (§IV-F).
+using Vertex = std::uint32_t;
+/// Edge index type; 64-bit because |E| can exceed 2^32 at paper scale.
+using EdgeId = std::uint64_t;
+
+inline constexpr Vertex kInvalidVertex = static_cast<Vertex>(-1);
+
+/// Immutable undirected graph in CSR form. Each undirected edge {u, v} is
+/// stored twice (u→v and v→u); num_edges() reports undirected edges.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. offsets.size() == n + 1,
+  /// adjacency.size() == offsets[n] == 2 * undirected edge count.
+  Graph(std::vector<EdgeId> offsets, std::vector<Vertex> adjacency);
+
+  [[nodiscard]] Vertex num_vertices() const {
+    return static_cast<Vertex>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  [[nodiscard]] EdgeId num_edges() const { return adjacency_.size() / 2; }
+
+  /// Number of directed arcs (= 2 * num_edges()).
+  [[nodiscard]] EdgeId num_arcs() const { return adjacency_.size(); }
+
+  [[nodiscard]] std::uint64_t degree(Vertex v) const {
+    DISTBC_DEBUG_ASSERT(v < num_vertices());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    DISTBC_DEBUG_ASSERT(v < num_vertices());
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff {u, v} is an edge. O(log deg(u)).
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  [[nodiscard]] std::uint64_t max_degree() const;
+
+  /// Average degree 2|E| / |V| (0 for the empty graph).
+  [[nodiscard]] double average_degree() const;
+
+  /// Estimated resident memory of the CSR arrays in bytes.
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return offsets_.size() * sizeof(EdgeId) +
+           adjacency_.size() * sizeof(Vertex);
+  }
+
+  [[nodiscard]] std::span<const EdgeId> offsets() const { return offsets_; }
+  [[nodiscard]] std::span<const Vertex> adjacency() const {
+    return adjacency_;
+  }
+
+ private:
+  std::vector<EdgeId> offsets_;
+  std::vector<Vertex> adjacency_;
+};
+
+}  // namespace distbc::graph

@@ -1,0 +1,104 @@
+#include "graph/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace distbc::graph {
+
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x44425443'52535631ULL;  // "DBTCRSV1"
+
+[[noreturn]] void io_error(const std::string& path, const std::string& what) {
+  throw std::runtime_error("graph io: " + path + ": " + what);
+}
+
+}  // namespace
+
+Graph read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) io_error(path, "cannot open for reading");
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> raw_edges;
+  std::map<std::uint64_t, Vertex> compact;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(fields >> u >> v)) io_error(path, "malformed line: " + line);
+    raw_edges.emplace_back(u, v);
+    compact.emplace(u, 0);
+    compact.emplace(v, 0);
+  }
+
+  Vertex next_id = 0;
+  for (auto& [raw, id] : compact) id = next_id++;
+
+  Builder builder(next_id);
+  builder.reserve(raw_edges.size());
+  for (const auto& [u, v] : raw_edges)
+    builder.add_edge(compact.at(u), compact.at(v));
+  return builder.finish();
+}
+
+void write_edge_list(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) io_error(path, "cannot open for writing");
+  out << "# distbc edge list: " << graph.num_vertices() << " vertices, "
+      << graph.num_edges() << " edges\n";
+  for (Vertex u = 0; u < graph.num_vertices(); ++u) {
+    for (const Vertex v : graph.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+  if (!out) io_error(path, "write failed");
+}
+
+void write_binary(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) io_error(path, "cannot open for writing");
+
+  const std::uint64_t magic = kBinaryMagic;
+  const std::uint64_t n = graph.num_vertices();
+  const std::uint64_t arcs = graph.num_arcs();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(&arcs), sizeof arcs);
+  out.write(reinterpret_cast<const char*>(graph.offsets().data()),
+            static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
+  out.write(reinterpret_cast<const char*>(graph.adjacency().data()),
+            static_cast<std::streamsize>(arcs * sizeof(Vertex)));
+  if (!out) io_error(path, "write failed");
+}
+
+Graph read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_error(path, "cannot open for reading");
+
+  std::uint64_t magic = 0;
+  std::uint64_t n = 0;
+  std::uint64_t arcs = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  if (magic != kBinaryMagic) io_error(path, "bad magic (not a distbc graph)");
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  in.read(reinterpret_cast<char*>(&arcs), sizeof arcs);
+
+  std::vector<EdgeId> offsets(n + 1);
+  std::vector<Vertex> adjacency(arcs);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
+  in.read(reinterpret_cast<char*>(adjacency.data()),
+          static_cast<std::streamsize>(arcs * sizeof(Vertex)));
+  if (!in) io_error(path, "truncated file");
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace distbc::graph

@@ -1,0 +1,39 @@
+// Vertex relabeling for cache locality.
+//
+// Sampling-based centrality spends nearly all of its time in BFS adjacency
+// scans; relabeling vertices so that high-degree hubs (touched by almost
+// every sample on power-law graphs) occupy a dense id prefix improves cache
+// behaviour - the single-address-space analogue of the paper's NUMA
+// placement concern (§IV-E). The mapping is returned so scores can be
+// translated back to original ids.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace distbc::graph {
+
+struct ReorderedGraph {
+  Graph graph;
+  /// new_to_old[new_id] = original id.
+  std::vector<Vertex> new_to_old;
+  /// old_to_new[original id] = new_id.
+  std::vector<Vertex> old_to_new;
+
+  /// Translates a score vector indexed by new ids back to original ids.
+  [[nodiscard]] std::vector<double> scores_to_original(
+      const std::vector<double>& scores) const;
+};
+
+/// Relabels vertices by descending degree (stable: ties keep original
+/// order). The resulting graph is isomorphic to the input.
+[[nodiscard]] ReorderedGraph sort_by_degree(const Graph& graph);
+
+/// Relabels vertices in BFS visit order from the highest-degree vertex,
+/// packing neighborhoods contiguously (useful for road networks, where
+/// degree ordering does nothing). Unreached vertices (other components)
+/// are appended in original order.
+[[nodiscard]] ReorderedGraph sort_by_bfs(const Graph& graph);
+
+}  // namespace distbc::graph

@@ -1,0 +1,62 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+#include "support/random.hpp"
+
+namespace distbc::graph {
+
+DegreeStats degree_stats(const Graph& graph) {
+  DegreeStats stats;
+  const Vertex n = graph.num_vertices();
+  if (n == 0) return stats;
+
+  std::vector<std::uint64_t> degrees(n);
+  for (Vertex v = 0; v < n; ++v) degrees[v] = graph.degree(v);
+  std::sort(degrees.begin(), degrees.end());
+
+  stats.min = degrees.front();
+  stats.max = degrees.back();
+  stats.mean = graph.average_degree();
+  stats.median = n % 2 == 1 ? static_cast<double>(degrees[n / 2])
+                            : (static_cast<double>(degrees[n / 2 - 1]) +
+                               static_cast<double>(degrees[n / 2])) /
+                                  2.0;
+  const double threshold = 10.0 * stats.mean;
+  std::uint64_t heavy = 0;
+  for (const auto d : degrees)
+    if (static_cast<double>(d) > threshold) ++heavy;
+  stats.heavy_fraction = static_cast<double>(heavy) / n;
+  return stats;
+}
+
+std::vector<std::uint64_t> degree_histogram(const Graph& graph) {
+  std::vector<std::uint64_t> histogram(graph.max_degree() + 1, 0);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v)
+    ++histogram[graph.degree(v)];
+  return histogram;
+}
+
+double sampled_clustering_coefficient(const Graph& graph,
+                                      std::uint64_t samples,
+                                      std::uint64_t seed) {
+  DISTBC_ASSERT(samples > 0);
+  Rng rng(seed);
+  // Wedge sampling (Schank & Wagner): pick a vertex with deg >= 2 uniformly
+  // among wedge centers, then two distinct neighbors; count closed wedges.
+  std::vector<Vertex> centers;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v)
+    if (graph.degree(v) >= 2) centers.push_back(v);
+  if (centers.empty()) return 0.0;
+
+  std::uint64_t closed = 0;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const Vertex c = centers[rng.next_bounded(centers.size())];
+    const auto adj = graph.neighbors(c);
+    const auto [i1, i2] = rng.next_distinct_pair(adj.size());
+    if (graph.has_edge(adj[i1], adj[i2])) ++closed;
+  }
+  return static_cast<double>(closed) / static_cast<double>(samples);
+}
+
+}  // namespace distbc::graph

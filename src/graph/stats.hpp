@@ -1,0 +1,32 @@
+// Instance statistics, used by the Table I bench and by generator tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace distbc::graph {
+
+struct DegreeStats {
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  /// Fraction of vertices whose degree exceeds 10x the mean — a crude but
+  /// effective detector for heavy-tailed (power-law-like) distributions.
+  double heavy_fraction = 0.0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Graph& graph);
+
+/// histogram[k] = number of vertices with degree k (capped at max degree).
+[[nodiscard]] std::vector<std::uint64_t> degree_histogram(const Graph& graph);
+
+/// Global clustering coefficient estimated by sampling `samples` wedges.
+/// Complex networks have high clustering; ER graphs have ~0.
+[[nodiscard]] double sampled_clustering_coefficient(const Graph& graph,
+                                                    std::uint64_t samples,
+                                                    std::uint64_t seed);
+
+}  // namespace distbc::graph

@@ -1,0 +1,510 @@
+#include "mpisim/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+namespace distbc::mpisim {
+
+namespace detail {
+
+CommState::CommState(std::vector<int> node_of_rank_in, NetworkModel model_in)
+    : node_of_rank(std::move(node_of_rank_in)), model(model_in) {
+  DISTBC_ASSERT(!node_of_rank.empty());
+  std::map<int, int> per_node;
+  for (const int node : node_of_rank) ++per_node[node];
+  num_nodes = static_cast<int>(per_node.size());
+  max_ranks_per_node = 0;
+  for (const auto& [node, count] : per_node)
+    max_ranks_per_node = std::max(max_ranks_per_node, count);
+}
+
+namespace {
+
+Slot& acquire_slot(CommState& state, std::uint64_t ticket, SlotKind kind) {
+  // Caller holds state.mu.
+  auto [it, inserted] = state.slots.try_emplace(ticket);
+  Slot& slot = it->second;
+  if (inserted) {
+    slot.kind = kind;
+    slot.rank_ready.assign(state.size(), Clock::time_point{});
+  } else {
+    DISTBC_ASSERT_MSG(slot.kind == kind,
+                      "collectives must be called in matching order");
+  }
+  return slot;
+}
+
+void depart_slot(CommState& state, std::uint64_t ticket, Slot& slot) {
+  // Caller holds state.mu.
+  if (++slot.departed == state.size()) state.slots.erase(ticket);
+}
+
+}  // namespace
+}  // namespace detail
+
+using detail::Clock;
+using detail::CommState;
+using detail::Slot;
+using detail::SlotKind;
+using detail::acquire_slot;
+using detail::depart_slot;
+
+// --- Reduce ----------------------------------------------------------------
+
+namespace {
+
+/// Posts this rank's contribution; returns the ticket's slot (locked scope).
+void post_reduce(CommState& state, std::uint64_t ticket, int rank,
+                 const std::byte* send, std::size_t bytes, std::size_t count,
+                 std::byte* recv, detail::CombineFn combine, int root) {
+  std::lock_guard lock(state.mu);
+  Slot& slot = acquire_slot(state, ticket, SlotKind::kReduce);
+  if (slot.arrived == 0) {
+    slot.bytes = bytes;
+    slot.count = count;
+    slot.combine = combine;
+    slot.root = root;
+    slot.contribs.resize(state.size());
+  }
+  DISTBC_ASSERT_MSG(slot.bytes == bytes && slot.root == root,
+                    "mismatched reduce participants");
+  slot.contribs[rank].assign(send, send + bytes);
+  if (rank == root) slot.root_recv = recv;
+
+  const auto now = Clock::now();
+  slot.rank_ready[rank] =
+      now + state.model.message_cost(bytes, state.num_nodes == 1);
+  if (rank != root)
+    state.stats.reduce_bytes.fetch_add(bytes, std::memory_order_relaxed);
+
+  if (++slot.arrived == state.size()) {
+    slot.all_arrived = true;
+    slot.ready_time = now + state.model.collective_cost(
+                                bytes, state.max_ranks_per_node,
+                                state.num_nodes);
+    state.cv.notify_all();
+  }
+}
+
+/// Root-side completion: combine all contributions into root_recv. Caller
+/// holds state.mu and has verified all_arrived and the deadline.
+void run_reduce_action(CommState& state, Slot& slot) {
+  if (slot.action_done) return;
+  DISTBC_ASSERT(slot.root_recv != nullptr);
+  std::memcpy(slot.root_recv, slot.contribs[slot.root].data(), slot.bytes);
+  for (int r = 0; r < state.size(); ++r) {
+    if (r == slot.root) continue;
+    slot.combine(slot.root_recv, slot.contribs[r].data(), slot.count);
+  }
+  slot.action_done = true;
+}
+
+/// Non-blocking poll of a reduce at `rank`. For the root: all arrived and
+/// tree deadline passed, then combine. For a non-root: own injection
+/// deadline passed (eager send).
+bool poll_reduce(CommState& state, std::uint64_t ticket, int rank) {
+  std::lock_guard lock(state.mu);
+  Slot& slot = state.slots.at(ticket);
+  const auto now = Clock::now();
+  if (rank == slot.root) {
+    if (!slot.all_arrived || now < slot.ready_time) return false;
+    run_reduce_action(state, slot);
+  } else {
+    if (now < slot.rank_ready[rank]) return false;
+  }
+  depart_slot(state, ticket, slot);
+  return true;
+}
+
+void wait_reduce(CommState& state, std::uint64_t ticket, int rank) {
+  std::unique_lock lock(state.mu);
+  Slot& slot = state.slots.at(ticket);
+  if (rank == slot.root) {
+    state.cv.wait(lock, [&] { return slot.all_arrived; });
+    while (Clock::now() < slot.ready_time)
+      state.cv.wait_until(lock, slot.ready_time);
+    run_reduce_action(state, slot);
+  } else {
+    // Blocking reduce at a non-root models tree participation: the rank is
+    // released once everybody has arrived (its subtree is drained), or after
+    // its own injection deadline, whichever is later.
+    state.cv.wait(lock, [&] { return slot.all_arrived; });
+    while (Clock::now() < slot.rank_ready[rank])
+      state.cv.wait_until(lock, slot.rank_ready[rank]);
+  }
+  depart_slot(state, ticket, slot);
+}
+
+}  // namespace
+
+void Comm::reduce_bytes_impl(const std::byte* send, std::size_t bytes,
+                             std::size_t count, std::byte* recv,
+                             detail::CombineFn combine, int root,
+                             bool blocking) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.reduce_calls.fetch_add(1, std::memory_order_relaxed);
+  post_reduce(*state_, ticket, rank_, send, bytes, count, recv, combine,
+              root);
+  DISTBC_ASSERT(blocking);
+  wait_reduce(*state_, ticket, rank_);
+}
+
+Request Comm::ireduce_bytes_impl(const std::byte* send, std::size_t bytes,
+                                 std::size_t count, std::byte* recv,
+                                 detail::CombineFn combine, int root) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.ireduce_calls.fetch_add(1, std::memory_order_relaxed);
+  post_reduce(*state_, ticket, rank_, send, bytes, count, recv, combine,
+              root);
+  auto impl = std::make_shared<Request::Impl>();
+  impl->state = state_;
+  impl->ticket = ticket;
+  impl->rank = rank_;
+  return Request(std::move(impl));
+}
+
+// --- Barrier ----------------------------------------------------------------
+
+namespace {
+
+void post_barrier(CommState& state, std::uint64_t ticket, int rank) {
+  std::lock_guard lock(state.mu);
+  Slot& slot = acquire_slot(state, ticket, SlotKind::kBarrier);
+  slot.rank_ready[rank] = Clock::now();
+  if (++slot.arrived == state.size()) {
+    slot.all_arrived = true;
+    slot.ready_time =
+        Clock::now() + state.model.collective_cost(0, state.max_ranks_per_node,
+                                                   state.num_nodes);
+    state.cv.notify_all();
+  }
+}
+
+bool poll_barrier(CommState& state, std::uint64_t ticket, int rank) {
+  std::lock_guard lock(state.mu);
+  Slot& slot = state.slots.at(ticket);
+  if (!slot.all_arrived || Clock::now() < slot.ready_time) return false;
+  (void)rank;
+  depart_slot(state, ticket, slot);
+  return true;
+}
+
+void wait_barrier(CommState& state, std::uint64_t ticket) {
+  std::unique_lock lock(state.mu);
+  Slot& slot = state.slots.at(ticket);
+  state.cv.wait(lock, [&] { return slot.all_arrived; });
+  while (Clock::now() < slot.ready_time)
+    state.cv.wait_until(lock, slot.ready_time);
+  depart_slot(state, ticket, slot);
+}
+
+}  // namespace
+
+void Comm::barrier() {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.barrier_calls.fetch_add(1, std::memory_order_relaxed);
+  post_barrier(*state_, ticket, rank_);
+  wait_barrier(*state_, ticket);
+}
+
+Request Comm::ibarrier() {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.ibarrier_calls.fetch_add(1, std::memory_order_relaxed);
+  post_barrier(*state_, ticket, rank_);
+  auto impl = std::make_shared<Request::Impl>();
+  impl->state = state_;
+  impl->ticket = ticket;
+  impl->rank = rank_;
+  return Request(std::move(impl));
+}
+
+// --- Broadcast ---------------------------------------------------------------
+
+namespace {
+
+void post_bcast(CommState& state, std::uint64_t ticket, int rank,
+                std::byte* buffer, std::size_t bytes, int root) {
+  std::lock_guard lock(state.mu);
+  Slot& slot = acquire_slot(state, ticket, SlotKind::kBcast);
+  if (slot.arrived == 0) {
+    slot.bytes = bytes;
+    slot.root = root;
+  }
+  DISTBC_ASSERT(slot.bytes == bytes && slot.root == root);
+  ++slot.arrived;
+  const auto now = Clock::now();
+  if (rank == root) {
+    slot.payload.assign(buffer, buffer + bytes);
+    slot.action_done = true;  // payload available
+    slot.ready_time = now + state.model.collective_cost(
+                                bytes, state.max_ranks_per_node,
+                                state.num_nodes);
+    state.stats.bcast_bytes.fetch_add(bytes * (state.size() - 1),
+                                      std::memory_order_relaxed);
+    state.cv.notify_all();
+  }
+}
+
+bool poll_bcast(CommState& state, std::uint64_t ticket, int rank,
+                std::byte* recv) {
+  std::lock_guard lock(state.mu);
+  Slot& slot = state.slots.at(ticket);
+  if (rank == slot.root) {
+    depart_slot(state, ticket, slot);
+    return true;  // eager: root's buffer was consumed at post
+  }
+  if (!slot.action_done || Clock::now() < slot.ready_time) return false;
+  std::memcpy(recv, slot.payload.data(), slot.bytes);
+  depart_slot(state, ticket, slot);
+  return true;
+}
+
+void wait_bcast(CommState& state, std::uint64_t ticket, int rank,
+                std::byte* recv) {
+  std::unique_lock lock(state.mu);
+  Slot& slot = state.slots.at(ticket);
+  if (rank != slot.root) {
+    state.cv.wait(lock, [&] { return slot.action_done; });
+    while (Clock::now() < slot.ready_time)
+      state.cv.wait_until(lock, slot.ready_time);
+    std::memcpy(recv, slot.payload.data(), slot.bytes);
+  }
+  depart_slot(state, ticket, slot);
+}
+
+}  // namespace
+
+void Comm::bcast_bytes_impl(std::byte* buffer, std::size_t bytes, int root,
+                            bool blocking) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.bcast_calls.fetch_add(1, std::memory_order_relaxed);
+  post_bcast(*state_, ticket, rank_, buffer, bytes, root);
+  DISTBC_ASSERT(blocking);
+  wait_bcast(*state_, ticket, rank_, buffer);
+}
+
+Request Comm::ibcast_bytes_impl(std::byte* buffer, std::size_t bytes,
+                                int root) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.bcast_calls.fetch_add(1, std::memory_order_relaxed);
+  post_bcast(*state_, ticket, rank_, buffer, bytes, root);
+  auto impl = std::make_shared<Request::Impl>();
+  impl->state = state_;
+  impl->ticket = ticket;
+  impl->rank = rank_;
+  impl->recv = buffer;
+  return Request(std::move(impl));
+}
+
+// --- Request ----------------------------------------------------------------
+
+namespace {
+
+bool poll_request(Request::Impl& impl, bool blocking);
+
+}  // namespace
+
+bool Request::test() {
+  DISTBC_ASSERT_MSG(valid(), "test() on an empty request");
+  if (impl_->done) return true;
+  if (!poll_request(*impl_, /*blocking=*/false)) return false;
+  impl_->done = true;
+  return true;
+}
+
+void Request::wait() {
+  DISTBC_ASSERT_MSG(valid(), "wait() on an empty request");
+  if (impl_->done) return;
+  poll_request(*impl_, /*blocking=*/true);
+  impl_->done = true;
+}
+
+namespace {
+
+bool poll_request(Request::Impl& impl, bool blocking) {
+  CommState& state = *impl.state;
+  SlotKind kind;
+  {
+    std::lock_guard lock(state.mu);
+    kind = state.slots.at(impl.ticket).kind;
+  }
+  switch (kind) {
+    case SlotKind::kBarrier:
+      if (blocking) {
+        wait_barrier(state, impl.ticket);
+        return true;
+      }
+      return poll_barrier(state, impl.ticket, impl.rank);
+    case SlotKind::kReduce:
+      if (blocking) {
+        wait_reduce(state, impl.ticket, impl.rank);
+        return true;
+      }
+      return poll_reduce(state, impl.ticket, impl.rank);
+    case SlotKind::kBcast:
+      if (blocking) {
+        wait_bcast(state, impl.ticket, impl.rank, impl.recv);
+        return true;
+      }
+      return poll_bcast(state, impl.ticket, impl.rank, impl.recv);
+    case SlotKind::kSplit:
+    case SlotKind::kWindow:
+      break;
+  }
+  DISTBC_ASSERT_MSG(false, "request on a non-request slot");
+  return false;
+}
+
+}  // namespace
+
+// --- Point-to-point ----------------------------------------------------------
+
+void Comm::send_bytes_impl(const std::byte* data, std::size_t bytes, int dst,
+                           int tag) {
+  DISTBC_ASSERT(valid());
+  DISTBC_ASSERT(dst >= 0 && dst < size() && dst != rank_);
+  std::lock_guard lock(state_->mu);
+  const bool same_node =
+      state_->node_of_rank[rank_] == state_->node_of_rank[dst];
+  detail::P2pMessage message;
+  message.bytes.assign(data, data + bytes);
+  message.deliver_time =
+      Clock::now() + state_->model.message_cost(bytes, same_node);
+  state_->mailboxes[{rank_, dst, tag}].push_back(std::move(message));
+  state_->stats.p2p_messages.fetch_add(1, std::memory_order_relaxed);
+  state_->stats.p2p_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  state_->cv.notify_all();
+}
+
+void Comm::recv_bytes_impl(std::byte* data, std::size_t bytes, int src,
+                           int tag) {
+  DISTBC_ASSERT(valid());
+  DISTBC_ASSERT(src >= 0 && src < size() && src != rank_);
+  std::unique_lock lock(state_->mu);
+  const auto key = std::tuple{src, rank_, tag};
+  state_->cv.wait(lock, [&] {
+    const auto it = state_->mailboxes.find(key);
+    return it != state_->mailboxes.end() && !it->second.empty();
+  });
+  auto& queue = state_->mailboxes.at(key);
+  detail::P2pMessage message = std::move(queue.front());
+  queue.pop_front();
+  DISTBC_ASSERT_MSG(message.bytes.size() == bytes,
+                    "send/recv size mismatch");
+  while (Clock::now() < message.deliver_time)
+    state_->cv.wait_until(lock, message.deliver_time);
+  std::memcpy(data, message.bytes.data(), bytes);
+}
+
+// --- Split -------------------------------------------------------------------
+
+Comm Comm::split(int color, int key) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  std::unique_lock lock(state_->mu);
+  Slot& slot = acquire_slot(*state_, ticket, SlotKind::kSplit);
+  if (slot.arrived == 0) slot.color_key.assign(size(), {kUndefinedColor, 0});
+  slot.color_key[rank_] = {color, key};
+  ++slot.arrived;
+  if (slot.arrived == size()) {
+    slot.all_arrived = true;
+    state_->cv.notify_all();
+  }
+  state_->cv.wait(lock, [&] { return slot.all_arrived; });
+
+  if (!slot.action_done) {
+    // First rank past the barrier materializes every child communicator;
+    // the computation is deterministic, so it does not matter which.
+    std::set<int> colors;
+    for (const auto& [c, k] : slot.color_key)
+      if (c != kUndefinedColor) colors.insert(c);
+    for (const int c : colors) {
+      std::vector<std::pair<std::pair<int, int>, int>> members;  // ((key,rank),rank)
+      for (int r = 0; r < size(); ++r)
+        if (slot.color_key[r].first == c)
+          members.push_back({{slot.color_key[r].second, r}, r});
+      std::sort(members.begin(), members.end());
+      // Compact node ids while preserving grouping.
+      std::map<int, int> node_remap;
+      std::vector<int> child_nodes;
+      child_nodes.reserve(members.size());
+      for (const auto& [sort_key, r] : members) {
+        const int node = state_->node_of_rank[r];
+        const auto it =
+            node_remap.try_emplace(node, static_cast<int>(node_remap.size()))
+                .first;
+        child_nodes.push_back(it->second);
+      }
+      slot.children[c] =
+          std::make_shared<CommState>(std::move(child_nodes), state_->model);
+    }
+    slot.action_done = true;
+    state_->cv.notify_all();
+  }
+  state_->cv.wait(lock, [&] { return slot.action_done; });
+
+  Comm child;
+  if (color != kUndefinedColor) {
+    // New rank = position in the (key, old rank) order within the group.
+    int new_rank = 0;
+    for (int r = 0; r < size(); ++r) {
+      if (slot.color_key[r].first != color) continue;
+      const auto mine = std::pair{key, rank_};
+      const auto theirs = std::pair{slot.color_key[r].second, r};
+      if (theirs < mine) ++new_rank;
+    }
+    child = Comm(slot.children.at(color), new_rank);
+  }
+  depart_slot(*state_, ticket, slot);
+  return child;
+}
+
+Comm Comm::split_by_node() { return split(node(), rank()); }
+
+Comm Comm::split_node_leaders() {
+  // Leader = lowest rank on each node.
+  int leader = -1;
+  for (int r = 0; r < size(); ++r) {
+    if (state_->node_of_rank[r] == node()) {
+      leader = r;
+      break;
+    }
+  }
+  const bool is_leader = leader == rank_;
+  return split(is_leader ? 0 : kUndefinedColor, node());
+}
+
+// --- Windows -------------------------------------------------------------------
+
+std::shared_ptr<detail::WindowState> Comm::window_collective(
+    std::size_t bytes) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  std::unique_lock lock(state_->mu);
+  Slot& slot = acquire_slot(*state_, ticket, SlotKind::kWindow);
+  if (slot.arrived == 0) {
+    auto window = std::make_shared<detail::WindowState>();
+    window->data.assign(bytes, std::byte{0});
+    slot.window = std::move(window);
+    slot.bytes = bytes;
+  }
+  DISTBC_ASSERT_MSG(slot.bytes == bytes, "window size mismatch across ranks");
+  ++slot.arrived;
+  if (slot.arrived == size()) {
+    slot.all_arrived = true;
+    state_->cv.notify_all();
+  }
+  state_->cv.wait(lock, [&] { return slot.all_arrived; });
+  auto result = std::static_pointer_cast<detail::WindowState>(slot.window);
+  depart_slot(*state_, ticket, slot);
+  return result;
+}
+
+}  // namespace distbc::mpisim

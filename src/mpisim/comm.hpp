@@ -1,0 +1,302 @@
+// Simulated MPI communicator.
+//
+// mpisim substitutes for an MPI library on a cluster (none is available in
+// this environment): ranks are threads inside one process, and every data
+// exchange goes through explicit slot-based collectives with an interconnect
+// cost model (see network.hpp). The API mirrors the MPI subset the paper's
+// algorithm needs — Reduce / Ireduce / Ibarrier / Bcast / Ibcast /
+// communicator split — plus point-to-point send/recv for tests.
+//
+// Semantics notes:
+//  * Collectives must be called by all ranks of the communicator in the
+//    same order (standard MPI requirement); slots are matched by a per-rank
+//    call counter.
+//  * Sends are eager: the contribution is copied into the slot at post time,
+//    so a non-root Ireduce completes after its own (modeled) injection cost
+//    and the caller may immediately reuse its buffer — same guarantee real
+//    MPI gives on request completion.
+//  * The root's completion time is the last arrival plus a modeled
+//    tree-reduction cost; blocking calls sleep until then, non-blocking
+//    requests report done only once the deadline passed. This makes
+//    communication/computation overlap behave as on a real network.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "mpisim/network.hpp"
+#include "mpisim/stats.hpp"
+#include "support/assert.hpp"
+
+namespace distbc::mpisim {
+
+enum class ReduceOp : std::uint8_t { kSum, kMin, kMax };
+
+namespace detail {
+
+using Clock = std::chrono::steady_clock;
+using CombineFn = void (*)(void* acc, const void* in, std::size_t count);
+
+template <typename T, ReduceOp Op>
+void combine_impl(void* acc_void, const void* in_void, std::size_t count) {
+  T* acc = static_cast<T*>(acc_void);
+  const T* in = static_cast<const T*>(in_void);
+  for (std::size_t i = 0; i < count; ++i) {
+    if constexpr (Op == ReduceOp::kSum) {
+      acc[i] += in[i];
+    } else if constexpr (Op == ReduceOp::kMin) {
+      acc[i] = in[i] < acc[i] ? in[i] : acc[i];
+    } else {
+      acc[i] = in[i] > acc[i] ? in[i] : acc[i];
+    }
+  }
+}
+
+template <typename T>
+CombineFn combine_fn(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return &combine_impl<T, ReduceOp::kSum>;
+    case ReduceOp::kMin:
+      return &combine_impl<T, ReduceOp::kMin>;
+    case ReduceOp::kMax:
+      return &combine_impl<T, ReduceOp::kMax>;
+  }
+  return nullptr;
+}
+
+enum class SlotKind : std::uint8_t { kBarrier, kReduce, kBcast, kSplit,
+                                     kWindow };
+
+struct Slot {
+  SlotKind kind{};
+  int arrived = 0;
+  int departed = 0;
+  bool all_arrived = false;
+  bool action_done = false;  // root combine / payload availability
+  Clock::time_point ready_time{};
+  std::vector<Clock::time_point> rank_ready;  // per-rank completion deadline
+
+  // Reduce state.
+  std::size_t bytes = 0;
+  std::size_t count = 0;
+  CombineFn combine = nullptr;
+  int root = -1;
+  std::vector<std::vector<std::byte>> contribs;
+  std::byte* root_recv = nullptr;
+
+  // Bcast payload (copied from the root).
+  std::vector<std::byte> payload;
+
+  // Split state.
+  std::vector<std::pair<int, int>> color_key;  // per-rank (color, key)
+  std::map<int, std::shared_ptr<struct CommState>> children;
+
+  // Window creation state.
+  std::shared_ptr<void> window;
+};
+
+struct P2pMessage {
+  std::vector<std::byte> bytes;
+  Clock::time_point deliver_time;
+};
+
+/// Backing storage of an RMA-style shared window (paper §IV-E: passive
+/// target one-sided communication over node-local shared memory).
+struct WindowState {
+  std::mutex mu;
+  std::vector<std::byte> data;
+};
+
+struct CommState {
+  CommState(std::vector<int> node_of_rank_in, NetworkModel model_in);
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(node_of_rank.size());
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::uint64_t, Slot> slots;
+  std::map<std::tuple<int, int, int>, std::deque<P2pMessage>> mailboxes;
+
+  std::vector<int> node_of_rank;
+  int num_nodes = 1;
+  int max_ranks_per_node = 1;
+  NetworkModel model;
+  CommStats stats;
+};
+
+}  // namespace detail
+
+class Comm;
+
+/// Handle for a pending non-blocking operation. Copyable; all copies refer
+/// to the same pending operation.
+class Request {
+ public:
+  Request() = default;
+
+  /// Polls for completion; performs the completion action (root combine,
+  /// bcast copy-out) exactly once. Idempotent after success.
+  bool test();
+
+  /// Blocks until the operation completes.
+  void wait();
+
+  [[nodiscard]] bool valid() const { return impl_ != nullptr; }
+
+  /// Implementation detail (public so the out-of-line pollers can name it;
+  /// not part of the user API).
+  struct Impl {
+    std::shared_ptr<detail::CommState> state;
+    std::uint64_t ticket = 0;
+    int rank = -1;
+    std::byte* recv = nullptr;  // bcast destination, if any
+    bool done = false;
+  };
+
+ private:
+  friend class Comm;
+  explicit Request(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Sentinel color for split(): the calling rank joins no child communicator.
+inline constexpr int kUndefinedColor = -1;
+
+class Comm {
+ public:
+  Comm() = default;  // invalid communicator (e.g. split with undefined color)
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return state_->size(); }
+  [[nodiscard]] int node() const { return state_->node_of_rank[rank_]; }
+  [[nodiscard]] int num_nodes() const { return state_->num_nodes; }
+
+  // --- Collectives -------------------------------------------------------
+
+  void barrier();
+  [[nodiscard]] Request ibarrier();
+
+  template <typename T>
+  void reduce(std::span<const T> send, std::span<T> recv, int root,
+              ReduceOp op = ReduceOp::kSum) {
+    DISTBC_ASSERT(rank_ != root || recv.size() == send.size());
+    reduce_bytes_impl(as_bytes_ptr(send.data()), send.size() * sizeof(T),
+                      send.size(), as_bytes_ptr_mut(recv.data()),
+                      detail::combine_fn<T>(op), root, /*blocking=*/true);
+  }
+
+  template <typename T>
+  [[nodiscard]] Request ireduce(std::span<const T> send, std::span<T> recv,
+                                int root, ReduceOp op = ReduceOp::kSum) {
+    DISTBC_ASSERT(rank_ != root || recv.size() == send.size());
+    return ireduce_bytes_impl(as_bytes_ptr(send.data()),
+                              send.size() * sizeof(T), send.size(),
+                              as_bytes_ptr_mut(recv.data()),
+                              detail::combine_fn<T>(op), root);
+  }
+
+  /// Reduce to rank 0 followed by a broadcast (two tickets).
+  template <typename T>
+  void allreduce(std::span<const T> send, std::span<T> recv,
+                 ReduceOp op = ReduceOp::kSum) {
+    DISTBC_ASSERT(recv.size() == send.size());
+    reduce(send, recv, /*root=*/0, op);
+    bcast(recv, /*root=*/0);
+  }
+
+  template <typename T>
+  void bcast(std::span<T> buffer, int root) {
+    bcast_bytes_impl(as_bytes_ptr_mut(buffer.data()),
+                     buffer.size() * sizeof(T), root, /*blocking=*/true);
+  }
+
+  template <typename T>
+  [[nodiscard]] Request ibcast(std::span<T> buffer, int root) {
+    return ibcast_bytes_impl(as_bytes_ptr_mut(buffer.data()),
+                             buffer.size() * sizeof(T), root);
+  }
+
+  // --- Point-to-point (used by tests and the window substrate) -----------
+
+  template <typename T>
+  void send(std::span<const T> data, int dst, int tag) {
+    send_bytes_impl(as_bytes_ptr(data.data()), data.size() * sizeof(T), dst,
+                    tag);
+  }
+
+  template <typename T>
+  void recv(std::span<T> data, int src, int tag) {
+    recv_bytes_impl(as_bytes_ptr_mut(data.data()), data.size() * sizeof(T),
+                    src, tag);
+  }
+
+  // --- Topology ----------------------------------------------------------
+
+  /// Splits into child communicators by color, ranked by (key, old rank).
+  /// Ranks passing kUndefinedColor receive an invalid Comm.
+  [[nodiscard]] Comm split(int color, int key);
+
+  /// Child communicator of all ranks on this rank's node (paper §IV-E).
+  [[nodiscard]] Comm split_by_node();
+
+  /// Child communicator of the first rank of each node (the paper's global
+  /// communicator for the inter-node reduction); other ranks get an
+  /// invalid Comm.
+  [[nodiscard]] Comm split_node_leaders();
+
+  [[nodiscard]] CommStats& stats() { return state_->stats; }
+  [[nodiscard]] const NetworkModel& network() const { return state_->model; }
+
+  /// Collective: creates (or attaches to) a shared window of `bytes` zeroed
+  /// bytes. All ranks receive the same state. Used by Window<T>.
+  [[nodiscard]] std::shared_ptr<detail::WindowState> window_collective(
+      std::size_t bytes);
+
+ private:
+  friend class Runtime;
+  template <typename T>
+  friend class Window;
+
+  Comm(std::shared_ptr<detail::CommState> state, int rank)
+      : state_(std::move(state)), rank_(rank) {}
+
+  static const std::byte* as_bytes_ptr(const void* p) {
+    return static_cast<const std::byte*>(p);
+  }
+  static std::byte* as_bytes_ptr_mut(void* p) {
+    return static_cast<std::byte*>(p);
+  }
+
+  std::uint64_t next_ticket() { return ticket_++; }
+
+  void reduce_bytes_impl(const std::byte* send, std::size_t bytes,
+                         std::size_t count, std::byte* recv,
+                         detail::CombineFn combine, int root, bool blocking);
+  Request ireduce_bytes_impl(const std::byte* send, std::size_t bytes,
+                             std::size_t count, std::byte* recv,
+                             detail::CombineFn combine, int root);
+  void bcast_bytes_impl(std::byte* buffer, std::size_t bytes, int root,
+                        bool blocking);
+  Request ibcast_bytes_impl(std::byte* buffer, std::size_t bytes, int root);
+  void send_bytes_impl(const std::byte* data, std::size_t bytes, int dst,
+                       int tag);
+  void recv_bytes_impl(std::byte* data, std::size_t bytes, int src, int tag);
+
+  std::shared_ptr<detail::CommState> state_;
+  int rank_ = -1;
+  std::uint64_t ticket_ = 0;
+};
+
+}  // namespace distbc::mpisim

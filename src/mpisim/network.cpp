@@ -1,0 +1,56 @@
+#include "mpisim/network.hpp"
+
+#include <cmath>
+
+namespace distbc::mpisim {
+
+namespace {
+
+int ceil_log2(int value) {
+  int bits = 0;
+  int running = 1;
+  while (running < value) {
+    running *= 2;
+    ++bits;
+  }
+  return bits;
+}
+
+std::chrono::nanoseconds to_ns(double seconds) {
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(seconds * 1e9));
+}
+
+}  // namespace
+
+std::chrono::nanoseconds NetworkModel::collective_cost(std::uint64_t bytes,
+                                                       int ranks_per_node,
+                                                       int num_nodes) const {
+  if (!enabled) return std::chrono::nanoseconds::zero();
+  const int local_hops = ceil_log2(ranks_per_node);
+  const int remote_hops = ceil_log2(num_nodes);
+  const double bytes_d = static_cast<double>(bytes);
+  const double local =
+      local_hops * (local_latency_s + bytes_d / local_bandwidth_bps);
+  const double remote =
+      remote_hops * (remote_latency_s + bytes_d / remote_bandwidth_bps);
+  return to_ns(local + remote);
+}
+
+std::chrono::nanoseconds NetworkModel::message_cost(std::uint64_t bytes,
+                                                    bool same_node) const {
+  if (!enabled) return std::chrono::nanoseconds::zero();
+  const double bytes_d = static_cast<double>(bytes);
+  const double cost =
+      same_node ? local_latency_s + bytes_d / local_bandwidth_bps
+                : remote_latency_s + bytes_d / remote_bandwidth_bps;
+  return to_ns(cost);
+}
+
+NetworkModel NetworkModel::disabled() {
+  NetworkModel model;
+  model.enabled = false;
+  return model;
+}
+
+}  // namespace distbc::mpisim

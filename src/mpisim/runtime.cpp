@@ -1,0 +1,47 @@
+#include "mpisim/runtime.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace distbc::mpisim {
+
+Runtime::Runtime(RuntimeConfig config) : config_(config) {
+  DISTBC_ASSERT(config_.num_ranks >= 1);
+  DISTBC_ASSERT(config_.ranks_per_node >= 1);
+}
+
+void Runtime::run(const std::function<void(Comm&)>& rank_main) {
+  std::vector<int> node_of_rank(config_.num_ranks);
+  for (int r = 0; r < config_.num_ranks; ++r)
+    node_of_rank[r] = r / config_.ranks_per_node;
+  auto world =
+      std::make_shared<detail::CommState>(node_of_rank, config_.network);
+  last_world_ = world;
+
+  std::vector<std::thread> threads;
+  threads.reserve(config_.num_ranks);
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, r);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+const CommStats& Runtime::last_world_stats() const {
+  DISTBC_ASSERT_MSG(last_world_ != nullptr, "no run() has completed yet");
+  return last_world_->stats;
+}
+
+}  // namespace distbc::mpisim

@@ -1,0 +1,40 @@
+// Simulated MPI runtime: spawns ranks as threads and hands each its Comm.
+//
+// RuntimeConfig mirrors the paper's deployment knobs: number of ranks
+// (MPI processes), ranks per node (the paper launches one process per NUMA
+// socket, i.e. two per compute node, §IV-E), and the interconnect model.
+#pragma once
+
+#include <functional>
+
+#include "mpisim/comm.hpp"
+
+namespace distbc::mpisim {
+
+struct RuntimeConfig {
+  int num_ranks = 1;
+  int ranks_per_node = 1;
+  NetworkModel network{};
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config);
+
+  /// Runs `rank_main` on every rank in its own thread and joins them all.
+  /// The first exception thrown by any rank is rethrown here afterwards.
+  /// May be called multiple times; every call creates a fresh world
+  /// communicator.
+  void run(const std::function<void(Comm&)>& rank_main);
+
+  [[nodiscard]] const RuntimeConfig& config() const { return config_; }
+
+  /// Statistics of the world communicator of the most recent run().
+  [[nodiscard]] const CommStats& last_world_stats() const;
+
+ private:
+  RuntimeConfig config_;
+  std::shared_ptr<detail::CommState> last_world_;
+};
+
+}  // namespace distbc::mpisim

@@ -1,0 +1,43 @@
+// Communication accounting, the source of Table II's "communication volume
+// per epoch" and the blocking-time shares in Figure 2b.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace distbc::mpisim {
+
+/// Shared per-communicator counters; all ranks update them atomically.
+struct CommStats {
+  std::atomic<std::uint64_t> reduce_calls{0};
+  std::atomic<std::uint64_t> ireduce_calls{0};
+  std::atomic<std::uint64_t> barrier_calls{0};
+  std::atomic<std::uint64_t> ibarrier_calls{0};
+  std::atomic<std::uint64_t> bcast_calls{0};
+  std::atomic<std::uint64_t> p2p_messages{0};
+  /// Payload bytes moved by reductions: buffer size x (participants - 1),
+  /// i.e. every non-root contribution crosses the wire once.
+  std::atomic<std::uint64_t> reduce_bytes{0};
+  std::atomic<std::uint64_t> bcast_bytes{0};
+  std::atomic<std::uint64_t> p2p_bytes{0};
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return reduce_bytes.load(std::memory_order_relaxed) +
+           bcast_bytes.load(std::memory_order_relaxed) +
+           p2p_bytes.load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    reduce_calls = 0;
+    ireduce_calls = 0;
+    barrier_calls = 0;
+    ibarrier_calls = 0;
+    bcast_calls = 0;
+    p2p_messages = 0;
+    reduce_bytes = 0;
+    bcast_bytes = 0;
+    p2p_bytes = 0;
+  }
+};
+
+}  // namespace distbc::mpisim

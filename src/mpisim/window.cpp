@@ -1,0 +1,10 @@
+#include "mpisim/window.hpp"
+
+namespace distbc::mpisim {
+
+// Window<T> is header-only; instantiate the types the library uses so that
+// template errors surface when this library builds rather than in clients.
+template class Window<std::uint64_t>;
+template class Window<double>;
+
+}  // namespace distbc::mpisim

@@ -1,0 +1,62 @@
+// RMA-style shared window: the substrate for the paper's node-local
+// aggregation (§IV-E), which uses MPI passive-target one-sided communication
+// over shared memory to pre-reduce sampling states inside each compute node
+// before the global inter-node reduction.
+#pragma once
+
+#include <span>
+
+#include "mpisim/comm.hpp"
+
+namespace distbc::mpisim {
+
+template <typename T>
+class Window {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// Collective over `comm`: every rank must construct the window with the
+  /// same element count. Contents start zeroed.
+  Window(Comm& comm, std::size_t count)
+      : comm_(&comm),
+        count_(count),
+        state_(comm.window_collective(count * sizeof(T))) {}
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Passive-target accumulate: atomically (under the window lock) adds
+  /// `values` elementwise into the window.
+  void accumulate(std::span<const T> values) {
+    DISTBC_ASSERT(values.size() == count_);
+    std::lock_guard lock(state_->mu);
+    T* data = reinterpret_cast<T*>(state_->data.data());
+    for (std::size_t i = 0; i < count_; ++i) data[i] += values[i];
+    comm_->stats().p2p_messages.fetch_add(1, std::memory_order_relaxed);
+    comm_->stats().p2p_bytes.fetch_add(values.size_bytes(),
+                                       std::memory_order_relaxed);
+  }
+
+  /// Copies the window contents into `out` under the window lock.
+  void read(std::span<T> out) const {
+    DISTBC_ASSERT(out.size() == count_);
+    std::lock_guard lock(state_->mu);
+    const T* data = reinterpret_cast<const T*>(state_->data.data());
+    std::copy(data, data + count_, out.begin());
+  }
+
+  /// Zeroes the window under the lock (start of a new aggregation round).
+  void clear() {
+    std::lock_guard lock(state_->mu);
+    std::fill(state_->data.begin(), state_->data.end(), std::byte{0});
+  }
+
+  /// Synchronization fence: a barrier over the owning communicator.
+  void fence() { comm_->barrier(); }
+
+ private:
+  Comm* comm_;
+  std::size_t count_;
+  std::shared_ptr<detail::WindowState> state_;
+};
+
+}  // namespace distbc::mpisim

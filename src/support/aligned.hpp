@@ -1,0 +1,24 @@
+// Cache-line-aware helpers for concurrent data structures.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+namespace distbc {
+
+// A fixed 64 bytes (universal on x86-64 and most aarch64) rather than
+// std::hardware_destructive_interference_size, whose value is flag-dependent
+// and makes the padding part of a fragile ABI (GCC -Winterference-size).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// An atomic padded to a full cache line so neighbouring instances in an
+/// array do not false-share. Used for per-thread epoch counters.
+template <typename T>
+struct alignas(kCacheLineSize) PaddedAtomic {
+  std::atomic<T> value{};
+
+  // Padding derives from alignas; no explicit bytes needed.
+};
+
+}  // namespace distbc

@@ -1,0 +1,43 @@
+// Lightweight assertion macros for distbc.
+//
+// DISTBC_ASSERT is active in all build types: the invariants it guards are
+// cheap relative to graph traversals, and silent corruption in a sampling
+// algorithm is much more expensive than the check.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace distbc::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "distbc assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace distbc::detail
+
+#define DISTBC_ASSERT(expr)                                               \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::distbc::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);  \
+    }                                                                     \
+  } while (0)
+
+#define DISTBC_ASSERT_MSG(expr, msg)                                   \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::distbc::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (0)
+
+// Heavier checks (e.g. O(V) scans) that should only run in debug builds.
+#ifndef NDEBUG
+#define DISTBC_DEBUG_ASSERT(expr) DISTBC_ASSERT(expr)
+#else
+#define DISTBC_DEBUG_ASSERT(expr) \
+  do {                            \
+  } while (0)
+#endif

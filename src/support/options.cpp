@@ -1,0 +1,52 @@
+#include "support/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace distbc {
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      std::fprintf(stderr,
+                   "unrecognized argument '%s' (expected key=value)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+    values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::uint64_t Options::get_u64(const std::string& key,
+                               std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtoull(it->second.c_str(),
+                                                        nullptr, 10);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+}  // namespace distbc

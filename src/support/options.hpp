@@ -1,0 +1,32 @@
+// Minimal key=value command-line parsing for benches and examples.
+//
+// Usage: Options opts(argc, argv);  opts.get_u64("ranks", 16);
+// Unrecognized positional arguments abort with a usage hint, so typos in
+// sweep scripts fail loudly instead of silently running defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace distbc {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace distbc

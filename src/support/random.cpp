@@ -1,0 +1,34 @@
+#include "support/random.hpp"
+
+#include <numeric>
+
+namespace distbc {
+
+std::size_t pick_weighted(Rng& rng, const std::uint64_t* weights,
+                          std::size_t count) {
+  DISTBC_ASSERT(count > 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) total += weights[i];
+  DISTBC_ASSERT_MSG(total > 0, "weights must not all be zero");
+  std::uint64_t pick = rng.next_bounded(total);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (pick < weights[i]) return i;
+    pick -= weights[i];
+  }
+  return count - 1;  // unreachable, pacifies the compiler
+}
+
+std::size_t pick_weighted(Rng& rng, const double* weights, std::size_t count) {
+  DISTBC_ASSERT(count > 0);
+  double total = 0;
+  for (std::size_t i = 0; i < count; ++i) total += weights[i];
+  DISTBC_ASSERT_MSG(total > 0, "weights must not all be zero");
+  double pick = rng.next_double() * total;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (pick < weights[i]) return i;
+    pick -= weights[i];
+  }
+  return count - 1;  // floating-point slack lands on the last bucket
+}
+
+}  // namespace distbc

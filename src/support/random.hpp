@@ -1,0 +1,119 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All stochastic components in distbc (generators, samplers, calibration)
+// consume an explicit 64-bit seed. Per-thread streams are derived with
+// SplitMix64 so that (seed, thread) pairs give independent, reproducible
+// sequences regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace distbc {
+
+/// SplitMix64 step: used both as a standalone mixer and to seed Xoshiro.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent stream, e.g. one per thread: Rng(seed).split(t).
+  [[nodiscard]] Rng split(std::uint64_t stream) const {
+    std::uint64_t sm = state_[0] ^ (0xa0761d6478bd642fULL * (stream + 1));
+    Rng child(0);
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform integer in [0, bound), bound > 0. Lemire's multiply-shift with
+  /// rejection to remove modulo bias.
+  std::uint64_t next_bounded(std::uint64_t bound) {
+    DISTBC_ASSERT(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {
+    DISTBC_ASSERT(lo <= hi);
+    return lo + next_bounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Uniform pair (s, t) with s != t from [0, n). Requires n >= 2.
+  std::pair<std::uint64_t, std::uint64_t> next_distinct_pair(std::uint64_t n) {
+    DISTBC_ASSERT(n >= 2);
+    const std::uint64_t s = next_bounded(n);
+    std::uint64_t t = next_bounded(n - 1);
+    if (t >= s) ++t;
+    return {s, t};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Weighted index selection: returns i with probability weights[i] / sum.
+/// Linear scan; callers with large weight vectors should prefer building an
+/// alias table, but all call sites in distbc have short vectors.
+std::size_t pick_weighted(Rng& rng, const std::uint64_t* weights,
+                          std::size_t count);
+std::size_t pick_weighted(Rng& rng, const double* weights, std::size_t count);
+
+}  // namespace distbc

@@ -1,0 +1,36 @@
+// Console table rendering for the benchmark harness.
+//
+// The paper-reproduction benches print rows in the same shape as the paper's
+// tables/figures; TablePrinter keeps the formatting uniform and readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace distbc {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: render straight to stdout.
+  void print() const;
+
+  // Formatting helpers for cells.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt_int(long long value);         // 1,234,567
+  static std::string fmt_bytes(double bytes);          // "12.3 MiB"
+  static std::string fmt_ratio(double value);          // "7.41x"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace distbc

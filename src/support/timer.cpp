@@ -1,0 +1,29 @@
+#include "support/timer.hpp"
+
+namespace distbc {
+
+std::string_view phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kDiameter:
+      return "diameter";
+    case Phase::kCalibration:
+      return "calibration";
+    case Phase::kSampling:
+      return "sampling";
+    case Phase::kEpochTransition:
+      return "epoch-transition";
+    case Phase::kBarrier:
+      return "ibarrier";
+    case Phase::kReduction:
+      return "reduction";
+    case Phase::kStopCheck:
+      return "stop-check";
+    case Phase::kBroadcast:
+      return "broadcast";
+    case Phase::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace distbc

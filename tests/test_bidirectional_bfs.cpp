@@ -1,0 +1,224 @@
+// Tests for the bidirectional BFS: distances and path counts against a
+// unidirectional reference, path validity, and uniform path sampling.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "graph/bfs.hpp"
+#include "graph/bidirectional_bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+
+namespace distbc::graph {
+namespace {
+
+/// Reference: BFS from s computing distance and #shortest-paths to all.
+std::pair<std::vector<std::uint32_t>, std::vector<double>> reference_sssp(
+    const Graph& graph, Vertex s) {
+  const Vertex n = graph.num_vertices();
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<Vertex> queue{s};
+  dist[s] = 0;
+  sigma[s] = 1.0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex u = queue[head];
+    for (const Vertex w : graph.neighbors(u)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+      if (dist[w] == dist[u] + 1) sigma[w] += sigma[u];
+    }
+  }
+  return {std::move(dist), std::move(sigma)};
+}
+
+TEST(BidirectionalBfs, AdjacentPair) {
+  const Graph graph = from_edges(3, {{0, 1}, {1, 2}});
+  BidirectionalBfs bfs(graph.num_vertices());
+  const auto result = bfs.run(graph, 0, 1);
+  EXPECT_TRUE(result.connected);
+  EXPECT_EQ(result.distance, 1u);
+  EXPECT_DOUBLE_EQ(result.num_paths, 1.0);
+
+  Rng rng(1);
+  std::vector<Vertex> path;
+  bfs.sample_path(graph, rng, path);
+  EXPECT_TRUE(path.empty());  // no internal vertices on a direct edge
+}
+
+TEST(BidirectionalBfs, TwoHopPath) {
+  const Graph graph = from_edges(3, {{0, 1}, {1, 2}});
+  BidirectionalBfs bfs(graph.num_vertices());
+  const auto result = bfs.run(graph, 0, 2);
+  EXPECT_TRUE(result.connected);
+  EXPECT_EQ(result.distance, 2u);
+  EXPECT_DOUBLE_EQ(result.num_paths, 1.0);
+
+  Rng rng(1);
+  std::vector<Vertex> path;
+  bfs.sample_path(graph, rng, path);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1u);
+}
+
+TEST(BidirectionalBfs, CountsParallelRoutes) {
+  // Diamond: 0-1-3 and 0-2-3: two shortest paths.
+  const Graph graph = from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  BidirectionalBfs bfs(graph.num_vertices());
+  const auto result = bfs.run(graph, 0, 3);
+  EXPECT_EQ(result.distance, 2u);
+  EXPECT_DOUBLE_EQ(result.num_paths, 2.0);
+}
+
+TEST(BidirectionalBfs, DisconnectedPair) {
+  const Graph graph = from_edges(4, {{0, 1}, {2, 3}});
+  BidirectionalBfs bfs(graph.num_vertices());
+  const auto result = bfs.run(graph, 0, 3);
+  EXPECT_FALSE(result.connected);
+}
+
+TEST(BidirectionalBfs, MatchesReferenceOnRandomGraphs) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Graph graph = largest_component(gen::erdos_renyi(150, 300, seed));
+    const Vertex n = graph.num_vertices();
+    ASSERT_GE(n, 2u);
+    BidirectionalBfs bfs(n);
+    Rng rng(seed);
+    for (int trial = 0; trial < 50; ++trial) {
+      const auto [s64, t64] = rng.next_distinct_pair(n);
+      const auto s = static_cast<Vertex>(s64);
+      const auto t = static_cast<Vertex>(t64);
+      const auto [dist, sigma] = reference_sssp(graph, s);
+      const auto result = bfs.run(graph, s, t);
+      ASSERT_TRUE(result.connected);
+      EXPECT_EQ(result.distance, dist[t]);
+      EXPECT_DOUBLE_EQ(result.num_paths, sigma[t]);
+    }
+  }
+}
+
+TEST(BidirectionalBfs, MatchesReferenceOnPowerLawGraph) {
+  gen::RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 4.0;
+  const Graph graph = largest_component(gen::rmat(params, 5));
+  const Vertex n = graph.num_vertices();
+  BidirectionalBfs bfs(n);
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto [s64, t64] = rng.next_distinct_pair(n);
+    const auto s = static_cast<Vertex>(s64);
+    const auto t = static_cast<Vertex>(t64);
+    const auto [dist, sigma] = reference_sssp(graph, s);
+    const auto result = bfs.run(graph, s, t);
+    ASSERT_TRUE(result.connected);
+    EXPECT_EQ(result.distance, dist[t]);
+    EXPECT_DOUBLE_EQ(result.num_paths, sigma[t]);
+  }
+}
+
+TEST(BidirectionalBfs, SampledPathsAreValidShortestPaths) {
+  const Graph graph = largest_component(gen::erdos_renyi(100, 250, 17));
+  const Vertex n = graph.num_vertices();
+  BidirectionalBfs bfs(n);
+  Rng rng(3);
+  std::vector<Vertex> path;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto [s64, t64] = rng.next_distinct_pair(n);
+    const auto s = static_cast<Vertex>(s64);
+    const auto t = static_cast<Vertex>(t64);
+    const auto result = bfs.run(graph, s, t);
+    ASSERT_TRUE(result.connected);
+    path.clear();
+    bfs.sample_path(graph, rng, path);
+    // Internal count matches the distance.
+    ASSERT_EQ(path.size(), result.distance - 1);
+    // Consecutive hops are edges; endpoints connect to path ends.
+    Vertex prev = s;
+    for (const Vertex v : path) {
+      EXPECT_TRUE(graph.has_edge(prev, v));
+      EXPECT_NE(v, s);
+      EXPECT_NE(v, t);
+      prev = v;
+    }
+    EXPECT_TRUE(graph.has_edge(prev, t));
+  }
+}
+
+TEST(BidirectionalBfs, PathSamplingIsUniform) {
+  // Ladder with two independent 2-choice stages: 4 equally likely paths
+  // 0 -> {1|2} -> 3 -> {4|5} -> 6.
+  const Graph graph = from_edges(
+      7, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {3, 5}, {4, 6}, {5, 6}});
+  BidirectionalBfs bfs(graph.num_vertices());
+  const auto result = bfs.run(graph, 0, 6);
+  ASSERT_TRUE(result.connected);
+  EXPECT_EQ(result.distance, 4u);
+  EXPECT_DOUBLE_EQ(result.num_paths, 4.0);
+
+  Rng rng(123);
+  std::map<std::vector<Vertex>, int> histogram;
+  constexpr int kDraws = 40000;
+  std::vector<Vertex> path;
+  for (int i = 0; i < kDraws; ++i) {
+    // Re-run so meeting-set state is fresh (sample_path may be called
+    // repeatedly; re-running also exercises workspace reuse).
+    bfs.run(graph, 0, 6);
+    path.clear();
+    bfs.sample_path(graph, rng, path);
+    ++histogram[path];
+  }
+  ASSERT_EQ(histogram.size(), 4u);
+  for (const auto& [p, count] : histogram)
+    EXPECT_NEAR(count, kDraws / 4, kDraws / 4 * 0.1);
+}
+
+TEST(BidirectionalBfs, UniformAcrossUnevenBranching) {
+  // 0 connects to t=4 via: one 2-hop path through 1; and paths through
+  // 2->3. Distances: 0-1-4 (len 2), 0-2-3-4 (len 3). Only the length-2 path
+  // is shortest, so sampling must always return it.
+  const Graph graph =
+      from_edges(5, {{0, 1}, {1, 4}, {0, 2}, {2, 3}, {3, 4}});
+  BidirectionalBfs bfs(graph.num_vertices());
+  const auto result = bfs.run(graph, 0, 4);
+  EXPECT_EQ(result.distance, 2u);
+  EXPECT_DOUBLE_EQ(result.num_paths, 1.0);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    bfs.run(graph, 0, 4);
+    std::vector<Vertex> path;
+    bfs.sample_path(graph, rng, path);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0], 1u);
+  }
+}
+
+TEST(BidirectionalBfs, TouchedWorkIsBounded) {
+  const Graph graph = largest_component(gen::erdos_renyi(200, 600, 23));
+  BidirectionalBfs bfs(graph.num_vertices());
+  bfs.run(graph, 0, graph.num_vertices() - 1);
+  EXPECT_GT(bfs.last_touched(), 0u);
+  EXPECT_LE(bfs.last_touched(), graph.num_arcs() + graph.num_vertices());
+}
+
+TEST(BidirectionalBfs, StarGraphHubPair) {
+  // Star: leaves at distance 2 via the hub; hub must be the internal vertex.
+  const Graph graph = from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  BidirectionalBfs bfs(graph.num_vertices());
+  const auto result = bfs.run(graph, 1, 4);
+  EXPECT_EQ(result.distance, 2u);
+  EXPECT_DOUBLE_EQ(result.num_paths, 1.0);
+  Rng rng(4);
+  std::vector<Vertex> path;
+  bfs.sample_path(graph, rng, path);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 0u);
+}
+
+}  // namespace
+}  // namespace distbc::graph

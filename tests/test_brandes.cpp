@@ -1,0 +1,155 @@
+// Tests for exact Brandes betweenness (sequential and parallel) against
+// closed-form values on canonical graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bc/brandes.hpp"
+#include "bc/brandes_parallel.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+
+namespace distbc::bc {
+namespace {
+
+using graph::from_edges;
+using graph::Graph;
+using graph::Vertex;
+
+Graph path_graph(Vertex n) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return from_edges(n, edges);
+}
+
+TEST(Brandes, PathGraphClosedForm) {
+  // On a path, vertex i separates i * (n-1-i) unordered pairs; normalized
+  // over ordered pairs: b(i) = 2 i (n-1-i) / (n (n-1)).
+  const Vertex n = 7;
+  const BcResult result = brandes(path_graph(n));
+  for (Vertex i = 0; i < n; ++i) {
+    const double expected = 2.0 * i * (n - 1.0 - i) / (n * (n - 1.0));
+    EXPECT_NEAR(result.scores[i], expected, 1e-12) << "vertex " << i;
+  }
+}
+
+TEST(Brandes, StarGraphClosedForm) {
+  // Center of a k-leaf star carries all leaf pairs: b = k(k-1) / (n(n-1)).
+  const Vertex k = 6;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex leaf = 1; leaf <= k; ++leaf) edges.emplace_back(0, leaf);
+  const BcResult result = brandes(from_edges(k + 1, edges));
+  const double n = k + 1.0;
+  EXPECT_NEAR(result.scores[0], k * (k - 1.0) / (n * (n - 1.0)), 1e-12);
+  for (Vertex leaf = 1; leaf <= k; ++leaf)
+    EXPECT_NEAR(result.scores[leaf], 0.0, 1e-12);
+}
+
+TEST(Brandes, CompleteGraphAllZero) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex u = 0; u < 6; ++u)
+    for (Vertex v = u + 1; v < 6; ++v) edges.emplace_back(u, v);
+  const BcResult result = brandes(from_edges(6, edges));
+  for (const double score : result.scores) EXPECT_NEAR(score, 0.0, 1e-12);
+}
+
+TEST(Brandes, CycleGraphUniform) {
+  // By symmetry every cycle vertex has equal betweenness; for C_n with n
+  // odd, each ordered pair at distance d has a unique shortest path with
+  // d - 1 interior vertices. Total interior incidences: n * 2 * sum_{d=2}^{(n-1)/2} (d-1).
+  const Vertex n = 9;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  const BcResult result = brandes(from_edges(n, edges));
+  double interior_per_vertex = 0.0;
+  for (Vertex d = 2; d <= (n - 1) / 2; ++d) interior_per_vertex += 2.0 * (d - 1);
+  const double expected = interior_per_vertex / (n * (n - 1.0));
+  for (const double score : result.scores)
+    EXPECT_NEAR(score, expected, 1e-12);
+}
+
+TEST(Brandes, DiamondSplitsCredit) {
+  // 4-cycle 0-1-3-2-0: every vertex carries half of the two shortest paths
+  // of its antipodal pair, i.e. 2 ordered pairs x 1/2 = 1 -> b = 1/12.
+  const Graph graph = from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const BcResult result = brandes(graph);
+  for (Vertex v = 0; v < 4; ++v)
+    EXPECT_NEAR(result.scores[v], 1.0 / 12.0, 1e-12) << "vertex " << v;
+}
+
+TEST(Brandes, DisconnectedGraphContributesPerComponent) {
+  // Two 3-paths: middle vertices get betweenness from their own component
+  // only; normalization is still global (n = 6).
+  const Graph graph = from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const BcResult result = brandes(graph);
+  EXPECT_NEAR(result.scores[1], 2.0 / (6.0 * 5.0), 1e-12);
+  EXPECT_NEAR(result.scores[4], 2.0 / (6.0 * 5.0), 1e-12);
+  EXPECT_NEAR(result.scores[0], 0.0, 1e-12);
+}
+
+TEST(Brandes, TinyGraphs) {
+  EXPECT_TRUE(brandes(Graph{}).scores.empty());
+  EXPECT_EQ(brandes(from_edges(1, {})).scores.size(), 1u);
+  const BcResult pair = brandes(from_edges(2, {{0, 1}}));
+  EXPECT_NEAR(pair.scores[0], 0.0, 1e-12);
+  EXPECT_NEAR(pair.scores[1], 0.0, 1e-12);
+}
+
+TEST(Brandes, ScoresAreWithinTheoreticalRange) {
+  const Graph graph =
+      graph::largest_component(gen::erdos_renyi(150, 400, 31));
+  const BcResult result = brandes(graph);
+  for (const double score : result.scores) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(BrandesParallel, MatchesSequentialOnRandomGraphs) {
+  for (const std::uint64_t seed : {41ull, 42ull}) {
+    const Graph graph =
+        graph::largest_component(gen::erdos_renyi(200, 500, seed));
+    const BcResult sequential = brandes(graph);
+    for (const int threads : {2, 4, 8}) {
+      const BcResult parallel = brandes_parallel(graph, threads);
+      ASSERT_EQ(parallel.scores.size(), sequential.scores.size());
+      for (std::size_t v = 0; v < sequential.scores.size(); ++v)
+        EXPECT_NEAR(parallel.scores[v], sequential.scores[v], 1e-9);
+    }
+  }
+}
+
+TEST(BrandesParallel, MatchesSequentialOnPowerLaw) {
+  gen::RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 6.0;
+  const Graph graph = graph::largest_component(gen::rmat(params, 17));
+  const BcResult sequential = brandes(graph);
+  const BcResult parallel = brandes_parallel(graph, 6);
+  EXPECT_LT(parallel.max_abs_difference(sequential), 1e-9);
+}
+
+TEST(BrandesParallel, SingleThreadDegeneratesToSequential) {
+  const graph::Graph graph = path_graph(20);
+  EXPECT_LT(brandes_parallel(graph, 1).max_abs_difference(brandes(graph)),
+            1e-12);
+}
+
+TEST(BcResult, TopKOrdersByScore) {
+  const BcResult result = brandes(path_graph(9));
+  const auto top = result.top_k(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 4u);  // path midpoint has the highest betweenness
+  EXPECT_GE(result.scores[top[0]], result.scores[top[1]]);
+  EXPECT_GE(result.scores[top[1]], result.scores[top[2]]);
+}
+
+TEST(BcResult, TopKClampsToSize) {
+  const BcResult result = brandes(path_graph(4));
+  EXPECT_EQ(result.top_k(100).size(), 4u);
+}
+
+}  // namespace
+}  // namespace distbc::bc

@@ -1,0 +1,98 @@
+// Full proxy-suite validation at reduced scale: every Table I proxy must
+// build, be connected, keep its family signature, and be deterministic -
+// the preconditions every bench relies on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "gen/instances.hpp"
+#include "graph/components.hpp"
+#include "graph/diameter.hpp"
+#include "graph/stats.hpp"
+
+namespace distbc::gen {
+namespace {
+
+constexpr double kTinyScale = 0.04;
+
+class FullSuite : public ::testing::TestWithParam<int> {
+ protected:
+  const InstanceSpec& spec() const { return instance_suite()[GetParam()]; }
+};
+
+TEST_P(FullSuite, BuildsConnectedNonTrivialGraph) {
+  const auto graph = spec().build(kTinyScale, 7);
+  EXPECT_GE(graph.num_vertices(), 32u) << spec().name;
+  EXPECT_GT(graph.num_edges(), graph.num_vertices() / 2) << spec().name;
+  EXPECT_TRUE(graph::is_connected(graph)) << spec().name;
+}
+
+TEST_P(FullSuite, FamilySignatureHolds) {
+  const auto graph = spec().build(kTinyScale, 8);
+  const auto stats = graph::degree_stats(graph);
+  if (spec().family == InstanceFamily::kRoad) {
+    EXPECT_LT(stats.mean, 4.5) << spec().name;
+    EXPECT_DOUBLE_EQ(stats.heavy_fraction, 0.0) << spec().name;
+  } else {
+    EXPECT_GT(stats.mean, 5.0) << spec().name;
+    EXPECT_GT(stats.max, static_cast<std::uint64_t>(5 * stats.mean))
+        << spec().name;
+  }
+}
+
+TEST_P(FullSuite, RoadDiametersDominateComplexNetworks) {
+  const auto graph = spec().build(kTinyScale, 9);
+  const auto diameter = graph::ifub_diameter(graph).diameter;
+  if (spec().family == InstanceFamily::kRoad) {
+    EXPECT_GT(diameter, 30u) << spec().name;
+  } else {
+    EXPECT_LT(diameter, 20u) << spec().name;
+  }
+}
+
+TEST_P(FullSuite, BuildIsDeterministicInSeed) {
+  const auto a = spec().build(kTinyScale, 10);
+  const auto b = spec().build(kTinyScale, 10);
+  ASSERT_EQ(a.num_vertices(), b.num_vertices()) << spec().name;
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << spec().name;
+  for (graph::Vertex v = 0; v < a.num_vertices(); ++v)
+    ASSERT_EQ(a.degree(v), b.degree(v)) << spec().name << " vertex " << v;
+}
+
+TEST_P(FullSuite, BenchEpsilonIsSane) {
+  EXPECT_GT(spec().bench_epsilon, 0.0);
+  EXPECT_LE(spec().bench_epsilon, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTen, FullSuite, ::testing::Range(0, 10),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           std::string name =
+                               instance_suite()[info.param].name;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(FullSuiteGlobal, PaperOrderMatchesTableOne) {
+  const auto& suite = instance_suite();
+  ASSERT_EQ(suite.size(), 10u);
+  EXPECT_EQ(suite[0].paper_name, "roadNet-PA");
+  EXPECT_EQ(suite[2].paper_name, "dimacs9-NE");
+  EXPECT_EQ(suite[9].paper_name, "dimacs10-uk-2007-05");
+  // Paper rows are sorted by family then |E| within the text; sanity-check
+  // monotone |E| inside each family block.
+  EXPECT_LT(suite[0].paper_edges, suite[1].paper_edges);
+  EXPECT_LT(suite[3].paper_edges, suite[6].paper_edges);
+}
+
+TEST(FullSuiteGlobal, NamesAreUniqueAndLookupsWork) {
+  std::set<std::string> names;
+  for (const auto& spec : instance_suite()) names.insert(spec.name);
+  EXPECT_EQ(names.size(), instance_suite().size());
+  for (const auto& spec : instance_suite())
+    EXPECT_EQ(&instance_by_name(spec.name), &spec);
+}
+
+}  // namespace
+}  // namespace distbc::gen

@@ -1,0 +1,242 @@
+// Deeper mpisim coverage: mixed collectives on parent and child
+// communicators, large buffers, request lifecycles, delayed completion
+// under the network model, and hierarchical (window + leader) pipelines
+// like the one §IV-E builds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+#include "mpisim/runtime.hpp"
+#include "mpisim/window.hpp"
+
+namespace distbc::mpisim {
+namespace {
+
+RuntimeConfig quiet(int ranks, int per_node = 1) {
+  RuntimeConfig config;
+  config.num_ranks = ranks;
+  config.ranks_per_node = per_node;
+  config.network = NetworkModel::disabled();
+  return config;
+}
+
+TEST(Collectives, InterleavedParentAndChildOps) {
+  Runtime runtime(quiet(6, 2));
+  runtime.run([&](Comm& world) {
+    Comm local = world.split_by_node();
+    for (int round = 0; round < 20; ++round) {
+      // Local reduce feeds into a world allreduce - the §IV-E pipeline.
+      const std::vector<std::uint64_t> mine{1};
+      std::vector<std::uint64_t> node_sum{0};
+      local.reduce(std::span<const std::uint64_t>(mine),
+                   std::span(node_sum), 0);
+      std::uint64_t contribution = local.rank() == 0 ? node_sum[0] : 0;
+      std::vector<std::uint64_t> total{0};
+      world.allreduce(
+          std::span<const std::uint64_t>(&contribution, 1), std::span(total));
+      ASSERT_EQ(total[0], 6u);
+    }
+  });
+}
+
+TEST(Collectives, LeaderReduceMatchesFlatReduce) {
+  Runtime runtime(quiet(8, 2));
+  runtime.run([&](Comm& world) {
+    Comm local = world.split_by_node();
+    Comm leaders = world.split_node_leaders();
+    Window<std::uint64_t> window(local, 16);
+
+    const std::vector<std::uint64_t> mine(16, world.rank() + 1);
+    window.accumulate(std::span<const std::uint64_t>(mine));
+    local.barrier();
+
+    std::vector<std::uint64_t> hierarchical(16, 0);
+    if (local.rank() == 0) {
+      std::vector<std::uint64_t> node_sum(16);
+      window.read(std::span(node_sum));
+      leaders.reduce(std::span<const std::uint64_t>(node_sum),
+                     std::span(hierarchical), 0);
+    }
+
+    std::vector<std::uint64_t> flat(16, 0);
+    world.reduce(std::span<const std::uint64_t>(mine), std::span(flat), 0);
+
+    if (world.rank() == 0) {
+      for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(hierarchical[i], flat[i]);
+    }
+  });
+}
+
+TEST(Collectives, LargeBufferReduce) {
+  constexpr std::size_t kCount = 1 << 18;  // 2 MiB of uint64 per rank
+  Runtime runtime(quiet(4));
+  runtime.run([&](Comm& comm) {
+    std::vector<std::uint64_t> send(kCount);
+    std::iota(send.begin(), send.end(), 0);
+    std::vector<std::uint64_t> recv(kCount, 0);
+    comm.reduce(std::span<const std::uint64_t>(send), std::span(recv), 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(recv[0], 0u);
+      EXPECT_EQ(recv[kCount - 1], 4 * (kCount - 1));
+      EXPECT_EQ(recv[12345], 4u * 12345);
+    }
+  });
+}
+
+TEST(Requests, SeveralOutstandingRequestsCompleteIndependently) {
+  Runtime runtime(quiet(3));
+  runtime.run([&](Comm& comm) {
+    // A barrier and a bcast in flight at once; they must be matched by
+    // ticket order, not completion order.
+    Request barrier = comm.ibarrier();
+    std::uint8_t flag = comm.rank() == 1 ? 9 : 0;
+    Request bcast = comm.ibcast(std::span{&flag, 1}, 1);
+    bcast.wait();
+    barrier.wait();
+    EXPECT_EQ(flag, 9);
+  });
+}
+
+TEST(Requests, CopiesShareCompletionState) {
+  Runtime runtime(quiet(2));
+  runtime.run([&](Comm& comm) {
+    Request original = comm.ibarrier();
+    Request copy = original;
+    copy.wait();
+    EXPECT_TRUE(original.test());  // same underlying operation
+  });
+}
+
+TEST(NetworkModel, ReduceCompletionIsDelayedByBandwidth) {
+  RuntimeConfig config;
+  config.num_ranks = 2;
+  config.network.remote_latency_s = 0.0;
+  config.network.remote_bandwidth_bps = 1e6;  // 1 MB/s: 100 KB ~ 100 ms
+  Runtime runtime(config);
+  runtime.run([&](Comm& comm) {
+    std::vector<std::uint64_t> send(12'500, 1);  // 100 KB
+    std::vector<std::uint64_t> recv(12'500, 0);
+    const auto start = std::chrono::steady_clock::now();
+    Request request = comm.ireduce(std::span<const std::uint64_t>(send),
+                                   std::span(recv), 0);
+    std::uint64_t polls = 0;
+    while (!request.test()) ++polls;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (comm.rank() == 0) {
+      EXPECT_GE(elapsed, 0.05);  // root waits out the modeled transfer
+      EXPECT_GT(polls, 0u);      // and had time to overlap work
+    }
+  });
+}
+
+TEST(NetworkModel, IntraNodeCheaperThanInterNode) {
+  NetworkModel model;
+  // Same rank count, different placement: 8 ranks on 1 node vs 8 nodes.
+  const auto one_node = model.collective_cost(1 << 20, 8, 1);
+  const auto many_nodes = model.collective_cost(1 << 20, 1, 8);
+  EXPECT_LT(one_node.count(), many_nodes.count());
+}
+
+TEST(Split, RepeatedAndNestedSplits) {
+  Runtime runtime(quiet(8, 4));
+  runtime.run([&](Comm& world) {
+    Comm local = world.split_by_node();  // 2 nodes x 4 ranks
+    ASSERT_EQ(local.size(), 4);
+    // Split the node communicator again by parity.
+    Comm pair = local.split(local.rank() % 2, local.rank());
+    ASSERT_TRUE(pair.valid());
+    EXPECT_EQ(pair.size(), 2);
+    const std::vector<std::uint64_t> one{1};
+    std::vector<std::uint64_t> sum{0};
+    pair.allreduce(std::span<const std::uint64_t>(one), std::span(sum));
+    EXPECT_EQ(sum[0], 2u);
+  });
+}
+
+TEST(Split, StatsArePerCommunicator) {
+  Runtime runtime(quiet(4, 2));
+  runtime.run([&](Comm& world) {
+    Comm local = world.split_by_node();
+    local.barrier();
+    world.barrier();
+    EXPECT_EQ(local.stats().barrier_calls.load(), 2u);   // 2 ranks/node
+    EXPECT_EQ(world.stats().barrier_calls.load(), 4u);
+  });
+}
+
+TEST(Window, ConcurrentAccumulatesAreAtomic) {
+  Runtime runtime(quiet(8));
+  runtime.run([&](Comm& comm) {
+    Window<std::uint64_t> window(comm, 64);
+    const std::vector<std::uint64_t> one(64, 1);
+    for (int i = 0; i < 100; ++i)
+      window.accumulate(std::span<const std::uint64_t>(one));
+    window.fence();
+    std::vector<std::uint64_t> out(64);
+    window.read(std::span(out));
+    for (const auto value : out) EXPECT_EQ(value, 800u);
+  });
+}
+
+TEST(Window, MultipleWindowsCoexist) {
+  Runtime runtime(quiet(3));
+  runtime.run([&](Comm& comm) {
+    Window<std::uint64_t> a(comm, 4);
+    Window<double> b(comm, 4);
+    const std::vector<std::uint64_t> ones(4, 1);
+    const std::vector<double> halves(4, 0.5);
+    a.accumulate(std::span<const std::uint64_t>(ones));
+    b.accumulate(std::span<const double>(halves));
+    a.fence();
+    std::vector<std::uint64_t> out_a(4);
+    std::vector<double> out_b(4);
+    a.read(std::span(out_a));
+    b.read(std::span(out_b));
+    EXPECT_EQ(out_a[0], 3u);
+    EXPECT_DOUBLE_EQ(out_b[0], 1.5);
+  });
+}
+
+TEST(P2p, PingPongAcrossNodes) {
+  Runtime runtime(quiet(4, 2));
+  runtime.run([&](Comm& comm) {
+    // 0 <-> 2 are on different nodes.
+    if (comm.rank() == 0) {
+      std::uint64_t value = 41;
+      comm.send(std::span<const std::uint64_t>(&value, 1), 2, 5);
+      std::uint64_t reply = 0;
+      comm.recv(std::span(&reply, 1), 2, 6);
+      EXPECT_EQ(reply, 42u);
+    } else if (comm.rank() == 2) {
+      std::uint64_t value = 0;
+      comm.recv(std::span(&value, 1), 0, 5);
+      ++value;
+      comm.send(std::span<const std::uint64_t>(&value, 1), 0, 6);
+    }
+  });
+}
+
+TEST(Runtime, ManyRanksStress) {
+  Runtime runtime(quiet(24));
+  std::atomic<std::uint64_t> total{0};
+  runtime.run([&](Comm& comm) {
+    const std::vector<std::uint64_t> one{1};
+    std::vector<std::uint64_t> sum{0};
+    for (int round = 0; round < 10; ++round) {
+      comm.allreduce(std::span<const std::uint64_t>(one), std::span(sum));
+      ASSERT_EQ(sum[0], 24u);
+    }
+    total += sum[0];
+  });
+  EXPECT_EQ(total.load(), 24u * 24);
+}
+
+}  // namespace
+}  // namespace distbc::mpisim

@@ -1,0 +1,163 @@
+// Parameterized property sweeps: the (epsilon, delta) guarantee across
+// graph families x algorithm variants x cluster shapes, with fixed seeds.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bc/brandes.hpp"
+#include "bc/kadabra_mpi.hpp"
+#include "bc/kadabra_seq.hpp"
+#include "bc/kadabra_shm.hpp"
+#include "gen/barabasi_albert.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/hyperbolic.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road.hpp"
+#include "graph/components.hpp"
+
+namespace distbc::bc {
+namespace {
+
+struct FamilyCase {
+  const char* name;
+  graph::Graph (*build)(std::uint64_t seed);
+};
+
+graph::Graph build_er(std::uint64_t seed) {
+  return graph::largest_component(gen::erdos_renyi(400, 1200, seed));
+}
+graph::Graph build_rmat(std::uint64_t seed) {
+  gen::RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 6.0;
+  return graph::largest_component(gen::rmat(params, seed));
+}
+graph::Graph build_hyperbolic(std::uint64_t seed) {
+  gen::HyperbolicParams params;
+  params.num_vertices = 512;
+  params.average_degree = 10.0;
+  return graph::largest_component(gen::hyperbolic(params, seed));
+}
+graph::Graph build_road(std::uint64_t seed) {
+  gen::RoadParams params;
+  params.width = 36;
+  params.height = 14;
+  return gen::road(params, seed);
+}
+graph::Graph build_ba(std::uint64_t seed) {
+  return gen::barabasi_albert(500, 3, seed);
+}
+
+class FamilyAccuracy : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(FamilyAccuracy, SequentialKadabraWithinEpsilon) {
+  const auto graph = GetParam().build(90001);
+  const BcResult exact = brandes(graph);
+  KadabraParams params;
+  params.epsilon = 0.1;
+  params.seed = 13;
+  const BcResult approx = kadabra_sequential(graph, params);
+  EXPECT_LE(approx.max_abs_difference(exact), params.epsilon)
+      << GetParam().name;
+}
+
+TEST_P(FamilyAccuracy, ShmKadabraWithinEpsilon) {
+  const auto graph = GetParam().build(90002);
+  const BcResult exact = brandes(graph);
+  ShmKadabraOptions options;
+  options.params.epsilon = 0.1;
+  options.params.seed = 14;
+  options.num_threads = 4;
+  const BcResult approx = kadabra_shm(graph, options);
+  EXPECT_LE(approx.max_abs_difference(exact), options.params.epsilon)
+      << GetParam().name;
+}
+
+TEST_P(FamilyAccuracy, MpiKadabraWithinEpsilon) {
+  const auto graph = GetParam().build(90003);
+  const BcResult exact = brandes(graph);
+  MpiKadabraOptions options;
+  options.params.epsilon = 0.1;
+  options.params.seed = 15;
+  options.threads_per_rank = 2;
+  const BcResult approx = kadabra_mpi(graph, options, /*num_ranks=*/3);
+  EXPECT_LE(approx.max_abs_difference(exact), options.params.epsilon)
+      << GetParam().name;
+}
+
+TEST_P(FamilyAccuracy, EstimatesAreProperDistributionFractions) {
+  const auto graph = GetParam().build(90004);
+  KadabraParams params;
+  params.epsilon = 0.15;
+  params.seed = 16;
+  const BcResult approx = kadabra_sequential(graph, params);
+  for (const double score : approx.scores) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FamilyAccuracy,
+    ::testing::Values(FamilyCase{"erdos-renyi", &build_er},
+                      FamilyCase{"rmat", &build_rmat},
+                      FamilyCase{"hyperbolic", &build_hyperbolic},
+                      FamilyCase{"road", &build_road},
+                      FamilyCase{"barabasi-albert", &build_ba}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      std::string name = info.param.name;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+struct ClusterShape {
+  int ranks;
+  int ranks_per_node;
+  int threads;
+  Aggregation aggregation;
+  bool hierarchical;
+};
+
+class ClusterSweep : public ::testing::TestWithParam<ClusterShape> {};
+
+TEST_P(ClusterSweep, MpiKadabraSoundAcrossShapes) {
+  const ClusterShape& shape = GetParam();
+  static const graph::Graph graph = build_rmat(90010);
+  static const BcResult exact = brandes(graph);
+  MpiKadabraOptions options;
+  options.params.epsilon = 0.1;
+  options.params.seed = 17;
+  options.threads_per_rank = shape.threads;
+  options.aggregation = shape.aggregation;
+  options.hierarchical = shape.hierarchical;
+  const BcResult approx =
+      kadabra_mpi(graph, options, shape.ranks, shape.ranks_per_node);
+  EXPECT_LE(approx.max_abs_difference(exact), options.params.epsilon);
+  EXPECT_GT(approx.samples, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClusterSweep,
+    ::testing::Values(
+        ClusterShape{1, 1, 1, Aggregation::kIbarrierReduce, false},
+        ClusterShape{2, 1, 1, Aggregation::kIbarrierReduce, false},
+        ClusterShape{4, 1, 2, Aggregation::kIbarrierReduce, false},
+        ClusterShape{4, 2, 1, Aggregation::kIbarrierReduce, true},
+        ClusterShape{4, 2, 2, Aggregation::kIreduce, false},
+        ClusterShape{6, 3, 1, Aggregation::kBlocking, false},
+        ClusterShape{8, 2, 1, Aggregation::kIbarrierReduce, true}),
+    [](const ::testing::TestParamInfo<ClusterShape>& info) {
+      const ClusterShape& shape = info.param;
+      std::string name = "r" + std::to_string(shape.ranks) + "n" +
+                         std::to_string(shape.ranks_per_node) + "t" +
+                         std::to_string(shape.threads);
+      name += shape.aggregation == Aggregation::kIbarrierReduce ? "_barrier"
+              : shape.aggregation == Aggregation::kIreduce     ? "_ireduce"
+                                                                : "_blocking";
+      if (shape.hierarchical) name += "_hier";
+      return name;
+    });
+
+}  // namespace
+}  // namespace distbc::bc

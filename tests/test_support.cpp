@@ -1,0 +1,217 @@
+// Unit tests for src/support: RNG, tables, options, timers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/options.hpp"
+#include "support/random.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace distbc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng base(42);
+  Rng s0 = base.split(0);
+  Rng s1 = base.split(1);
+  Rng s0_again = Rng(42).split(0);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto x = s0();
+    EXPECT_EQ(x, s0_again());
+    equal += x == s1();
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000003ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_bounded(bound), bound);
+  }
+}
+
+TEST(Rng, NextBoundedCoversAllValues) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBoundedIsRoughlyUniform) {
+  Rng rng(2024);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.next_bounded(kBuckets)];
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(Rng, NextDistinctPairNeverEqual) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto [s, t] = rng.next_distinct_pair(5);
+    EXPECT_NE(s, t);
+    EXPECT_LT(s, 5u);
+    EXPECT_LT(t, 5u);
+  }
+}
+
+TEST(Rng, NextDistinctPairUniformOverOrderedPairs) {
+  Rng rng(13);
+  constexpr std::uint64_t kN = 4;
+  constexpr int kDraws = 120000;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, int> histogram;
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.next_distinct_pair(kN)];
+  EXPECT_EQ(histogram.size(), kN * (kN - 1));
+  const double expected = static_cast<double>(kDraws) / (kN * (kN - 1));
+  for (const auto& [pair, count] : histogram)
+    EXPECT_NEAR(count, expected, expected * 0.1);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_range(3, 5));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(PickWeighted, RespectsWeights) {
+  Rng rng(23);
+  const std::uint64_t weights[] = {1, 0, 3};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[pick_weighted(rng, weights, 3)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0], 10000, 600);
+  EXPECT_NEAR(counts[2], 30000, 900);
+}
+
+TEST(PickWeighted, DoubleWeights) {
+  Rng rng(29);
+  const double weights[] = {0.25, 0.75};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[pick_weighted(rng, weights, 2)];
+  EXPECT_NEAR(counts[0], 10000, 600);
+}
+
+TEST(PickWeighted, SingleElement) {
+  Rng rng(31);
+  const std::uint64_t weights[] = {42};
+  EXPECT_EQ(pick_weighted(rng, weights, 1), 0u);
+}
+
+TEST(TablePrinter, AlignsColumnsAndFormats) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "123"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // All lines equally wide.
+  std::size_t width = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinter, Formatters) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt_int(1234567), "1,234,567");
+  EXPECT_EQ(TablePrinter::fmt_int(-1000), "-1,000");
+  EXPECT_EQ(TablePrinter::fmt_int(0), "0");
+  EXPECT_EQ(TablePrinter::fmt_bytes(512), "512.0 B");
+  EXPECT_EQ(TablePrinter::fmt_bytes(2.5 * 1024 * 1024), "2.5 MiB");
+  EXPECT_EQ(TablePrinter::fmt_ratio(7.412), "7.41x");
+}
+
+TEST(Options, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "ranks=16", "eps=0.01", "name=road",
+                        "flag=true"};
+  Options options(5, const_cast<char**>(argv));
+  EXPECT_EQ(options.get_u64("ranks", 0), 16u);
+  EXPECT_DOUBLE_EQ(options.get_double("eps", 0.0), 0.01);
+  EXPECT_EQ(options.get_string("name", ""), "road");
+  EXPECT_TRUE(options.get_bool("flag", false));
+  EXPECT_EQ(options.get_u64("missing", 7), 7u);
+  EXPECT_TRUE(options.has("ranks"));
+  EXPECT_FALSE(options.has("missing"));
+}
+
+TEST(PhaseTimer, AccumulatesAndMerges) {
+  PhaseTimer timer;
+  timer.add(Phase::kDiameter, 1.0);
+  timer.add(Phase::kDiameter, 0.5);
+  timer.add(Phase::kSampling, 2.0);
+  EXPECT_DOUBLE_EQ(timer.seconds(Phase::kDiameter), 1.5);
+  EXPECT_DOUBLE_EQ(timer.total_s(), 3.5);
+
+  PhaseTimer other;
+  other.add(Phase::kSampling, 1.0);
+  timer.merge(other);
+  EXPECT_DOUBLE_EQ(timer.seconds(Phase::kSampling), 3.0);
+
+  const int value = timer.timed(Phase::kStopCheck, [] { return 42; });
+  EXPECT_EQ(value, 42);
+  EXPECT_GE(timer.seconds(Phase::kStopCheck), 0.0);
+}
+
+TEST(PhaseTimer, PhaseNamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
+    const auto name = phase_name(static_cast<Phase>(p));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(Phase::kCount));
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer timer;
+  const double first = timer.elapsed_s();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(timer.elapsed_s(), first);
+  timer.restart();
+  EXPECT_LT(timer.elapsed_s(), 1.0);
+}
+
+}  // namespace
+}  // namespace distbc
