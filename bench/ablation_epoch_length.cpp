@@ -28,11 +28,11 @@ int main(int argc, char** argv) {
   TablePrinter table({"base", "exponent", "n0", "epochs", "samples (tau)",
                       "overshoot", "ADS (s)", "total (s)"});
   for (const Rule& rule : rules) {
-    bc::MpiKadabraOptions options = bench::bench_mpi_options(spec, config);
-    options.epoch_base = rule.base;
-    options.epoch_exponent = rule.exponent;
+    bc::KadabraOptions options = bench::bench_mpi_options(spec, config);
+    options.engine.epoch_base = rule.base;
+    options.engine.epoch_exponent = rule.exponent;
     const bc::BcResult result =
-        bc::kadabra_mpi(graph, options, p, 1, bench::bench_network());
+        bc::kadabra_mpi(graph, options, p, 1, bench::bench_network(config));
     const double overshoot =
         result.samples > 0 && result.epochs > 0
             ? static_cast<double>(result.samples) /
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     table.add_row(
         {std::to_string(rule.base), TablePrinter::fmt(rule.exponent, 2),
          TablePrinter::fmt_int(static_cast<long long>(
-             bc::epoch_length(rule.base, rule.exponent, p))),
+             engine::epoch_length(rule.base, rule.exponent, p))),
          TablePrinter::fmt_int(static_cast<long long>(result.epochs)),
          TablePrinter::fmt_int(static_cast<long long>(result.samples)),
          TablePrinter::fmt_ratio(overshoot),

@@ -30,10 +30,10 @@ int main(int argc, char** argv) {
   };
   const Shape shapes[] = {{1, false}, {2, false}, {2, true}, {4, true}};
   for (const Shape& shape : shapes) {
-    bc::MpiKadabraOptions options = bench::bench_mpi_options(spec, config);
-    options.hierarchical = shape.hierarchical;
+    bc::KadabraOptions options = bench::bench_mpi_options(spec, config);
+    options.engine.hierarchical = shape.hierarchical;
     const bc::BcResult result = bc::kadabra_mpi(
-        graph, options, p, shape.ranks_per_node, bench::bench_network());
+        graph, options, p, shape.ranks_per_node, bench::bench_network(config));
     table.add_row(
         {std::to_string(shape.ranks_per_node),
          shape.hierarchical ? "yes" : "no",

@@ -21,16 +21,18 @@ int main(int argc, char** argv) {
   TablePrinter table({"P", "epoch ADS (s)", "lockstep ADS (s)",
                       "epoch adv.", "epoch rate", "lockstep rate"});
   for (const int p : {1, 4, 16}) {
-    const bc::MpiKadabraOptions epoch_options =
-        bench::bench_mpi_options(spec, config);
+    // Synchronization cost is the object of study: finer rounds and a
+    // slower fabric keep it visible above the sampling work.
+    bc::KadabraOptions epoch_options = bench::bench_mpi_options(spec, config);
+    epoch_options.engine.epoch_base = config.options.get_u64("n0base", 20);
     const bc::BcResult epoch_result = bc::kadabra_mpi(
-        graph, epoch_options, p, 1, bench::bench_network());
+        graph, epoch_options, p, 1, bench::bench_network(config, 2000.0));
 
     bc::LockstepOptions lockstep_options;
     lockstep_options.params = epoch_options.params;
-    lockstep_options.epoch_base = epoch_options.epoch_base;
+    lockstep_options.epoch_base = epoch_options.engine.epoch_base;
     const bc::BcResult lockstep_result = bc::lockstep_mpi(
-        graph, lockstep_options, p, 1, bench::bench_network());
+        graph, lockstep_options, p, 1, bench::bench_network(config, 2000.0));
 
     auto rate = [p](const bc::BcResult& result) {
       return result.adaptive_seconds > 0

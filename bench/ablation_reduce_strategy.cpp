@@ -32,10 +32,13 @@ int main(int argc, char** argv) {
                       "reduce (s)", "samples/(s*P)"});
   for (const int p : {4, 16}) {
     for (const Strategy& strategy : strategies) {
-      bc::MpiKadabraOptions options = bench::bench_mpi_options(spec, config);
-      options.aggregation = strategy.aggregation;
-      const bc::BcResult result =
-          bc::kadabra_mpi(graph, options, p, 1, bench::bench_network());
+      bc::KadabraOptions options = bench::bench_mpi_options(spec, config);
+      options.engine.aggregation = strategy.aggregation;
+      // Shorter epochs than the shared bench default: the per-epoch
+      // aggregation is the object of study here, so give it weight.
+      options.engine.epoch_base = config.options.get_u64("n0base", 20);
+      const bc::BcResult result = bc::kadabra_mpi(
+          graph, options, p, 1, bench::bench_network(config, 500.0));
       const double rate =
           result.adaptive_seconds > 0
               ? static_cast<double>(result.samples_attempted) /

@@ -13,8 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "bc/kadabra_mpi.hpp"
-#include "bc/kadabra_shm.hpp"
+#include "bc/kadabra.hpp"
 #include "gen/instances.hpp"
 #include "graph/graph.hpp"
 #include "support/options.hpp"
@@ -53,8 +52,21 @@ inline double geometric_mean(const std::vector<double>& values) {
   return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
-/// Interconnect model used by all benches: OmniPath-flavored defaults.
-inline mpisim::NetworkModel bench_network() { return mpisim::NetworkModel{}; }
+/// Interconnect model used by all benches: OmniPath-flavored defaults,
+/// with the inter-node latency overridable (latency_us=...). Benches whose
+/// effect *is* the aggregation latency (e.g. the §IV-F strategy ablation)
+/// pass a slower default so the effect stays measurable when the simulated
+/// ranks timeshare few physical cores.
+inline mpisim::NetworkModel bench_network(const BenchConfig& config,
+                                          double default_latency_us = 2.0) {
+  mpisim::NetworkModel network;
+  network.remote_latency_s =
+      config.options.get_double("latency_us", default_latency_us) * 1e-6;
+  // Benches model the paper's cluster: one dedicated core per rank, so a
+  // rank blocked in a collective produces nothing (see NetworkModel).
+  network.dedicated_cores = config.options.get_bool("dedicated", true);
+  return network;
+}
 
 /// KADABRA parameters for a proxy instance at bench scale.
 inline bc::KadabraParams bench_params(const gen::InstanceSpec& spec,
@@ -74,20 +86,20 @@ inline std::uint64_t bench_epoch_base(const BenchConfig& config) {
   return config.options.get_u64("n0base", 50);
 }
 
-inline bc::MpiKadabraOptions bench_mpi_options(const gen::InstanceSpec& spec,
+inline bc::KadabraOptions bench_mpi_options(const gen::InstanceSpec& spec,
                                                const BenchConfig& config) {
-  bc::MpiKadabraOptions options;
+  bc::KadabraOptions options;
   options.params = bench_params(spec, config.seed);
-  options.epoch_base = bench_epoch_base(config);
+  options.engine.epoch_base = bench_epoch_base(config);
   return options;
 }
 
-inline bc::ShmKadabraOptions bench_shm_options(const gen::InstanceSpec& spec,
+inline bc::KadabraOptions bench_shm_options(const gen::InstanceSpec& spec,
                                                const BenchConfig& config) {
-  bc::ShmKadabraOptions options;
+  bc::KadabraOptions options;
   options.params = bench_params(spec, config.seed);
-  options.num_threads = 1;
-  options.epoch_base = bench_epoch_base(config);
+  options.engine.threads_per_rank = 1;
+  options.engine.epoch_base = bench_epoch_base(config);
   return options;
 }
 

@@ -24,15 +24,15 @@ int main(int argc, char** argv) {
                       "P=8", "P=16"});
   for (const auto& spec : config.suite()) {
     const auto graph = spec.build(config.scale, config.seed);
-    const bc::ShmKadabraOptions shm = bench::bench_shm_options(spec, config);
+    const bc::KadabraOptions shm = bench::bench_shm_options(spec, config);
     const bc::BcResult baseline = kadabra_shm(graph, shm);
 
     std::vector<std::string> row{spec.name,
                                  TablePrinter::fmt(baseline.total_seconds, 2)};
     for (std::size_t i = 0; i < ranks.size(); ++i) {
-      const bc::MpiKadabraOptions mpi = bench::bench_mpi_options(spec, config);
+      const bc::KadabraOptions mpi = bench::bench_mpi_options(spec, config);
       const bc::BcResult result = bc::kadabra_mpi(
-          graph, mpi, ranks[i], /*ranks_per_node=*/1, bench::bench_network());
+          graph, mpi, ranks[i], /*ranks_per_node=*/1, bench::bench_network(config));
       const double speedup = baseline.total_seconds / result.total_seconds;
       speedups[i].push_back(speedup);
       row.push_back(TablePrinter::fmt_ratio(speedup));

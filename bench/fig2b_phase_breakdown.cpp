@@ -30,10 +30,10 @@ int main(int argc, char** argv) {
     int counted = 0;
     for (const auto& spec : config.suite()) {
       const auto graph = spec.build(config.scale, config.seed);
-      const bc::MpiKadabraOptions options =
+      const bc::KadabraOptions options =
           bench::bench_mpi_options(spec, config);
       const bc::BcResult result = bc::kadabra_mpi(
-          graph, options, p, /*ranks_per_node=*/1, bench::bench_network());
+          graph, options, p, /*ranks_per_node=*/1, bench::bench_network(config));
       const double total = result.phases.total_s();
       if (total <= 0) continue;
       for (std::size_t i = 0; i < std::size(kShown); ++i)

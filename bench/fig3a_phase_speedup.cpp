@@ -20,15 +20,15 @@ int main(int argc, char** argv) {
 
   for (const auto& spec : config.suite()) {
     const auto graph = spec.build(config.scale, config.seed);
-    const bc::ShmKadabraOptions shm = bench::bench_shm_options(spec, config);
+    const bc::KadabraOptions shm = bench::bench_shm_options(spec, config);
     const bc::BcResult baseline = kadabra_shm(graph, shm);
     const double base_ads = baseline.adaptive_seconds;
     const double base_calib = baseline.phases.seconds(Phase::kCalibration);
 
     for (std::size_t i = 0; i < ranks.size(); ++i) {
-      const bc::MpiKadabraOptions mpi = bench::bench_mpi_options(spec, config);
+      const bc::KadabraOptions mpi = bench::bench_mpi_options(spec, config);
       const bc::BcResult result = bc::kadabra_mpi(
-          graph, mpi, ranks[i], /*ranks_per_node=*/1, bench::bench_network());
+          graph, mpi, ranks[i], /*ranks_per_node=*/1, bench::bench_network(config));
       if (result.adaptive_seconds > 0)
         ads_speedups[i].push_back(base_ads / result.adaptive_seconds);
       const double calib = result.phases.seconds(Phase::kCalibration);

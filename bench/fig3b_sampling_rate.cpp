@@ -19,11 +19,11 @@ int main(int argc, char** argv) {
     const auto graph = spec.build(config.scale, config.seed);
     std::vector<std::string> row{spec.name};
     for (std::size_t i = 0; i < ranks.size(); ++i) {
-      const bc::MpiKadabraOptions options =
+      const bc::KadabraOptions options =
           bench::bench_mpi_options(spec, config);
       const bc::BcResult result = bc::kadabra_mpi(
           graph, options, ranks[i], /*ranks_per_node=*/1,
-          bench::bench_network());
+          bench::bench_network(config));
       const double rate =
           result.adaptive_seconds > 0
               ? static_cast<double>(result.samples_attempted) /

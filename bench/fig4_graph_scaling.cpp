@@ -25,11 +25,11 @@ int main(int argc, char** argv) {
   const double epsilon = config.options.get_double("eps", 0.02);
 
   auto run = [&](const graph::Graph& graph) {
-    bc::MpiKadabraOptions options;
+    bc::KadabraOptions options;
     options.params.epsilon = epsilon;
     options.params.seed = config.seed;
-    options.epoch_base = bench::bench_epoch_base(config);
-    return bc::kadabra_mpi(graph, options, p, 1, bench::bench_network());
+    options.engine.epoch_base = bench::bench_epoch_base(config);
+    return bc::kadabra_mpi(graph, options, p, 1, bench::bench_network(config));
   };
 
   std::printf("(a) R-MAT, |E| = 30 |V|, P=%d, eps=%.3g\n", p, epsilon);

@@ -15,10 +15,10 @@ int main(int argc, char** argv) {
                       "ADS time (s)"});
   for (const auto& spec : config.suite()) {
     const auto graph = spec.build(config.scale, config.seed);
-    const bc::MpiKadabraOptions options =
+    const bc::KadabraOptions options =
         bench::bench_mpi_options(spec, config);
     const bc::BcResult result = bc::kadabra_mpi(
-        graph, options, p, /*ranks_per_node=*/1, bench::bench_network());
+        graph, options, p, /*ranks_per_node=*/1, bench::bench_network(config));
     const double volume_per_epoch =
         result.epochs > 0
             ? static_cast<double>(result.comm_bytes) / result.epochs

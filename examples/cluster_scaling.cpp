@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <mutex>
 
-#include "bc/kadabra_mpi.hpp"
+#include "bc/kadabra.hpp"
 #include "gen/hyperbolic.hpp"
 #include "graph/components.hpp"
 #include "mpisim/runtime.hpp"
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     config.network = network;
     mpisim::Runtime runtime(config);
 
-    bc::MpiKadabraOptions bc_options;
+    bc::KadabraOptions bc_options;
     bc_options.params.epsilon = options.get_double("eps", 0.005);
     bc_options.params.seed = 5;
 

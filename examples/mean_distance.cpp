@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
   adaptive::MeanDistanceParams params;
   params.epsilon = options.get_double("eps", 0.05);
-  params.threads_per_rank = 1;
+  params.engine.threads_per_rank = 1;
 
   // A small-world social network vs a high-diameter road network: the same
   // estimator adapts its sample count to the distance variance of each.

@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "bc/brandes_parallel.hpp"
-#include "bc/kadabra_mpi.hpp"
+#include "bc/kadabra.hpp"
 #include "gen/rmat.hpp"
 #include "graph/components.hpp"
 #include "support/options.hpp"
@@ -27,10 +27,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(graph.num_edges()));
 
   // 2. Approximate betweenness on a simulated cluster.
-  bc::MpiKadabraOptions bc_options;
+  bc::KadabraOptions bc_options;
   bc_options.params.epsilon = options.get_double("eps", 0.05);
   bc_options.params.delta = 0.1;
-  bc_options.threads_per_rank =
+  bc_options.engine.threads_per_rank =
       static_cast<int>(options.get_u64("threads", 2));
   const int ranks = static_cast<int>(options.get_u64("ranks", 4));
   const bc::BcResult approx = bc::kadabra_mpi(graph, bc_options, ranks);

@@ -8,7 +8,7 @@
 //   ./road_network [width=220] [height=70] [eps=0.02] [ranks=8]
 #include <cstdio>
 
-#include "bc/kadabra_mpi.hpp"
+#include "bc/kadabra.hpp"
 #include "gen/road.hpp"
 #include "graph/diameter.hpp"
 #include "support/options.hpp"
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
               diameter.diameter,
               static_cast<unsigned long long>(diameter.num_bfs));
 
-  bc::MpiKadabraOptions bc_options;
+  bc::KadabraOptions bc_options;
   bc_options.params.epsilon = options.get_double("eps", 0.02);
   bc_options.params.seed = 11;
   const int ranks = static_cast<int>(options.get_u64("ranks", 8));

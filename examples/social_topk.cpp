@@ -13,7 +13,7 @@
 #include <set>
 
 #include "bc/brandes_parallel.hpp"
-#include "bc/kadabra_mpi.hpp"
+#include "bc/kadabra.hpp"
 #include "gen/rmat.hpp"
 #include "graph/components.hpp"
 #include "support/options.hpp"
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
               above_001, graph.num_vertices());
 
   for (const double eps : {0.05, 0.02, 0.008}) {
-    bc::MpiKadabraOptions bc_options;
+    bc::KadabraOptions bc_options;
     bc_options.params.epsilon = eps;
     bc_options.params.seed = 99;
     const bc::BcResult approx =

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <mutex>
 
-#include "adaptive/driver.hpp"
+#include "engine/engine.hpp"
 #include "graph/bfs.hpp"
 #include "graph/components.hpp"
 #include "support/random.hpp"
@@ -77,12 +77,8 @@ ClosenessResult closeness_rank(const graph::Graph& graph,
   const double hoeffding_radius_log =
       std::log(2.0 * static_cast<double>(n) / params.delta) / 2.0;
 
-  DriverOptions options;
-  options.threads_per_rank = params.threads_per_rank;
-  options.epoch_base = params.epoch_base;
-
-  auto make_sampler = [&](std::uint64_t global_thread) {
-    return SourceSampler(graph, Rng(params.seed).split(global_thread));
+  auto make_sampler = [&](std::uint64_t stream) {
+    return SourceSampler(graph, Rng(params.seed).split(stream));
   };
   auto should_stop = [&](const ClosenessFrame& aggregate) {
     const std::uint64_t tau = aggregate.sources();
@@ -99,8 +95,20 @@ ClosenessResult closeness_rank(const graph::Graph& graph,
     return true;
   };
 
-  auto driver_result = run_epoch_mpi(world, ClosenessFrame(n), make_sampler,
-                                     should_stop, options);
+  // First-stop-check clamp mirroring KADABRA's omega/2 rule: the Hoeffding
+  // worst case bounds the useful sample count, so an epoch must never run
+  // past a fraction of it or easy (low-variance) instances overshoot the
+  // adaptive stopping point before the first check.
+  engine::EngineOptions options = params.engine;
+  const std::uint64_t bound_clamp = std::max<std::uint64_t>(
+      1, closeness_sample_bound(n, params.epsilon, params.delta) / 8);
+  options.max_epoch_length = options.max_epoch_length != 0
+                                 ? std::min(options.max_epoch_length,
+                                            bound_clamp)
+                                 : bound_clamp;
+
+  auto driver_result = engine::run_epochs(&world, ClosenessFrame(n),
+                                          make_sampler, should_stop, options);
 
   ClosenessResult result;
   result.epochs = driver_result.epochs;

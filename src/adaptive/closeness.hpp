@@ -1,5 +1,5 @@
 // Adaptive estimation of harmonic closeness centrality for all vertices -
-// a third algorithm on the generic epoch-based MPI driver, with a
+// a third algorithm on the unified epoch-sampling engine, with a
 // *per-vertex* stopping rule like KADABRA's (in contrast to the scalar rule
 // of mean_distance), demonstrating that the framework accommodates both.
 //
@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "graph/graph.hpp"
 #include "mpisim/runtime.hpp"
 
@@ -80,9 +81,11 @@ class ClosenessFrame {
 struct ClosenessParams {
   double epsilon = 0.05;  // additive error on normalized harmonic closeness
   double delta = 0.1;
-  int threads_per_rank = 1;
   std::uint64_t seed = 0x5eed;
-  std::uint64_t epoch_base = 1000;
+  /// Epoch-engine configuration: threads per rank, aggregation strategy
+  /// (§IV-F), hierarchical reduction (§IV-E), epoch-length rule - the
+  /// same knobs as the KADABRA backends, for free via the shared engine.
+  engine::EngineOptions engine;
 };
 
 struct ClosenessResult {

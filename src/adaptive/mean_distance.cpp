@@ -3,7 +3,7 @@
 #include <cmath>
 #include <mutex>
 
-#include "adaptive/driver.hpp"
+#include "engine/engine.hpp"
 #include "graph/bidirectional_bfs.hpp"
 #include "graph/components.hpp"
 #include "graph/diameter.hpp"
@@ -71,12 +71,8 @@ MeanDistanceResult mean_distance_rank(const graph::Graph& graph,
   }
   world.bcast(std::span{&range, 1}, 0);
 
-  DriverOptions options;
-  options.threads_per_rank = params.threads_per_rank;
-  options.epoch_base = params.epoch_base;
-
-  auto make_sampler = [&](std::uint64_t global_thread) {
-    return DistanceSampler(graph, Rng(params.seed).split(global_thread));
+  auto make_sampler = [&](std::uint64_t stream) {
+    return DistanceSampler(graph, Rng(params.seed).split(stream));
   };
   auto should_stop = [&](const MomentFrame& aggregate) {
     const std::uint64_t n = aggregate.count();
@@ -85,8 +81,8 @@ MeanDistanceResult mean_distance_rank(const graph::Graph& graph,
                                 n) <= params.epsilon;
   };
 
-  auto driver_result = run_epoch_mpi(world, MomentFrame{}, make_sampler,
-                                     should_stop, options);
+  auto driver_result = engine::run_epochs(&world, MomentFrame{}, make_sampler,
+                                          should_stop, params.engine);
 
   MeanDistanceResult result;
   result.epochs = driver_result.epochs;

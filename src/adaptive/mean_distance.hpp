@@ -9,8 +9,9 @@
 //   hw(n) = sqrt(2 V_n ln(3/delta) / n) + 3 R ln(3/delta) / n <= epsilon,
 // with V_n the sample variance and R an upper bound on the distance range
 // (a cheap 2-approximate diameter). Everything else - wait-free per-thread
-// frames, overlapped epoch transitions and reductions, rank-0 stop checks -
-// comes from adaptive::run_epoch_mpi unchanged.
+// frames, overlapped epoch transitions and reductions, selectable
+// aggregation strategies, hierarchical reduction, rank-0 stop checks -
+// comes from engine::run_epochs unchanged.
 #pragma once
 
 #include <algorithm>
@@ -18,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "graph/graph.hpp"
 #include "mpisim/runtime.hpp"
 #include "support/timer.hpp"
@@ -58,9 +60,10 @@ class MomentFrame {
 struct MeanDistanceParams {
   double epsilon = 0.1;  // absolute half-width target, in hops
   double delta = 0.1;
-  int threads_per_rank = 1;
   std::uint64_t seed = 0x5eed;
-  std::uint64_t epoch_base = 1000;
+  /// Epoch-engine configuration (threads, §IV-F aggregation strategy,
+  /// §IV-E hierarchical reduction, epoch-length rule).
+  engine::EngineOptions engine;
 };
 
 struct MeanDistanceResult {

@@ -1,0 +1,139 @@
+#include "bc/kadabra.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "bc/sampler.hpp"
+#include "epoch/state_frame.hpp"
+#include "support/timer.hpp"
+
+namespace distbc::bc {
+
+BcResult kadabra_run(const graph::Graph& graph, const KadabraOptions& options,
+                     mpisim::Comm* world) {
+  DISTBC_ASSERT(options.engine.threads_per_rank >= 1);
+  DISTBC_ASSERT(options.omega_fraction > 0);
+  WallTimer total_timer;
+  PhaseTimer phases;
+  BcResult result;
+  const graph::Vertex n = graph.num_vertices();
+  const int num_ranks = world != nullptr ? world->size() : 1;
+  const int rank = world != nullptr ? world->rank() : 0;
+  const bool is_root = rank == 0;
+  const KadabraParams& params = options.params;
+  if (n < 2) {
+    if (is_root) result.scores.assign(n, 0.0);
+    result.total_seconds = total_timer.elapsed_s();
+    return result;
+  }
+
+  // --- Phase 1: diameter at rank zero (sequential, §IV-F), broadcast. ----
+  std::uint32_t vd = 0;
+  if (is_root) {
+    vd = phases.timed(Phase::kDiameter,
+                      [&] { return kadabra_vertex_diameter(graph, params); });
+  }
+  if (world != nullptr) world->bcast(std::span{&vd, 1}, 0);
+  KadabraContext context = begin_context(params, vd);
+
+  // --- Phase 2: parallel calibration through the engine's hook. ----------
+  // Calibration streams occupy stream indices [0, V); the adaptive phase
+  // continues with fresh streams [V, 2V) so the adaptive guarantee is only
+  // over fresh samples, as in KADABRA.
+  const std::uint64_t streams = engine::num_streams(options.engine, num_ranks);
+  phases.timed(Phase::kCalibration, [&] {
+    const epoch::StateFrame initial = engine::calibrate(
+        world, epoch::StateFrame(n),
+        [&](std::uint64_t v) {
+          return PathSampler(graph, Rng(params.seed).split(v));
+        },
+        context.initial_samples, options.engine);
+    if (is_root) finish_calibration(context, initial);
+  });
+
+  // --- Phase 3: epoch-based adaptive sampling (Algorithm 2). -------------
+  WallTimer adaptive_timer;
+  engine::EngineOptions engine_options = options.engine;
+  const std::uint64_t omega_clamp = std::max(
+      options.min_epoch_length,
+      std::max<std::uint64_t>(1, context.omega / options.omega_fraction));
+  engine_options.max_epoch_length =
+      engine_options.max_epoch_length != 0
+          ? std::min(engine_options.max_epoch_length, omega_clamp)
+          : omega_clamp;
+  auto driver = engine::run_epochs(
+      world, epoch::StateFrame(n),
+      [&](std::uint64_t v) {
+        return PathSampler(graph, Rng(params.seed).split(streams + v));
+      },
+      [&](const epoch::StateFrame& aggregate) {
+        return context.stop_satisfied(aggregate);
+      },
+      engine_options);
+  result.adaptive_seconds = adaptive_timer.elapsed_s();
+
+  phases.merge(driver.phases);
+  result.epochs = driver.epochs;
+  result.samples_attempted = driver.samples_attempted;
+  if (is_root) {
+    const epoch::StateFrame& aggregate = driver.aggregate;
+    result.scores.assign(n, 0.0);
+    const auto tau = static_cast<double>(aggregate.tau());
+    for (graph::Vertex v = 0; v < n; ++v)
+      result.scores[v] = static_cast<double>(aggregate.count(v)) / tau;
+    result.samples = aggregate.tau();
+    result.comm_bytes = driver.comm_bytes;
+    result.omega = context.omega;
+    result.vertex_diameter = vd;
+    result.phases = phases;
+  }
+  result.total_seconds = total_timer.elapsed_s();
+  return result;
+}
+
+BcResult kadabra_sequential(const graph::Graph& graph,
+                            const KadabraParams& params) {
+  KadabraOptions options;
+  options.params = params;
+  options.engine.threads_per_rank = 1;
+  // Sequentially, a stop check costs O(|V|) against O(n0) BFS samples, so
+  // it can run much more often than in the parallel drivers; scale the
+  // interval with the budget so small instances do not overshoot omega.
+  options.omega_fraction = 20;
+  options.min_epoch_length = 100;
+  return kadabra_run(graph, options, nullptr);
+}
+
+BcResult kadabra_shm(const graph::Graph& graph,
+                     const KadabraOptions& options) {
+  return kadabra_run(graph, options, nullptr);
+}
+
+BcResult kadabra_mpi_rank(const graph::Graph& graph,
+                          const KadabraOptions& options,
+                          mpisim::Comm& world) {
+  return kadabra_run(graph, options, &world);
+}
+
+BcResult kadabra_mpi(const graph::Graph& graph, const KadabraOptions& options,
+                     int num_ranks, int ranks_per_node,
+                     mpisim::NetworkModel network) {
+  mpisim::RuntimeConfig config;
+  config.num_ranks = num_ranks;
+  config.ranks_per_node = ranks_per_node;
+  config.network = network;
+  mpisim::Runtime runtime(config);
+
+  BcResult root_result;
+  std::mutex result_mu;
+  runtime.run([&](mpisim::Comm& world) {
+    BcResult local = kadabra_run(graph, options, &world);
+    if (world.rank() == 0) {
+      std::lock_guard lock(result_mu);
+      root_result = std::move(local);
+    }
+  });
+  return root_result;
+}
+
+}  // namespace distbc::bc

@@ -1,0 +1,75 @@
+// KADABRA betweenness approximation on the unified epoch-sampling engine.
+//
+// One implementation (kadabra_run) covers the three-phase algorithm -
+// diameter, calibration, epoch-based adaptive sampling (Algorithm 2) - and
+// the three deployment backends are thin configurations of it:
+//   kadabra_sequential : 1 rank x 1 thread, no communicator - the bitwise-
+//                        reproducible reference (Borassi & Natale's KADABRA);
+//   kadabra_shm        : 1 rank x T threads, no communicator - the
+//                        shared-memory algorithm of the paper's Ref. [24];
+//   kadabra_mpi        : P ranks x T threads over mpisim - the paper's
+//                        contribution, with selectable §IV-F aggregation
+//                        strategies and §IV-E hierarchical reduction.
+// All backends derive their RNG streams from global stream indices (engine
+// streams), so a (seed, stream) pair samples the same sequence regardless
+// of the deployment shape. In the engine's deterministic mode, any two
+// KadabraOptions-driven runs (shm / mpi / kadabra_run) with the same seed
+// and virtual-stream count produce bitwise-identical results across
+// cluster shapes and aggregation strategies (tests/test_engine.cpp);
+// kadabra_sequential is the fixed reference configuration and keeps its
+// own denser stop-check schedule, so compare against kadabra_shm with one
+// thread for cross-backend equivalence.
+#pragma once
+
+#include "bc/kadabra_context.hpp"
+#include "bc/result.hpp"
+#include "engine/engine.hpp"
+#include "graph/graph.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace distbc::bc {
+
+/// Aggregation strategy vocabulary, re-exported from the engine.
+using engine::Aggregation;
+
+struct KadabraOptions {
+  KadabraParams params;
+  /// Engine configuration: threads per rank, aggregation strategy,
+  /// hierarchical reduction, epoch-length rule, deterministic mode.
+  engine::EngineOptions engine;
+  /// First-stop-check clamp: the total epoch length is capped at
+  /// max(min_epoch_length, omega / omega_fraction) so easy instances do
+  /// not sample far past termination before the first check.
+  std::uint64_t omega_fraction = 2;
+  std::uint64_t min_epoch_length = 1;
+};
+
+/// The unified driver: runs all three phases on `world` (nullptr = no
+/// communicator, single-rank). Scores and global statistics are valid at
+/// world rank 0; other ranks carry local timing and work counts.
+[[nodiscard]] BcResult kadabra_run(const graph::Graph& graph,
+                                   const KadabraOptions& options,
+                                   mpisim::Comm* world);
+
+/// Sequential reference configuration (1 rank x 1 thread, no comm).
+[[nodiscard]] BcResult kadabra_sequential(const graph::Graph& graph,
+                                          const KadabraParams& params);
+
+/// Shared-memory configuration (1 rank x engine.threads_per_rank threads).
+[[nodiscard]] BcResult kadabra_shm(const graph::Graph& graph,
+                                   const KadabraOptions& options);
+
+/// Per-rank MPI driver; call from inside mpisim::Runtime::run() on every
+/// rank.
+[[nodiscard]] BcResult kadabra_mpi_rank(const graph::Graph& graph,
+                                        const KadabraOptions& options,
+                                        mpisim::Comm& world);
+
+/// Convenience wrapper: spins up a simulated cluster of `num_ranks` ranks
+/// (`ranks_per_node` per node) and returns rank zero's result.
+[[nodiscard]] BcResult kadabra_mpi(const graph::Graph& graph,
+                                   const KadabraOptions& options,
+                                   int num_ranks, int ranks_per_node = 1,
+                                   mpisim::NetworkModel network = {});
+
+}  // namespace distbc::bc

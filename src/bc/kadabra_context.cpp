@@ -59,19 +59,4 @@ void finish_calibration(KadabraContext& context,
                 context.params.delta, context.params.balancing);
 }
 
-std::uint64_t epoch_length(std::uint64_t base, double exponent,
-                           std::uint64_t total_threads) {
-  DISTBC_ASSERT(base > 0 && total_threads > 0);
-  return static_cast<std::uint64_t>(std::ceil(
-      static_cast<double>(base) *
-      std::pow(static_cast<double>(total_threads), exponent)));
-}
-
-std::uint64_t epoch_share(std::uint64_t base, double exponent,
-                          std::uint64_t total_threads) {
-  const std::uint64_t total = epoch_length(base, exponent, total_threads);
-  return std::max<std::uint64_t>(1, (total + total_threads - 1) /
-                                        total_threads);
-}
-
 }  // namespace distbc::bc

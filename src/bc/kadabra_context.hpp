@@ -38,17 +38,4 @@ struct KadabraContext {
 void finish_calibration(KadabraContext& context,
                         const epoch::StateFrame& initial_frame);
 
-/// Epoch length rule of paper §IV-D: n0 = base * (total_threads)^exponent
-/// samples per epoch *in total* across all threads of all ranks. Every
-/// thread contributes at the same rate, so a driver's thread zero takes
-/// n0 / total_threads samples before forcing the transition (see
-/// epoch_share). The superlinear exponent makes epochs slightly longer per
-/// thread as the machine grows, amortizing the growing aggregation cost.
-[[nodiscard]] std::uint64_t epoch_length(std::uint64_t base, double exponent,
-                                         std::uint64_t total_threads);
-
-/// Thread-zero's sampling share of one epoch: ceil(n0 / total_threads).
-[[nodiscard]] std::uint64_t epoch_share(std::uint64_t base, double exponent,
-                                        std::uint64_t total_threads);
-
 }  // namespace distbc::bc

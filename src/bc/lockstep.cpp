@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bc/sampler.hpp"
+#include "engine/streams.hpp"
 #include "support/timer.hpp"
 
 namespace distbc::bc {
@@ -69,8 +70,9 @@ BcResult lockstep_mpi_rank(const graph::Graph& graph,
   const std::uint64_t round_share =
       options.round_share != 0
           ? options.round_share
-          : std::min(epoch_share(options.epoch_base, options.epoch_exponent,
-                                 total_threads),
+          : std::min(engine::epoch_share(options.epoch_base,
+                                         options.epoch_exponent,
+                                         total_threads),
                      std::max<std::uint64_t>(
                          1, context.omega / (2 * total_threads)));
 

@@ -1,0 +1,17 @@
+#include "engine/engine.hpp"
+
+namespace distbc::engine {
+
+const char* aggregation_name(Aggregation aggregation) {
+  switch (aggregation) {
+    case Aggregation::kIbarrierReduce:
+      return "ibarrier+reduce";
+    case Aggregation::kIreduce:
+      return "ireduce";
+    case Aggregation::kBlocking:
+      return "blocking";
+  }
+  return "?";
+}
+
+}  // namespace distbc::engine

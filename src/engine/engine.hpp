@@ -1,0 +1,417 @@
+// The pluggable epoch-sampling engine: one implementation of the paper's
+// Algorithm 2 serving every adaptive-sampling workload and every backend.
+//
+// The algorithm-specific pieces - the state-frame layout, the sampling
+// kernel, the stopping rule - are template parameters; everything the paper
+// contributes is engine machinery shared by all of them:
+//   * per-thread wait-free frames with overlapped epoch transitions (§IV-B/C),
+//   * the epoch-length rule (§IV-D, streams.hpp),
+//   * selectable aggregation strategies (§IV-F): Ibarrier + blocking Reduce,
+//     plain Ireduce, or fully blocking,
+//   * hierarchical node-local RMA pre-reduction (§IV-E, hierarchy.hpp),
+//   * the overlapped termination broadcast and per-phase stats plumbing.
+//
+// Backends are pure configurations of this engine:
+//   seq = no communicator (world == nullptr), 1 thread;
+//   shm = no communicator, T threads;
+//   mpi = P ranks x T threads over an mpisim communicator.
+// With a null communicator (or a 1-rank world) every collective degenerates
+// to a no-op and the epoch aggregate feeds the stopping rule directly.
+//
+// Requirements on Frame:
+//   Frame(const Frame&)            - copyable prototype construction
+//   void clear()
+//   void merge(const Frame&)       - equivalent to elementwise sum of raw()
+//   std::span<std::uint64_t> raw() - flat view used for reductions and the
+//                                    hierarchical window
+// Requirements on the sampler factory: Sampler make(stream_index) for
+// stream indices in [0, num_streams), where Sampler provides
+// void sample(Frame&). Requirements on the stop functor (evaluated at world
+// rank 0 only, on a consistent aggregate): bool operator()(const Frame&).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/hierarchy.hpp"
+#include "engine/streams.hpp"
+#include "epoch/epoch_manager.hpp"
+#include "mpisim/comm.hpp"
+#include "support/timer.hpp"
+
+namespace distbc::engine {
+
+/// Aggregation strategies of paper §IV-F.
+enum class Aggregation : std::uint8_t {
+  kIbarrierReduce,  // paper's final choice: Ibarrier, then blocking Reduce
+  kIreduce,         // plain non-blocking reduction (progresses poorly)
+  kBlocking         // no overlap at all ("again detrimental")
+};
+
+[[nodiscard]] const char* aggregation_name(Aggregation aggregation);
+
+struct EngineOptions {
+  int threads_per_rank = 1;
+  Aggregation aggregation = Aggregation::kIbarrierReduce;
+  /// §IV-E: node-local shared-memory pre-aggregation; only node leaders
+  /// join the global reduction. Ignored on single-rank runs.
+  bool hierarchical = false;
+  /// Epoch length rule n0 = epoch_base * streams^epoch_exponent (§IV-D),
+  /// counting *total* samples per epoch across all streams.
+  std::uint64_t epoch_base = 1000;
+  double epoch_exponent = 1.33;
+  /// Optional cap on the total epoch length (0 = none). Adaptive drivers
+  /// clamp with a fraction of their sample budget so the first stopping
+  /// check happens before easy instances overshoot termination.
+  std::uint64_t max_epoch_length = 0;
+  /// Hard cap on epochs (safety net for never-converging stop rules).
+  std::uint64_t max_epochs = 1u << 20;
+  /// Deterministic mode: every stream contributes an exact per-epoch share
+  /// and no overlap samples are taken, so the aggregate after every epoch
+  /// is a pure function of (seed, streams, epoch schedule) - bitwise
+  /// identical across backends, cluster shapes, and aggregation strategies.
+  bool deterministic = false;
+  /// Stream count for deterministic mode (0 = physical thread count).
+  /// Fixing it decouples the sample set from the physical layout.
+  std::uint64_t virtual_streams = 0;
+};
+
+/// Number of RNG streams a run with these options draws from; sampler
+/// factories receive stream indices in [0, num_streams).
+[[nodiscard]] inline std::uint64_t num_streams(const EngineOptions& options,
+                                               int num_ranks) {
+  const auto physical = static_cast<std::uint64_t>(num_ranks) *
+                        static_cast<std::uint64_t>(options.threads_per_rank);
+  if (options.deterministic && options.virtual_streams != 0)
+    return options.virtual_streams;
+  return physical;
+}
+
+template <typename Frame>
+struct EngineResult {
+  Frame aggregate;  // consistent final state (valid at world rank 0)
+  std::uint64_t epochs = 0;
+  std::uint64_t samples_attempted = 0;  // all ranks (valid at rank 0)
+  /// Payload moved over the communicators this engine used, including the
+  /// hierarchical substrate (cumulative over the comm's lifetime).
+  std::uint64_t comm_bytes = 0;
+  PhaseTimer phases;
+  double total_seconds = 0.0;
+};
+
+namespace detail {
+
+/// The streams a physical thread owns, with their exact per-epoch shares
+/// (used in deterministic mode; free-running threads own exactly one).
+template <typename Sampler>
+struct ThreadStreams {
+  struct Stream {
+    Sampler sampler;
+    std::uint64_t share;
+  };
+  std::vector<Stream> streams;
+
+  template <typename Frame>
+  std::uint64_t sample_shares(Frame& frame) {
+    std::uint64_t count = 0;
+    for (Stream& stream : streams) {
+      for (std::uint64_t i = 0; i < stream.share; ++i)
+        stream.sampler.sample(frame);
+      count += stream.share;
+    }
+    return count;
+  }
+};
+
+/// Builds each local thread's stream set: stream v goes to global thread
+/// v mod PT, with its exact share of `total` samples. Calibration and the
+/// epoch loop MUST use this same assignment, or deterministic-mode runs
+/// diverge across backends.
+template <typename MakeSampler>
+auto assign_streams(int rank, int num_threads, std::uint64_t total_threads,
+                    std::uint64_t streams, std::uint64_t total,
+                    MakeSampler&& make_sampler) {
+  using Sampler = std::decay_t<decltype(make_sampler(std::uint64_t{0}))>;
+  std::vector<ThreadStreams<Sampler>> thread_streams(num_threads);
+  for (std::uint64_t v = 0; v < streams; ++v) {
+    const std::uint64_t owner = stream_owner(v, total_threads);
+    if (owner / num_threads != static_cast<std::uint64_t>(rank)) continue;
+    thread_streams[owner % num_threads].streams.push_back(
+        {make_sampler(v), stream_share(total, v, streams)});
+  }
+  return thread_streams;
+}
+
+}  // namespace detail
+
+/// Parallel calibration sampling (the engine's calibration-phase hook):
+/// distributes `total_budget` samples over the run's streams, samples them
+/// with all threads in parallel, and reduces the frames to world rank 0.
+/// The returned frame holds the full aggregate at rank 0 and this rank's
+/// local aggregate elsewhere. Collective when `world` is multi-rank.
+template <typename Frame, typename MakeSampler>
+Frame calibrate(mpisim::Comm* world, const Frame& prototype,
+                MakeSampler&& make_sampler, std::uint64_t total_budget,
+                const EngineOptions& options) {
+  DISTBC_ASSERT(options.threads_per_rank >= 1);
+  const int num_ranks = world != nullptr ? world->size() : 1;
+  const int rank = world != nullptr ? world->rank() : 0;
+  const int num_threads = options.threads_per_rank;
+  const auto total_threads =
+      static_cast<std::uint64_t>(num_ranks) * num_threads;
+  const std::uint64_t streams = num_streams(options, num_ranks);
+
+  std::vector<Frame> frames(num_threads, prototype);
+  for (Frame& frame : frames) frame.clear();
+
+  auto thread_streams = detail::assign_streams(
+      rank, num_threads, total_threads, streams, total_budget, make_sampler);
+
+  auto worker = [&](int t) { thread_streams[t].sample_shares(frames[t]); };
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads - 1);
+  for (int t = 1; t < num_threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
+  for (auto& thread : pool) thread.join();
+
+  Frame local(prototype);
+  local.clear();
+  for (const Frame& frame : frames) local.merge(frame);
+  if (num_ranks <= 1) return local;
+
+  Frame aggregate(prototype);
+  aggregate.clear();
+  world->reduce(std::span<const std::uint64_t>(local.raw()), aggregate.raw(),
+                0);
+  return world->rank() == 0 ? aggregate : local;
+}
+
+/// Algorithm 2: epoch-based adaptive sampling until the stop rule fires.
+/// Pass world == nullptr for a communicator-free (seq/shm) run.
+template <typename Frame, typename MakeSampler, typename StopFn>
+EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
+                               MakeSampler&& make_sampler,
+                               StopFn&& should_stop,
+                               const EngineOptions& options) {
+  DISTBC_ASSERT(options.threads_per_rank >= 1);
+  DISTBC_ASSERT_MSG(options.deterministic || options.virtual_streams == 0,
+                    "virtual streams require deterministic mode");
+  WallTimer total_timer;
+  EngineResult<Frame> result{prototype};
+  result.aggregate.clear();
+
+  const int num_ranks = world != nullptr ? world->size() : 1;
+  const int rank = world != nullptr ? world->rank() : 0;
+  const int num_threads = options.threads_per_rank;
+  const bool is_root = rank == 0;
+  const bool multi_rank = num_ranks > 1;
+  const auto total_threads =
+      static_cast<std::uint64_t>(num_ranks) * num_threads;
+  const std::uint64_t streams = num_streams(options, num_ranks);
+
+  // Total epoch length (§IV-D), clamped so adaptive rules get their first
+  // stopping check before easy instances sample far past termination.
+  std::uint64_t n0_total =
+      epoch_length(options.epoch_base, options.epoch_exponent, streams);
+  if (options.max_epoch_length != 0)
+    n0_total = std::max<std::uint64_t>(
+        1, std::min(n0_total, options.max_epoch_length));
+  // Free-running mode: every physical thread samples at the same rate and
+  // thread zero's fixed share paces the epoch.
+  const std::uint64_t n0_share =
+      std::max<std::uint64_t>(1, (n0_total + total_threads - 1) /
+                                     total_threads);
+
+  // Stream ownership: stream v belongs to global thread v mod PT. In
+  // free-running mode streams == PT, so thread (rank, t) owns exactly
+  // stream rank * T + t - the unified RNG-stream derivation rule.
+  auto thread_streams = detail::assign_streams(
+      rank, num_threads, total_threads, streams, n0_total, make_sampler);
+
+  Hierarchy hierarchy;
+  if (options.hierarchical && multi_rank)
+    hierarchy.init(*world, result.aggregate.raw().size());
+
+  epoch::EpochManager<Frame> manager(num_threads, prototype);
+  std::vector<std::uint64_t> taken(num_threads, 0);
+
+  // Worker threads (t != 0). Free-running: sample continuously, joining
+  // epoch transitions wait-free. Deterministic: contribute the exact
+  // per-stream shares, then wait for thread zero to force the transition.
+  auto worker_main = [&](int t) {
+    std::uint32_t epoch = 0;
+    std::uint64_t count = 0;
+    if (options.deterministic) {
+      while (true) {
+        count += thread_streams[t].sample_shares(manager.frame(t, epoch));
+        while (!manager.check_transition(t, epoch)) {
+          if (manager.stopped()) {
+            taken[t] = count;
+            return;
+          }
+          std::this_thread::yield();
+        }
+        ++epoch;
+      }
+    }
+    auto& stream = thread_streams[t].streams.front();
+    while (!manager.stopped()) {
+      stream.sampler.sample(manager.frame(t, epoch));
+      ++count;
+      if (manager.check_transition(t, epoch)) ++epoch;
+    }
+    taken[t] = count;
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads - 1);
+  for (int t = 1; t < num_threads; ++t) workers.emplace_back(worker_main, t);
+
+  // Thread zero: the main loop of Algorithm 2.
+  {
+    Frame snapshot(prototype);   // S^e_loc: this rank's epoch aggregate
+    Frame epoch_agg(prototype);  // S^e: global epoch aggregate (at root)
+    std::uint8_t done_flag = 0;
+    std::uint32_t epoch = 0;
+    std::uint64_t count = 0;
+
+    // One overlap sample into the *next* epoch's frame (Algorithm 2 lines
+    // 15, 21, 27); disabled in deterministic mode, where communication
+    // waits must not inject timing-dependent samples. The yield matters on
+    // oversubscribed hosts (cores < ranks x threads): without it the spin
+    // starves peers that still need the CPU to reach the collective, and
+    // the stretched wait floods the next epoch with overlap samples.
+    auto overlap_sample = [&] {
+      if (!options.deterministic && !thread_streams[0].streams.empty()) {
+        thread_streams[0].streams.front().sampler.sample(
+            manager.frame(0, epoch + 1));
+        ++count;
+      }
+      std::this_thread::yield();
+    };
+
+    while (true) {
+      result.phases.timed(Phase::kSampling, [&] {
+        if (options.deterministic) {
+          count += thread_streams[0].sample_shares(manager.frame(0, epoch));
+        } else {
+          auto& stream = thread_streams[0].streams.front();
+          for (std::uint64_t i = 0; i < n0_share; ++i) {
+            stream.sampler.sample(manager.frame(0, epoch));
+            ++count;
+          }
+        }
+      });
+
+      // Epoch transition, overlapped with sampling (paper Figure 1).
+      result.phases.timed(Phase::kEpochTransition, [&] {
+        manager.force_transition(epoch);
+        while (!manager.transition_done(epoch)) overlap_sample();
+      });
+      snapshot.clear();
+      manager.collect(epoch, snapshot);
+
+      if (!multi_rank) {
+        // Null/1-rank communicator: the epoch aggregate is already global.
+        result.aggregate.merge(snapshot);
+        done_flag = result.phases.timed(Phase::kStopCheck, [&] {
+          return should_stop(std::as_const(result.aggregate)) ||
+                         result.epochs + 1 >= options.max_epochs
+                     ? 1
+                     : 0;
+        });
+      } else {
+        // Node-local pre-aggregation via the shared window (§IV-E).
+        bool in_global = true;
+        if (hierarchy.active()) in_global = hierarchy.pre_reduce(snapshot.raw());
+
+        // Global aggregation to world rank zero (§IV-F strategies). With
+        // hierarchy the reduction runs on the node-leader communicator
+        // whose rank zero is world rank zero.
+        if (in_global) {
+          mpisim::Comm& global =
+              hierarchy.active() ? hierarchy.global() : *world;
+          const std::span<const std::uint64_t> send(snapshot.raw());
+          switch (options.aggregation) {
+            case Aggregation::kIbarrierReduce: {
+              result.phases.timed(Phase::kBarrier, [&] {
+                mpisim::Request barrier = global.ibarrier();
+                while (!barrier.test()) overlap_sample();
+              });
+              result.phases.timed(Phase::kReduction, [&] {
+                global.reduce(send, epoch_agg.raw(), 0);
+              });
+              break;
+            }
+            case Aggregation::kIreduce: {
+              result.phases.timed(Phase::kReduction, [&] {
+                mpisim::Request reduce =
+                    global.ireduce(send, epoch_agg.raw(), 0);
+                while (!reduce.test()) overlap_sample();
+              });
+              break;
+            }
+            case Aggregation::kBlocking: {
+              result.phases.timed(Phase::kReduction, [&] {
+                global.reduce(send, epoch_agg.raw(), 0);
+              });
+              break;
+            }
+          }
+        }
+
+        // Only rank zero evaluates the stopping condition: aggregation is
+        // the expensive part; shipping the verdict costs one byte.
+        if (is_root) {
+          result.aggregate.merge(epoch_agg);
+          done_flag = result.phases.timed(Phase::kStopCheck, [&] {
+            return should_stop(std::as_const(result.aggregate)) ||
+                           result.epochs + 1 >= options.max_epochs
+                       ? 1
+                       : 0;
+          });
+        }
+        result.phases.timed(Phase::kBroadcast, [&] {
+          if (options.aggregation == Aggregation::kBlocking) {
+            // §IV-F's fully blocking variant: no overlap anywhere, the
+            // termination broadcast included.
+            world->bcast(std::span{&done_flag, 1}, 0);
+          } else {
+            mpisim::Request bcast =
+                world->ibcast(std::span{&done_flag, 1}, 0);
+            while (!bcast.test()) overlap_sample();
+          }
+        });
+      }
+
+      ++result.epochs;
+      if (done_flag != 0) {
+        manager.signal_stop();
+        break;
+      }
+      ++epoch;
+    }
+    taken[0] = count;
+  }
+  for (auto& worker : workers) worker.join();
+
+  // Work accounting (Figure 3b): samples attempted by all threads of all
+  // ranks, including overlap samples that were never aggregated.
+  std::uint64_t local_taken = 0;
+  for (const std::uint64_t t : taken) local_taken += t;
+  if (multi_rank) {
+    std::uint64_t world_taken = 0;
+    world->reduce(std::span<const std::uint64_t>(&local_taken, 1),
+                  std::span{&world_taken, 1}, 0);
+    result.samples_attempted = is_root ? world_taken : local_taken;
+    result.comm_bytes = world->stats().total_bytes() + hierarchy.comm_bytes();
+  } else {
+    result.samples_attempted = local_taken;
+  }
+  result.total_seconds = total_timer.elapsed_s();
+  return result;
+}
+
+}  // namespace distbc::engine

@@ -1,0 +1,75 @@
+// Hierarchical node-local pre-reduction (paper §IV-E).
+//
+// With multiple ranks per compute node, every rank first accumulates its
+// epoch snapshot into a node-local shared RMA window (passive-target
+// one-sided communication over shared memory); only the node leader reads
+// the pre-reduced node aggregate back and joins the global inter-node
+// reduction. This shrinks the global reduction from P to P/ranks_per_node
+// participants at the cost of one cheap intra-node window pass.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "mpisim/comm.hpp"
+#include "mpisim/window.hpp"
+
+namespace distbc::engine {
+
+class Hierarchy {
+ public:
+  Hierarchy() = default;
+
+  /// Collective over `world`: splits node-local and node-leader
+  /// communicators and creates the shared window of `frame_words` uint64
+  /// slots. Must be called by every rank of `world`.
+  void init(mpisim::Comm& world, std::size_t frame_words) {
+    local_ = world.split_by_node();
+    leader_ = world.split_node_leaders();
+    window_.emplace(local_, frame_words);
+    active_ = true;
+  }
+
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Pre-reduces `frame` over the node-local window. Collective over the
+  /// node communicator. Returns true iff this rank is the node leader, in
+  /// which case `frame` now holds the whole node's aggregate and the
+  /// caller must forward it into the global reduction via global().
+  [[nodiscard]] bool pre_reduce(std::span<std::uint64_t> frame) {
+    DISTBC_ASSERT(active_);
+    window_->accumulate(std::span<const std::uint64_t>(frame));
+    local_.barrier();
+    const bool leader = local_.rank() == 0;
+    if (leader) {
+      window_->read(frame);
+      window_->clear();
+    }
+    local_.barrier();
+    return leader;
+  }
+
+  /// The inter-node communicator of the node leaders. Its rank zero is
+  /// world rank zero; only valid on node leaders.
+  [[nodiscard]] mpisim::Comm& global() {
+    DISTBC_ASSERT(active_ && leader_.valid());
+    return leader_;
+  }
+
+  /// Payload moved by the hierarchical substrate (window + leader comm).
+  [[nodiscard]] std::uint64_t comm_bytes() {
+    if (!active_) return 0;
+    std::uint64_t bytes = local_.stats().total_bytes();
+    if (leader_.valid()) bytes += leader_.stats().total_bytes();
+    return bytes;
+  }
+
+ private:
+  mpisim::Comm local_;
+  mpisim::Comm leader_;
+  std::optional<mpisim::Window<std::uint64_t>> window_;
+  bool active_ = false;
+};
+
+}  // namespace distbc::engine

@@ -1,0 +1,61 @@
+// Sampling-stream bookkeeping for the epoch engine.
+//
+// Every adaptive run draws from V independent RNG streams. In the default
+// free-running mode V equals the number of physical threads (P ranks x T
+// threads) and stream v is simply global thread v, exactly the paper's
+// setup. In deterministic mode V is fixed independently of the physical
+// layout ("virtual streams"): stream v is owned by physical thread
+// v mod PT, and every stream contributes an exact per-epoch share. Because
+// frames aggregate by commutative elementwise sums, the per-epoch aggregate
+// is then a pure function of (seed, V, epoch schedule) - the same bits no
+// matter how the streams are distributed over ranks and threads. This is
+// what makes seq / shm / mpi runs cross-reproducible.
+//
+// The epoch-length rule (paper §IV-D) also lives here: the *total* number
+// of samples per epoch across all streams is n0 = base * V^exponent; the
+// superlinear exponent grows epochs slightly as the machine grows,
+// amortizing the growing aggregation cost.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace distbc::engine {
+
+/// Total samples per epoch across all streams: ceil(base * streams^exp).
+[[nodiscard]] inline std::uint64_t epoch_length(std::uint64_t base,
+                                                double exponent,
+                                                std::uint64_t streams) {
+  DISTBC_ASSERT(base > 0 && streams > 0);
+  return static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(base) *
+                std::pow(static_cast<double>(streams), exponent)));
+}
+
+/// One stream's share of an epoch: ceil(epoch_length / streams), >= 1.
+[[nodiscard]] inline std::uint64_t epoch_share(std::uint64_t base,
+                                               double exponent,
+                                               std::uint64_t streams) {
+  const std::uint64_t total = epoch_length(base, exponent, streams);
+  const std::uint64_t share = (total + streams - 1) / streams;
+  return share > 0 ? share : 1;
+}
+
+/// Exact share of stream `v` when `total` samples are split over `streams`
+/// streams: the remainder goes to the lowest-numbered streams.
+[[nodiscard]] inline std::uint64_t stream_share(std::uint64_t total,
+                                                std::uint64_t v,
+                                                std::uint64_t streams) {
+  DISTBC_ASSERT(v < streams);
+  return total / streams + (v < total % streams ? 1 : 0);
+}
+
+/// Global index of the physical thread that owns stream `v`.
+[[nodiscard]] inline std::uint64_t stream_owner(std::uint64_t v,
+                                                std::uint64_t total_threads) {
+  return v % total_threads;
+}
+
+}  // namespace distbc::engine

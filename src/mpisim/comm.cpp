@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <set>
+#include <thread>
 
 namespace distbc::mpisim {
 
@@ -40,6 +41,35 @@ void depart_slot(CommState& state, std::uint64_t ticket, Slot& slot) {
   if (++slot.departed == state.size()) state.slots.erase(ticket);
 }
 
+/// Blocks until pred() holds. With dedicated-core economics the wait
+/// yield-spins (a rank blocked in a collective burns its core, as on the
+/// paper's cluster); otherwise it sleeps on the shared condition variable.
+template <typename Pred>
+void wait_predicate(CommState& state, std::unique_lock<std::mutex>& lock,
+                    Pred&& pred) {
+  if (state.model.dedicated_cores) {
+    while (!pred()) {
+      lock.unlock();
+      std::this_thread::yield();
+      lock.lock();
+    }
+  } else {
+    state.cv.wait(lock, std::forward<Pred>(pred));
+  }
+}
+
+/// Blocks until the modeled completion deadline passes (same economics).
+void wait_deadline(CommState& state, std::unique_lock<std::mutex>& lock,
+                   Clock::time_point deadline) {
+  if (state.model.dedicated_cores) {
+    lock.unlock();
+    while (Clock::now() < deadline) std::this_thread::yield();
+    lock.lock();
+  } else {
+    while (Clock::now() < deadline) state.cv.wait_until(lock, deadline);
+  }
+}
+
 }  // namespace
 }  // namespace detail
 
@@ -49,6 +79,8 @@ using detail::Slot;
 using detail::SlotKind;
 using detail::acquire_slot;
 using detail::depart_slot;
+using detail::wait_deadline;
+using detail::wait_predicate;
 
 // --- Reduce ----------------------------------------------------------------
 
@@ -57,7 +89,8 @@ namespace {
 /// Posts this rank's contribution; returns the ticket's slot (locked scope).
 void post_reduce(CommState& state, std::uint64_t ticket, int rank,
                  const std::byte* send, std::size_t bytes, std::size_t count,
-                 std::byte* recv, detail::CombineFn combine, int root) {
+                 std::byte* recv, detail::CombineFn combine, int root,
+                 bool nonblocking) {
   std::lock_guard lock(state.mu);
   Slot& slot = acquire_slot(state, ticket, SlotKind::kReduce);
   if (slot.arrived == 0) {
@@ -65,24 +98,33 @@ void post_reduce(CommState& state, std::uint64_t ticket, int rank,
     slot.count = count;
     slot.combine = combine;
     slot.root = root;
+    slot.nonblocking = nonblocking;
     slot.contribs.resize(state.size());
   }
-  DISTBC_ASSERT_MSG(slot.bytes == bytes && slot.root == root,
+  DISTBC_ASSERT_MSG(slot.bytes == bytes && slot.root == root &&
+                        slot.nonblocking == nonblocking,
                     "mismatched reduce participants");
   slot.contribs[rank].assign(send, send + bytes);
   if (rank == root) slot.root_recv = recv;
 
   const auto now = Clock::now();
   slot.rank_ready[rank] =
-      now + state.model.message_cost(bytes, state.num_nodes == 1);
+      now + state.model.injection_cost(bytes, state.num_nodes == 1);
   if (rank != root)
     state.stats.reduce_bytes.fetch_add(bytes, std::memory_order_relaxed);
 
   if (++slot.arrived == state.size()) {
     slot.all_arrived = true;
-    slot.ready_time = now + state.model.collective_cost(
-                                bytes, state.max_ranks_per_node,
-                                state.num_nodes);
+    auto cost = state.model.collective_cost(bytes, state.max_ranks_per_node,
+                                            state.num_nodes);
+    if (slot.nonblocking) {
+      // §IV-F: software progression of non-blocking reductions is slower
+      // than the synchronized blocking path.
+      cost = std::chrono::nanoseconds(static_cast<std::int64_t>(
+          static_cast<double>(cost.count()) *
+          state.model.ireduce_progression_factor));
+    }
+    slot.ready_time = now + cost;
     state.cv.notify_all();
   }
 }
@@ -102,36 +144,54 @@ void run_reduce_action(CommState& state, Slot& slot) {
 
 /// Non-blocking poll of a reduce at `rank`. For the root: all arrived and
 /// tree deadline passed, then combine. For a non-root: own injection
-/// deadline passed (eager send).
+/// deadline passed (eager send). An unsuccessful root poll of a
+/// non-blocking reduction burns the modeled progression time (§IV-F):
+/// the library only advances the tree inside test(), at real CPU cost.
 bool poll_reduce(CommState& state, std::uint64_t ticket, int rank) {
-  std::lock_guard lock(state.mu);
-  Slot& slot = state.slots.at(ticket);
-  const auto now = Clock::now();
-  if (rank == slot.root) {
-    if (!slot.all_arrived || now < slot.ready_time) return false;
-    run_reduce_action(state, slot);
-  } else {
-    if (now < slot.rank_ready[rank]) return false;
+  bool progress_pending = false;
+  {
+    std::lock_guard lock(state.mu);
+    Slot& slot = state.slots.at(ticket);
+    const auto now = Clock::now();
+    if (rank == slot.root) {
+      if (!slot.all_arrived || now < slot.ready_time) {
+        progress_pending = slot.nonblocking;
+      } else {
+        run_reduce_action(state, slot);
+        depart_slot(state, ticket, slot);
+        return true;
+      }
+    } else {
+      if (now >= slot.rank_ready[rank]) {
+        depart_slot(state, ticket, slot);
+        return true;
+      }
+    }
   }
-  depart_slot(state, ticket, slot);
-  return true;
+  if (progress_pending && state.model.enabled &&
+      state.model.ireduce_poll_cost_s > 0) {
+    const auto until =
+        Clock::now() + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                           state.model.ireduce_poll_cost_s * 1e9));
+    while (Clock::now() < until) {
+    }
+  }
+  return false;
 }
 
 void wait_reduce(CommState& state, std::uint64_t ticket, int rank) {
   std::unique_lock lock(state.mu);
   Slot& slot = state.slots.at(ticket);
   if (rank == slot.root) {
-    state.cv.wait(lock, [&] { return slot.all_arrived; });
-    while (Clock::now() < slot.ready_time)
-      state.cv.wait_until(lock, slot.ready_time);
+    wait_predicate(state, lock, [&] { return slot.all_arrived; });
+    wait_deadline(state, lock, slot.ready_time);
     run_reduce_action(state, slot);
   } else {
     // Blocking reduce at a non-root models tree participation: the rank is
     // released once everybody has arrived (its subtree is drained), or after
     // its own injection deadline, whichever is later.
-    state.cv.wait(lock, [&] { return slot.all_arrived; });
-    while (Clock::now() < slot.rank_ready[rank])
-      state.cv.wait_until(lock, slot.rank_ready[rank]);
+    wait_predicate(state, lock, [&] { return slot.all_arrived; });
+    wait_deadline(state, lock, slot.rank_ready[rank]);
   }
   depart_slot(state, ticket, slot);
 }
@@ -146,7 +206,7 @@ void Comm::reduce_bytes_impl(const std::byte* send, std::size_t bytes,
   const std::uint64_t ticket = next_ticket();
   state_->stats.reduce_calls.fetch_add(1, std::memory_order_relaxed);
   post_reduce(*state_, ticket, rank_, send, bytes, count, recv, combine,
-              root);
+              root, /*nonblocking=*/false);
   DISTBC_ASSERT(blocking);
   wait_reduce(*state_, ticket, rank_);
 }
@@ -158,7 +218,7 @@ Request Comm::ireduce_bytes_impl(const std::byte* send, std::size_t bytes,
   const std::uint64_t ticket = next_ticket();
   state_->stats.ireduce_calls.fetch_add(1, std::memory_order_relaxed);
   post_reduce(*state_, ticket, rank_, send, bytes, count, recv, combine,
-              root);
+              root, /*nonblocking=*/true);
   auto impl = std::make_shared<Request::Impl>();
   impl->state = state_;
   impl->ticket = ticket;
@@ -195,9 +255,8 @@ bool poll_barrier(CommState& state, std::uint64_t ticket, int rank) {
 void wait_barrier(CommState& state, std::uint64_t ticket) {
   std::unique_lock lock(state.mu);
   Slot& slot = state.slots.at(ticket);
-  state.cv.wait(lock, [&] { return slot.all_arrived; });
-  while (Clock::now() < slot.ready_time)
-    state.cv.wait_until(lock, slot.ready_time);
+  wait_predicate(state, lock, [&] { return slot.all_arrived; });
+  wait_deadline(state, lock, slot.ready_time);
   depart_slot(state, ticket, slot);
 }
 
@@ -269,9 +328,8 @@ void wait_bcast(CommState& state, std::uint64_t ticket, int rank,
   std::unique_lock lock(state.mu);
   Slot& slot = state.slots.at(ticket);
   if (rank != slot.root) {
-    state.cv.wait(lock, [&] { return slot.action_done; });
-    while (Clock::now() < slot.ready_time)
-      state.cv.wait_until(lock, slot.ready_time);
+    wait_predicate(state, lock, [&] { return slot.action_done; });
+    wait_deadline(state, lock, slot.ready_time);
     std::memcpy(recv, slot.payload.data(), slot.bytes);
   }
   depart_slot(state, ticket, slot);

@@ -90,6 +90,7 @@ struct Slot {
   std::size_t count = 0;
   CombineFn combine = nullptr;
   int root = -1;
+  bool nonblocking = false;  // Ireduce: §IV-F progression penalty applies
   std::vector<std::vector<std::byte>> contribs;
   std::byte* root_recv = nullptr;
 

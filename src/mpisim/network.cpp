@@ -47,6 +47,14 @@ std::chrono::nanoseconds NetworkModel::message_cost(std::uint64_t bytes,
   return to_ns(cost);
 }
 
+std::chrono::nanoseconds NetworkModel::injection_cost(std::uint64_t bytes,
+                                                      bool same_node) const {
+  if (!enabled) return std::chrono::nanoseconds::zero();
+  const double bytes_d = static_cast<double>(bytes);
+  return to_ns(same_node ? bytes_d / local_bandwidth_bps
+                         : bytes_d / remote_bandwidth_bps);
+}
+
 NetworkModel NetworkModel::disabled() {
   NetworkModel model;
   model.enabled = false;

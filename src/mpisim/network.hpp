@@ -23,9 +23,27 @@ struct NetworkModel {
   // Inter-node hop parameters, modeled on Intel OmniPath.
   double remote_latency_s = 2e-6;
   double remote_bandwidth_bps = 12.5e9;
+  // Paper §IV-F: "MPI_Ireduce progresses poorly" - non-blocking reductions
+  // advance only inside library calls (test/wait), so their software
+  // progression is slower than the synchronized path a blocking reduce
+  // rides. Completion deadlines of non-blocking reductions are stretched
+  // by this factor; 1.0 models an ideal asynchronous-progress engine.
+  double ireduce_progression_factor = 3.0;
+  // CPU time one unsuccessful test() of a pending non-blocking reduction
+  // spends progressing the software tree - time stolen from the sampling
+  // the caller interleaves with the polls (the §IV-F mechanism that makes
+  // Ibarrier + blocking Reduce the better overlap strategy).
+  double ireduce_poll_cost_s = 20e-6;
   // Master switch; disabled means zero-cost transport (useful in unit
   // tests that check semantics rather than timing).
   bool enabled = true;
+  // Dedicated-core economics (the paper's cluster: one core per rank, an
+  // idle core produces nothing). When set, ranks blocked in collectives
+  // yield-spin instead of sleeping, so on an oversubscribed simulation
+  // host a blocked rank consumes its fair CPU share while producing
+  // nothing - transferring the wall-clock cost of blocking correctly.
+  // Default off: semantic tests prefer sleeps (faster, quieter).
+  bool dedicated_cores = false;
 
   /// Charged duration for a collective moving `bytes` per hop across
   /// `ranks_per_node`-rank nodes, `num_nodes` of them.
@@ -35,6 +53,12 @@ struct NetworkModel {
   /// Charged duration for one point-to-point message.
   [[nodiscard]] std::chrono::nanoseconds message_cost(std::uint64_t bytes,
                                                       bool same_node) const;
+
+  /// Charged duration for eagerly injecting a collective contribution:
+  /// line-rate only - per-hop latency is paid by the collective's
+  /// completion deadline, not by the sender.
+  [[nodiscard]] std::chrono::nanoseconds injection_cost(std::uint64_t bytes,
+                                                        bool same_node) const;
 
   /// A zero-cost model for semantic tests.
   static NetworkModel disabled();

@@ -4,7 +4,7 @@
 
 #include <cmath>
 
-#include "adaptive/driver.hpp"
+#include "engine/engine.hpp"
 #include "adaptive/mean_distance.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/road.hpp"
@@ -84,12 +84,12 @@ TEST(GenericDriver, AggregatesDeterministicCounts) {
   config.network = mpisim::NetworkModel::disabled();
   mpisim::Runtime runtime(config);
   runtime.run([&](mpisim::Comm& world) {
-    DriverOptions options;
+    engine::EngineOptions options;
     options.threads_per_rank = 2;
     options.epoch_base = 10;
     options.epoch_exponent = 0.0;
-    auto result = run_epoch_mpi(
-        world, MomentFrame{}, [](std::uint64_t) { return OneSampler{}; },
+    auto result = engine::run_epochs(
+        &world, MomentFrame{}, [](std::uint64_t) { return OneSampler{}; },
         [](const MomentFrame& frame) { return frame.count() >= 500; },
         options);
     if (world.rank() == 0) {
@@ -115,12 +115,12 @@ TEST(GenericDriver, MaxEpochsStopsDivergentRules) {
   config.network = mpisim::NetworkModel::disabled();
   mpisim::Runtime runtime(config);
   runtime.run([&](mpisim::Comm& world) {
-    DriverOptions options;
+    engine::EngineOptions options;
     options.epoch_base = 5;
     options.epoch_exponent = 0.0;
     options.max_epochs = 7;
-    auto result = run_epoch_mpi(
-        world, MomentFrame{}, [](std::uint64_t) { return OneSampler{}; },
+    auto result = engine::run_epochs(
+        &world, MomentFrame{}, [](std::uint64_t) { return OneSampler{}; },
         [](const MomentFrame&) { return false; },  // never satisfied
         options);
     EXPECT_EQ(result.epochs, 7u);
@@ -201,7 +201,7 @@ TEST(MeanDistance, WorksAcrossClusterShapes) {
   for (const int ranks : {1, 2, 4}) {
     MeanDistanceParams params;
     params.epsilon = 0.1;
-    params.threads_per_rank = ranks == 4 ? 2 : 1;
+    params.engine.threads_per_rank = ranks == 4 ? 2 : 1;
     params.seed = 10 + ranks;
     const MeanDistanceResult result =
         mean_distance_mpi(graph, params, ranks, ranks >= 2 ? 2 : 1);

@@ -3,9 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bc/brandes.hpp"
-#include "bc/kadabra_mpi.hpp"
-#include "bc/kadabra_seq.hpp"
-#include "bc/kadabra_shm.hpp"
+#include "bc/kadabra.hpp"
 #include "bc/lockstep.hpp"
 #include "bc/rk.hpp"
 #include "gen/erdos_renyi.hpp"
@@ -76,9 +74,9 @@ TEST(KadabraSequential, PhaseTimingsPopulated) {
 TEST(KadabraShm, WithinEpsilonOfExact) {
   const Graph graph = social_graph();
   const BcResult exact = brandes(graph);
-  ShmKadabraOptions options;
+  KadabraOptions options;
   options.params = loose_params();
-  options.num_threads = 4;
+  options.engine.threads_per_rank = 4;
   const BcResult approx = kadabra_shm(graph, options);
   EXPECT_LE(approx.max_abs_difference(exact), 0.1);
   EXPECT_GT(approx.samples, 0u);
@@ -88,9 +86,9 @@ TEST(KadabraShm, WithinEpsilonOfExact) {
 TEST(KadabraShm, SingleThreadWorks) {
   const Graph graph = road_graph();
   const BcResult exact = brandes(graph);
-  ShmKadabraOptions options;
+  KadabraOptions options;
   options.params = loose_params();
-  options.num_threads = 1;
+  options.engine.threads_per_rank = 1;
   const BcResult approx = kadabra_shm(graph, options);
   EXPECT_LE(approx.max_abs_difference(exact), 0.1);
 }
@@ -98,9 +96,9 @@ TEST(KadabraShm, SingleThreadWorks) {
 TEST(KadabraShm, ManyThreadsStillSound) {
   const Graph graph = social_graph();
   const BcResult exact = brandes(graph);
-  ShmKadabraOptions options;
+  KadabraOptions options;
   options.params = loose_params();
-  options.num_threads = 12;
+  options.engine.threads_per_rank = 12;
   const BcResult approx = kadabra_shm(graph, options);
   EXPECT_LE(approx.max_abs_difference(exact), 0.1);
 }
@@ -108,9 +106,9 @@ TEST(KadabraShm, ManyThreadsStillSound) {
 TEST(KadabraMpi, WithinEpsilonOfExact) {
   const Graph graph = social_graph();
   const BcResult exact = brandes(graph);
-  MpiKadabraOptions options;
+  KadabraOptions options;
   options.params = loose_params();
-  options.threads_per_rank = 2;
+  options.engine.threads_per_rank = 2;
   const BcResult approx = kadabra_mpi(graph, options, /*num_ranks=*/4);
   ASSERT_EQ(approx.scores.size(), exact.scores.size());
   EXPECT_LE(approx.max_abs_difference(exact), 0.1);
@@ -123,7 +121,7 @@ TEST(KadabraMpi, WithinEpsilonOfExact) {
 TEST(KadabraMpi, SingleRankSingleThread) {
   const Graph graph = road_graph();
   const BcResult exact = brandes(graph);
-  MpiKadabraOptions options;
+  KadabraOptions options;
   options.params = loose_params();
   const BcResult approx = kadabra_mpi(graph, options, 1);
   EXPECT_LE(approx.max_abs_difference(exact), 0.1);
@@ -132,9 +130,9 @@ TEST(KadabraMpi, SingleRankSingleThread) {
 TEST(KadabraMpi, IreduceStrategy) {
   const Graph graph = social_graph();
   const BcResult exact = brandes(graph);
-  MpiKadabraOptions options;
+  KadabraOptions options;
   options.params = loose_params();
-  options.aggregation = Aggregation::kIreduce;
+  options.engine.aggregation = Aggregation::kIreduce;
   const BcResult approx = kadabra_mpi(graph, options, 3);
   EXPECT_LE(approx.max_abs_difference(exact), 0.1);
 }
@@ -142,9 +140,9 @@ TEST(KadabraMpi, IreduceStrategy) {
 TEST(KadabraMpi, BlockingStrategy) {
   const Graph graph = social_graph();
   const BcResult exact = brandes(graph);
-  MpiKadabraOptions options;
+  KadabraOptions options;
   options.params = loose_params();
-  options.aggregation = Aggregation::kBlocking;
+  options.engine.aggregation = Aggregation::kBlocking;
   const BcResult approx = kadabra_mpi(graph, options, 3);
   EXPECT_LE(approx.max_abs_difference(exact), 0.1);
 }
@@ -152,9 +150,9 @@ TEST(KadabraMpi, BlockingStrategy) {
 TEST(KadabraMpi, HierarchicalAggregation) {
   const Graph graph = social_graph();
   const BcResult exact = brandes(graph);
-  MpiKadabraOptions options;
+  KadabraOptions options;
   options.params = loose_params();
-  options.hierarchical = true;
+  options.engine.hierarchical = true;
   // 4 ranks on 2 nodes: window pre-reduce + leader reduction.
   const BcResult approx =
       kadabra_mpi(graph, options, /*num_ranks=*/4, /*ranks_per_node=*/2);
@@ -164,7 +162,7 @@ TEST(KadabraMpi, HierarchicalAggregation) {
 TEST(KadabraMpi, NetworkModelDoesNotChangeSoundness) {
   const Graph graph = road_graph();
   const BcResult exact = brandes(graph);
-  MpiKadabraOptions options;
+  KadabraOptions options;
   options.params = loose_params();
   mpisim::NetworkModel slow;
   slow.remote_latency_s = 1e-3;
@@ -174,9 +172,9 @@ TEST(KadabraMpi, NetworkModelDoesNotChangeSoundness) {
 
 TEST(KadabraMpi, PhaseBreakdownPopulated) {
   const Graph graph = social_graph();
-  MpiKadabraOptions options;
+  KadabraOptions options;
   options.params = loose_params();
-  options.threads_per_rank = 2;
+  options.engine.threads_per_rank = 2;
   const BcResult result = kadabra_mpi(graph, options, 4);
   EXPECT_GT(result.phases.seconds(Phase::kDiameter), 0.0);
   EXPECT_GT(result.phases.seconds(Phase::kCalibration), 0.0);
@@ -246,11 +244,11 @@ TEST(AllSamplingAlgorithms, AgreeOnTopVertex) {
   };
   check_top(brandes(graph));
   check_top(kadabra_sequential(graph, loose_params()));
-  ShmKadabraOptions shm;
+  KadabraOptions shm;
   shm.params = loose_params();
-  shm.num_threads = 3;
+  shm.engine.threads_per_rank = 3;
   check_top(kadabra_shm(graph, shm));
-  MpiKadabraOptions mpi;
+  KadabraOptions mpi;
   mpi.params = loose_params();
   check_top(kadabra_mpi(graph, mpi, 2));
   RkParams rkp;

@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "adaptive/closeness.hpp"
-#include "bc/kadabra_seq.hpp"
+#include "bc/kadabra.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/rmat.hpp"
 #include "graph/bfs.hpp"

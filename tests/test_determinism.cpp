@@ -9,9 +9,7 @@
 #include <cmath>
 
 #include "bc/brandes.hpp"
-#include "bc/kadabra_mpi.hpp"
-#include "bc/kadabra_seq.hpp"
-#include "bc/kadabra_shm.hpp"
+#include "bc/kadabra.hpp"
 #include "bc/rk.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/rmat.hpp"
@@ -85,14 +83,14 @@ TEST(Determinism, ParallelDriversStayWithinEpsilonAcrossRuns) {
   const auto graph = test_graph();
   const BcResult exact = brandes(graph);
   for (int run = 0; run < 3; ++run) {
-    ShmKadabraOptions shm;
+    KadabraOptions shm;
     shm.params.epsilon = 0.1;
     shm.params.seed = 90 + run;
-    shm.num_threads = 4;
+    shm.engine.threads_per_rank = 4;
     EXPECT_LE(kadabra_shm(graph, shm).max_abs_difference(exact), 0.1)
         << "shm run " << run;
 
-    MpiKadabraOptions mpi;
+    KadabraOptions mpi;
     mpi.params = shm.params;
     EXPECT_LE(kadabra_mpi(graph, mpi, 3).max_abs_difference(exact), 0.1)
         << "mpi run " << run;

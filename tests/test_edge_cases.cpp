@@ -4,9 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "bc/brandes.hpp"
-#include "bc/kadabra_mpi.hpp"
-#include "bc/kadabra_seq.hpp"
-#include "bc/kadabra_shm.hpp"
+#include "bc/kadabra.hpp"
 #include "bc/rk.hpp"
 #include "epoch/epoch_manager.hpp"
 #include "gen/erdos_renyi.hpp"
@@ -34,13 +32,13 @@ TEST(EdgeCases, SingleEdgeGraphAllAlgorithms) {
   EXPECT_DOUBLE_EQ(seq.scores[0], 0.0);
   EXPECT_DOUBLE_EQ(seq.scores[1], 0.0);
 
-  bc::ShmKadabraOptions shm;
+  bc::KadabraOptions shm;
   shm.params = params;
-  shm.num_threads = 2;
+  shm.engine.threads_per_rank = 2;
   const bc::BcResult shm_result = bc::kadabra_shm(graph, shm);
   EXPECT_DOUBLE_EQ(shm_result.scores[0], 0.0);
 
-  bc::MpiKadabraOptions mpi;
+  bc::KadabraOptions mpi;
   mpi.params = params;
   const bc::BcResult mpi_result = bc::kadabra_mpi(graph, mpi, 2);
   EXPECT_DOUBLE_EQ(mpi_result.scores[0], 0.0);
@@ -84,7 +82,7 @@ TEST(EdgeCases, MpiMoreRanksThanWork) {
   // 16 ranks on a 4-vertex graph: every rank still participates in every
   // collective and the result stays exact-ish.
   const Graph graph = from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
-  bc::MpiKadabraOptions options;
+  bc::KadabraOptions options;
   options.params.epsilon = 0.2;
   const bc::BcResult result = bc::kadabra_mpi(graph, options, 16);
   const bc::BcResult exact = bc::brandes(graph);

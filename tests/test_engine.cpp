@@ -1,0 +1,168 @@
+// Tests for the unified epoch-sampling engine: stream partitioning, the
+// calibration hook, and the cross-backend reproducibility contract - in
+// deterministic mode, seq / shm / mpi configurations of the engine (and
+// every aggregation strategy, and the hierarchical reduction) produce
+// bitwise-identical results because the per-epoch aggregate is a pure
+// function of (seed, virtual streams, epoch schedule).
+#include <gtest/gtest.h>
+
+#include "adaptive/mean_distance.hpp"
+#include "bc/kadabra.hpp"
+#include "engine/engine.hpp"
+#include "engine/streams.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "graph/components.hpp"
+
+namespace distbc {
+namespace {
+
+// --- Stream partitioning ---------------------------------------------------
+
+TEST(Streams, SharesSumToTotal) {
+  for (const std::uint64_t total : {0ull, 1ull, 7ull, 100ull, 1001ull}) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v = 0; v < 4; ++v)
+      sum += engine::stream_share(total, v, 4);
+    EXPECT_EQ(sum, total);
+  }
+}
+
+TEST(Streams, RemainderGoesToLowestStreams) {
+  EXPECT_EQ(engine::stream_share(10, 0, 4), 3u);
+  EXPECT_EQ(engine::stream_share(10, 1, 4), 3u);
+  EXPECT_EQ(engine::stream_share(10, 2, 4), 2u);
+  EXPECT_EQ(engine::stream_share(10, 3, 4), 2u);
+}
+
+TEST(Streams, OwnerIsGlobalThreadIndexModuloThreads) {
+  EXPECT_EQ(engine::stream_owner(0, 4), 0u);
+  EXPECT_EQ(engine::stream_owner(3, 4), 3u);
+  EXPECT_EQ(engine::stream_owner(6, 4), 2u);
+}
+
+// --- Calibration hook ------------------------------------------------------
+
+struct CountFrame {
+  std::vector<std::uint64_t> data{0};
+  void clear() { data[0] = 0; }
+  void merge(const CountFrame& other) { data[0] += other.data[0]; }
+  [[nodiscard]] std::span<std::uint64_t> raw() { return data; }
+};
+
+struct CountSampler {
+  void sample(CountFrame& frame) { ++frame.data[0]; }
+};
+
+TEST(EngineCalibrate, DistributesBudgetExactlyAcrossRanks) {
+  mpisim::RuntimeConfig config;
+  config.num_ranks = 3;
+  config.network = mpisim::NetworkModel::disabled();
+  mpisim::Runtime runtime(config);
+  runtime.run([&](mpisim::Comm& world) {
+    engine::EngineOptions options;
+    options.threads_per_rank = 2;
+    const CountFrame frame = engine::calibrate(
+        &world, CountFrame{}, [](std::uint64_t) { return CountSampler{}; },
+        /*total_budget=*/1001, options);
+    if (world.rank() == 0) EXPECT_EQ(frame.data[0], 1001u);
+  });
+}
+
+TEST(EngineCalibrate, SingleRankTakesWholeBudget) {
+  engine::EngineOptions options;
+  options.threads_per_rank = 3;
+  const CountFrame frame = engine::calibrate(
+      nullptr, CountFrame{}, [](std::uint64_t) { return CountSampler{}; },
+      /*total_budget=*/500, options);
+  EXPECT_EQ(frame.data[0], 500u);
+}
+
+// --- Cross-backend reproducibility (deterministic mode) --------------------
+
+graph::Graph equivalence_graph() {
+  return graph::largest_component(gen::erdos_renyi(120, 360, 4242));
+}
+
+bc::KadabraOptions deterministic_options(int threads) {
+  bc::KadabraOptions options;
+  options.params.epsilon = 0.15;
+  options.params.seed = 1234;
+  options.engine.threads_per_rank = threads;
+  options.engine.deterministic = true;
+  options.engine.virtual_streams = 4;
+  options.engine.epoch_base = 64;
+  options.engine.epoch_exponent = 0.0;
+  return options;
+}
+
+void expect_bitwise_equal(const bc::BcResult& a, const bc::BcResult& b,
+                          const char* label) {
+  EXPECT_EQ(a.samples, b.samples) << label;
+  EXPECT_EQ(a.epochs, b.epochs) << label;
+  ASSERT_EQ(a.scores.size(), b.scores.size()) << label;
+  for (std::size_t v = 0; v < a.scores.size(); ++v)
+    EXPECT_EQ(a.scores[v], b.scores[v]) << label << " vertex " << v;
+}
+
+TEST(EngineEquivalence, SeqShmMpiProduceIdenticalAggregates) {
+  const graph::Graph graph = equivalence_graph();
+  // seq = 1 rank x 1 thread, shm = 1 rank x 4 threads, mpi = 2 ranks x 2
+  // threads; all draw from the same 4 virtual streams.
+  const bc::BcResult seq = bc::kadabra_shm(graph, deterministic_options(1));
+  const bc::BcResult shm = bc::kadabra_shm(graph, deterministic_options(4));
+  const bc::BcResult mpi =
+      bc::kadabra_mpi(graph, deterministic_options(2), /*num_ranks=*/2,
+                      /*ranks_per_node=*/1, mpisim::NetworkModel::disabled());
+  ASSERT_GT(seq.samples, 0u);
+  expect_bitwise_equal(seq, shm, "seq vs shm");
+  expect_bitwise_equal(seq, mpi, "seq vs mpi");
+}
+
+TEST(EngineEquivalence, AggregationStrategiesAreBitwiseIdentical) {
+  const graph::Graph graph = equivalence_graph();
+  auto run = [&](engine::Aggregation aggregation) {
+    bc::KadabraOptions options = deterministic_options(2);
+    options.engine.aggregation = aggregation;
+    return bc::kadabra_mpi(graph, options, /*num_ranks=*/2,
+                           /*ranks_per_node=*/1,
+                           mpisim::NetworkModel::disabled());
+  };
+  const bc::BcResult barrier = run(engine::Aggregation::kIbarrierReduce);
+  const bc::BcResult ireduce = run(engine::Aggregation::kIreduce);
+  const bc::BcResult blocking = run(engine::Aggregation::kBlocking);
+  ASSERT_GT(barrier.samples, 0u);
+  expect_bitwise_equal(barrier, ireduce, "ibarrier+reduce vs ireduce");
+  expect_bitwise_equal(barrier, blocking, "ibarrier+reduce vs blocking");
+}
+
+TEST(EngineEquivalence, HierarchicalReductionMatchesFlat) {
+  const graph::Graph graph = equivalence_graph();
+  bc::KadabraOptions flat = deterministic_options(1);
+  bc::KadabraOptions hierarchical = deterministic_options(1);
+  hierarchical.engine.hierarchical = true;
+  const bc::BcResult a =
+      bc::kadabra_mpi(graph, flat, /*num_ranks=*/4, /*ranks_per_node=*/1,
+                      mpisim::NetworkModel::disabled());
+  const bc::BcResult b =
+      bc::kadabra_mpi(graph, hierarchical, /*num_ranks=*/4,
+                      /*ranks_per_node=*/2, mpisim::NetworkModel::disabled());
+  expect_bitwise_equal(a, b, "flat vs hierarchical");
+}
+
+// --- Engine options reach the ported adaptive algorithms -------------------
+
+TEST(EngineOptionsPropagate, MeanDistanceSupportsStrategiesAndHierarchy) {
+  const graph::Graph graph =
+      graph::largest_component(gen::erdos_renyi(200, 600, 91));
+  adaptive::MeanDistanceParams params;
+  params.epsilon = 0.15;
+  params.engine.aggregation = engine::Aggregation::kBlocking;
+  params.engine.hierarchical = true;
+  const adaptive::MeanDistanceResult result = adaptive::mean_distance_mpi(
+      graph, params, /*num_ranks=*/4, /*ranks_per_node=*/2);
+  EXPECT_GT(result.samples, 0u);
+  EXPECT_LE(result.half_width, params.epsilon);
+}
+
+}  // namespace
+}  // namespace distbc

@@ -8,6 +8,7 @@
 #include "bc/calibration.hpp"
 #include "bc/kadabra_context.hpp"
 #include "bc/kadabra_math.hpp"
+#include "engine/streams.hpp"
 
 namespace distbc::bc {
 namespace {
@@ -204,11 +205,12 @@ TEST(Context, StopEventuallySatisfiedBeforeOmegaOnEasyState) {
 
 TEST(EpochLength, MatchesPaperRule) {
   // n0 = 1000 * (PT)^1.33 (paper §IV-D).
-  EXPECT_EQ(epoch_length(1000, 1.33, 1), 1000u);
+  EXPECT_EQ(engine::epoch_length(1000, 1.33, 1), 1000u);
   const double expected = 1000.0 * std::pow(24.0, 1.33);
-  EXPECT_NEAR(static_cast<double>(epoch_length(1000, 1.33, 24)), expected,
-              1.0);
-  EXPECT_GT(epoch_length(1000, 1.33, 384), epoch_length(1000, 1.33, 24));
+  EXPECT_NEAR(static_cast<double>(engine::epoch_length(1000, 1.33, 24)),
+              expected, 1.0);
+  EXPECT_GT(engine::epoch_length(1000, 1.33, 384),
+            engine::epoch_length(1000, 1.33, 24));
 }
 
 }  // namespace

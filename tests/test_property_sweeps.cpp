@@ -5,9 +5,7 @@
 #include <memory>
 
 #include "bc/brandes.hpp"
-#include "bc/kadabra_mpi.hpp"
-#include "bc/kadabra_seq.hpp"
-#include "bc/kadabra_shm.hpp"
+#include "bc/kadabra.hpp"
 #include "gen/barabasi_albert.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/hyperbolic.hpp"
@@ -64,10 +62,10 @@ TEST_P(FamilyAccuracy, SequentialKadabraWithinEpsilon) {
 TEST_P(FamilyAccuracy, ShmKadabraWithinEpsilon) {
   const auto graph = GetParam().build(90002);
   const BcResult exact = brandes(graph);
-  ShmKadabraOptions options;
+  KadabraOptions options;
   options.params.epsilon = 0.1;
   options.params.seed = 14;
-  options.num_threads = 4;
+  options.engine.threads_per_rank = 4;
   const BcResult approx = kadabra_shm(graph, options);
   EXPECT_LE(approx.max_abs_difference(exact), options.params.epsilon)
       << GetParam().name;
@@ -76,10 +74,10 @@ TEST_P(FamilyAccuracy, ShmKadabraWithinEpsilon) {
 TEST_P(FamilyAccuracy, MpiKadabraWithinEpsilon) {
   const auto graph = GetParam().build(90003);
   const BcResult exact = brandes(graph);
-  MpiKadabraOptions options;
+  KadabraOptions options;
   options.params.epsilon = 0.1;
   options.params.seed = 15;
-  options.threads_per_rank = 2;
+  options.engine.threads_per_rank = 2;
   const BcResult approx = kadabra_mpi(graph, options, /*num_ranks=*/3);
   EXPECT_LE(approx.max_abs_difference(exact), options.params.epsilon)
       << GetParam().name;
@@ -125,12 +123,12 @@ TEST_P(ClusterSweep, MpiKadabraSoundAcrossShapes) {
   const ClusterShape& shape = GetParam();
   static const graph::Graph graph = build_rmat(90010);
   static const BcResult exact = brandes(graph);
-  MpiKadabraOptions options;
+  KadabraOptions options;
   options.params.epsilon = 0.1;
   options.params.seed = 17;
-  options.threads_per_rank = shape.threads;
-  options.aggregation = shape.aggregation;
-  options.hierarchical = shape.hierarchical;
+  options.engine.threads_per_rank = shape.threads;
+  options.engine.aggregation = shape.aggregation;
+  options.engine.hierarchical = shape.hierarchical;
   const BcResult approx =
       kadabra_mpi(graph, options, shape.ranks, shape.ranks_per_node);
   EXPECT_LE(approx.max_abs_difference(exact), options.params.epsilon);
