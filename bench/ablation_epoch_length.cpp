@@ -7,6 +7,8 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   bench::BenchConfig config(argc, argv);
+  config.options.describe("instance", "proxy instance to run");
+  config.finish("SIV-D ablation: epoch-length rules.");
   bench::print_preamble("Ablation - epoch length rule n0 = base*(PT)^exp",
                         "paper §IV-D", config);
 

@@ -12,6 +12,8 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   bench::BenchConfig config(argc, argv);
+  config.options.describe("instance", "proxy instance to run");
+  config.finish("SIV-E ablation: hierarchical pre-reduction.");
   bench::print_preamble("Ablation - hierarchical (per-node) aggregation",
                         "paper §IV-E", config);
 

@@ -9,6 +9,8 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   bench::BenchConfig config(argc, argv);
+  config.options.describe("instance", "proxy instance to run");
+  config.finish("SIII-B ablation: lockstep vs epoch-based.");
   bench::print_preamble("Ablation - lockstep vs epoch-based parallelization",
                         "paper §III-B", config);
 

@@ -27,6 +27,9 @@ double sample_rate(const distbc::graph::Graph& graph, std::uint64_t samples,
 int main(int argc, char** argv) {
   using namespace distbc;
   bench::BenchConfig config(argc, argv);
+  config.options.describe("samples", "fixed sample count per run");
+  config.options.describe("instance", "proxy instance to run");
+  config.finish("Vertex-reordering ablation.");
   bench::print_preamble("Ablation - vertex relabeling (locality)",
                         "analogue of paper §IV-E (memory placement)",
                         config);

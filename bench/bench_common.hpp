@@ -5,12 +5,16 @@
 //   seed=42          generator seed
 //   ranks=...        override the rank sweep (single value)
 //   quick=1          use the 3-instance quick suite instead of all 10
-// and prints rows shaped like the paper's tables/figures.
+//   --json [out=f]   also emit one machine-readable JSON object per run
+// and prints rows shaped like the paper's tables/figures. Benches register
+// their extra options and call config.finish() so --help lists everything
+// and typos fail loudly (support/options.hpp).
 #pragma once
 
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bc/kadabra.hpp"
@@ -28,10 +32,24 @@ struct BenchConfig {
   Options options;
 
   BenchConfig(int argc, char** argv) : options(argc, argv) {
-    scale = options.get_double("scale", scale);
-    seed = options.get_u64("seed", seed);
-    quick = options.get_bool("quick", quick);
+    scale = options.get_double("scale", scale,
+                               "instance size relative to the proxy default");
+    seed = options.get_u64("seed", seed, "generator seed");
+    quick = options.get_bool("quick", quick,
+                             "3-instance quick suite instead of all 10");
+    options.describe("ranks", "override the rank sweep (single value)");
+    options.describe("latency_us", "inter-node latency override (us)");
+    options.describe("dedicated",
+                     "model one dedicated core per rank (default 1)");
+    options.describe("n0base", "epoch-length base override (SIV-D rule)");
+    options.describe("json",
+                     "emit one machine-readable JSON object per run");
+    options.describe("out", "write the JSON object to this file");
   }
+
+  /// Call after main registered its extra options: serves --help and
+  /// rejects unknown keys.
+  void finish(const char* summary = nullptr) const { options.finish(summary); }
 
   [[nodiscard]] const std::vector<gen::InstanceSpec>& suite() const {
     return quick ? gen::quick_suite() : gen::instance_suite();
@@ -112,5 +130,109 @@ inline void print_preamble(const char* experiment, const char* paper_ref,
               static_cast<unsigned long long>(config.seed),
               config.quick ? "quick" : "paper-proxies");
 }
+
+// --- Machine-readable output (--json) ---------------------------------------
+
+/// Collects one JSON object per bench run - name, parameters, result rows,
+/// summary medians - and writes it on write() (to `out=` if given, else as
+/// the last stdout line) when `--json` was passed. Values are stored as
+/// pre-encoded JSON tokens; rows are flat objects.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, const BenchConfig& config)
+      : name_(std::move(bench_name)),
+        enabled_(config.options.get_bool("json", false)),
+        out_path_(config.options.get_string("out", "")) {
+    param("scale", config.scale);
+    param("seed", static_cast<double>(config.seed));
+    param("suite", config.quick ? "quick" : "paper-proxies");
+  }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void param(const std::string& key, double value) {
+    params_.emplace_back(key, number(value));
+  }
+  void param(const std::string& key, const std::string& value) {
+    params_.emplace_back(key, quote(value));
+  }
+
+  /// Starts a new result row; fill it with field().
+  void begin_row() { rows_.emplace_back(); }
+  void field(const std::string& key, double value) {
+    rows_.back().emplace_back(key, number(value));
+  }
+  void field(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, quote(value));
+  }
+
+  void summary(const std::string& key, double value) {
+    summary_.emplace_back(key, number(value));
+  }
+  void summary(const std::string& key, const std::string& value) {
+    summary_.emplace_back(key, quote(value));
+  }
+
+  /// Emits the object; no-op without --json.
+  void write() const {
+    if (!enabled_) return;
+    std::string json = "{\"bench\":" + quote(name_);
+    json += ",\"params\":" + object(params_);
+    json += ",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i != 0) json += ',';
+      json += object(rows_[i]);
+    }
+    json += "]";
+    if (!summary_.empty()) json += ",\"summary\":" + object(summary_);
+    json += "}\n";
+    if (out_path_.empty()) {
+      std::fputs(json.c_str(), stdout);
+      return;
+    }
+    std::FILE* file = std::fopen(out_path_.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path_.c_str());
+      return;
+    }
+    std::fputs(json.c_str(), file);
+    std::fclose(file);
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string quote(const std::string& text) {
+    std::string quoted = "\"";
+    for (const char c : text) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      if (static_cast<unsigned char>(c) >= 0x20) quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  }
+  static std::string number(double value) {
+    if (!std::isfinite(value)) return "null";
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return buffer;
+  }
+  static std::string object(const Fields& fields) {
+    std::string json = "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) json += ',';
+      json += quote(fields[i].first) + ":" + fields[i].second;
+    }
+    json += "}";
+    return json;
+  }
+
+  std::string name_;
+  bool enabled_ = false;
+  std::string out_path_;
+  Fields params_;
+  std::vector<Fields> rows_;
+  Fields summary_;
+};
 
 }  // namespace distbc::bench

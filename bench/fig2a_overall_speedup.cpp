@@ -13,9 +13,11 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   bench::BenchConfig config(argc, argv);
+  config.finish("Figure 2a: epoch-based MPI speedup over shared memory.");
   bench::print_preamble("Figure 2a - overall speedup vs shared memory",
                         "paper Fig. 2a (geom. mean over the Table I suite)",
                         config);
+  bench::JsonReport json("fig2a_overall_speedup", config);
 
   const auto ranks = bench::rank_sweep(config);
   std::vector<std::vector<double>> speedups(ranks.size());
@@ -36,6 +38,12 @@ int main(int argc, char** argv) {
       const double speedup = baseline.total_seconds / result.total_seconds;
       speedups[i].push_back(speedup);
       row.push_back(TablePrinter::fmt_ratio(speedup));
+      json.begin_row();
+      json.field("instance", spec.name);
+      json.field("ranks", static_cast<double>(ranks[i]));
+      json.field("baseline_seconds", baseline.total_seconds);
+      json.field("seconds", result.total_seconds);
+      json.field("speedup", speedup);
     }
     while (row.size() < 7) row.push_back("-");
     table.add_row(row);
@@ -45,10 +53,11 @@ int main(int argc, char** argv) {
   std::printf("\nGeometric-mean overall speedup (paper: 7.4x at P=16):\n");
   TablePrinter summary({"# compute nodes", "speedup"});
   for (std::size_t i = 0; i < ranks.size(); ++i) {
-    summary.add_row({std::to_string(ranks[i]),
-                     TablePrinter::fmt_ratio(
-                         bench::geometric_mean(speedups[i]))});
+    const double mean = bench::geometric_mean(speedups[i]);
+    summary.add_row({std::to_string(ranks[i]), TablePrinter::fmt_ratio(mean)});
+    json.summary("speedup_p" + std::to_string(ranks[i]), mean);
   }
   summary.print();
+  json.write();
   return 0;
 }

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   bench::BenchConfig config(argc, argv);
+  config.finish("Figure 2b: per-phase breakdown.");
   bench::print_preamble(
       "Figure 2b - phase breakdown of the MPI algorithm",
       "paper Fig. 2b (fractions of total running time, mean over suite)",

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   bench::BenchConfig config(argc, argv);
+  config.finish("Figure 3a: per-phase speedup.");
   bench::print_preamble("Figure 3a - per-phase speedup (ADS, calibration)",
                         "paper Fig. 3a", config);
 

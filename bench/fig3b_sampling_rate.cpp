@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   bench::BenchConfig config(argc, argv);
+  config.finish("Figure 3b: sampling rate.");
   bench::print_preamble(
       "Figure 3b - samples/(time * P) during adaptive sampling",
       "paper Fig. 3b (flat curve = linear sampling scalability)", config);

@@ -14,6 +14,10 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   bench::BenchConfig config(argc, argv);
+  config.options.describe("minscale", "smallest log2 vertex scale");
+  config.options.describe("maxscale", "largest log2 vertex scale");
+  config.options.describe("eps", "betweenness epsilon");
+  config.finish("Figure 4: graph-size scaling.");
   bench::print_preamble("Figure 4 - ADS time vs graph size (R-MAT, RHG)",
                         "paper Fig. 4a/4b", config);
 

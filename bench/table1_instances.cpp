@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   bench::BenchConfig config(argc, argv);
+  config.finish("Table I: instance suite.");
   bench::print_preamble("Table I - instances",
                         "paper Table I (KONECT/DIMACS instances -> synthetic "
                         "proxies, see DESIGN.md substitution #2)",

@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   bench::BenchConfig config(argc, argv);
+  config.finish("Table II: per-instance statistics.");
   bench::print_preamble("Table II - per-instance statistics at P=16",
                         "paper Table II", config);
 

@@ -1,0 +1,103 @@
+// Autotune walkthrough: measure the communication substrate once, persist
+// the tuning profile, reload it, and let it configure the engine for a
+// betweenness run - the tune/ subsystem end to end.
+//
+//   ./autotune [ranks=4] [threads=2] [rpn=2] [scale=10] [rounds=5]
+//              [profile=autotune_profile.txt]
+#include <cstdio>
+#include <memory>
+
+#include "bc/kadabra.hpp"
+#include "gen/rmat.hpp"
+#include "graph/components.hpp"
+#include "support/options.hpp"
+#include "tune/tuner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distbc;
+  const Options options(argc, argv);
+  const int ranks = static_cast<int>(
+      options.get_u64("ranks", 4, "simulated MPI ranks"));
+  const int threads = static_cast<int>(
+      options.get_u64("threads", 2, "sampling threads per rank"));
+  const int rpn = static_cast<int>(
+      options.get_u64("rpn", 2, "ranks per compute node"));
+  const auto scale = static_cast<std::uint32_t>(
+      options.get_u64("scale", 10, "log2 vertices of the demo graph"));
+  const auto rounds = static_cast<int>(
+      options.get_u64("rounds", 5, "microbench measurement rounds"));
+  const double latency_us =
+      options.get_double("latency_us", 500.0, "inter-node latency (us)");
+  const double eps = options.get_double("eps", 0.05, "betweenness epsilon");
+  const std::string path = options.get_string(
+      "profile", "autotune_profile.txt", "profile file to write and reload");
+  options.finish("Capture, persist, and reuse a tune/ profile.");
+
+  // 1. Capture: microbenchmark the collective patterns on this shape.
+  mpisim::NetworkModel network;
+  network.remote_latency_s = latency_us * 1e-6;
+  network.dedicated_cores = true;
+  tune::MicrobenchConfig micro;
+  micro.num_ranks = ranks;
+  micro.ranks_per_node = rpn;
+  micro.threads_per_rank = threads;
+  micro.measure_rounds = rounds;
+  micro.network = network;
+  std::printf("microbenchmarking P=%d T=%d rpn=%d (oversubscription %.1fx)"
+              "...\n",
+              ranks, threads, rpn, tune::oversubscription_factor(micro));
+  const tune::TuningProfile captured = tune::capture_profile(micro);
+  for (std::size_t p = 0; p < tune::kNumPatterns; ++p) {
+    const auto pattern = static_cast<tune::Pattern>(p);
+    if (!captured.model.has(pattern)) continue;
+    const tune::AlphaBeta& line = captured.model.line(pattern);
+    std::printf("  %-18s alpha = %8.1f us   beta = %7.3f ns/byte\n",
+                tune::pattern_name(pattern), line.alpha_s * 1e6,
+                line.beta_s_per_byte * 1e9);
+  }
+
+  // 2. Persist and reload: the profile round-trips through a plain
+  //    key=value text file, so one tuning run serves many workloads.
+  if (!captured.save(path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const auto reloaded = tune::TuningProfile::load(path);
+  if (!reloaded) {
+    std::fprintf(stderr, "cannot reload %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("profile saved to %s and reloaded\n\n", path.c_str());
+
+  // 3. Reuse: hand the reloaded profile to KADABRA and let it decide the
+  //    engine knobs the paper hand-ablates.
+  gen::RmatParams gen_params;
+  gen_params.scale = scale;
+  gen_params.edge_factor = 8.0;
+  const graph::Graph graph =
+      graph::largest_component(gen::rmat(gen_params, /*seed=*/42));
+  std::printf("graph: %u vertices, %llu edges\n", graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  bc::KadabraOptions bc_options;
+  bc_options.params.epsilon = eps;
+  bc_options.params.delta = 0.1;
+  bc_options.auto_tune = std::make_shared<tune::TuningProfile>(*reloaded);
+  const bc::BcResult result =
+      bc::kadabra_mpi(graph, bc_options, ranks, rpn, network);
+
+  const engine::EngineOptions& used = result.engine_used;
+  std::printf("\ntuned engine configuration:\n");
+  std::printf("  aggregation      = %s\n",
+              engine::aggregation_name(used.aggregation));
+  std::printf("  hierarchical     = %s\n", used.hierarchical ? "yes" : "no");
+  std::printf("  threads_per_rank = %d\n", used.threads_per_rank);
+  std::printf("  epoch_base       = %llu (max epoch %llu)\n",
+              static_cast<unsigned long long>(used.epoch_base),
+              static_cast<unsigned long long>(used.max_epoch_length));
+  std::printf("\nKADABRA: %llu samples in %llu epochs, %.3f s total\n",
+              static_cast<unsigned long long>(result.samples),
+              static_cast<unsigned long long>(result.epochs),
+              result.total_seconds);
+  return 0;
+}

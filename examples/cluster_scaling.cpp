@@ -16,6 +16,10 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   const Options options(argc, argv);
+  options.describe("scale", "log2 vertices of the hyperbolic proxy");
+  options.describe("latency_us", "inter-node latency (us)");
+  options.describe("eps", "betweenness epsilon");
+  options.finish("Rank-scaling sweep on a simulated cluster.");
 
   gen::HyperbolicParams gen_params;
   gen_params.num_vertices =

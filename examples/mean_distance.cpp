@@ -17,6 +17,10 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   const Options options(argc, argv);
+  options.describe("ranks", "simulated MPI ranks");
+  options.describe("eps", "confidence half-width target");
+  options.describe("scale", "log2 vertices of the social proxy");
+  options.finish("Adaptive mean-distance and closeness estimation.");
   const int ranks = static_cast<int>(options.get_u64("ranks", 8));
 
   adaptive::MeanDistanceParams params;

@@ -14,6 +14,11 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   const Options options(argc, argv);
+  options.describe("scale", "log2 vertices of the RMAT proxy");
+  options.describe("eps", "betweenness epsilon");
+  options.describe("threads", "sampling threads per rank");
+  options.describe("ranks", "simulated MPI ranks");
+  options.finish("Quickstart: KADABRA on a simulated cluster vs Brandes.");
 
   // 1. Generate a power-law graph and keep its largest connected component
   //    (the paper's preprocessing for every instance).

@@ -16,6 +16,11 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   const Options options(argc, argv);
+  options.describe("width", "road-grid width");
+  options.describe("height", "road-grid height");
+  options.describe("eps", "betweenness epsilon");
+  options.describe("ranks", "simulated MPI ranks");
+  options.finish("Betweenness on a high-diameter road proxy.");
 
   gen::RoadParams gen_params;
   gen_params.width =

@@ -21,6 +21,9 @@
 int main(int argc, char** argv) {
   using namespace distbc;
   const Options options(argc, argv);
+  options.describe("k", "top-k size to report");
+  options.describe("scale", "log2 vertices of the social proxy");
+  options.finish("Top-k central vertices at decreasing epsilon.");
   const std::size_t k = options.get_u64("k", 20);
 
   gen::RmatParams gen_params;

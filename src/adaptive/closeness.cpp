@@ -7,6 +7,7 @@
 #include "graph/bfs.hpp"
 #include "graph/components.hpp"
 #include "support/random.hpp"
+#include "tune/tuner.hpp"
 
 namespace distbc::adaptive {
 
@@ -100,6 +101,16 @@ ClosenessResult closeness_rank(const graph::Graph& graph,
   // past a fraction of it or easy (low-variance) instances overshoot the
   // adaptive stopping point before the first check.
   engine::EngineOptions options = params.engine;
+  if (params.auto_tune != nullptr) {
+    ClosenessFrame probe(n);  // one O(n) frame serves size query and probe
+    tune::TuneRequest request;
+    request.frame_words = probe.raw().size();
+    request.sample_seconds = tune::measure_sample_seconds(probe, make_sampler);
+    // All ranks must agree on the tuned epoch schedule.
+    world.bcast(std::span{&request.sample_seconds, 1}, 0);
+    request.base = options;
+    options = tune::tuned_options(*params.auto_tune, request);
+  }
   const std::uint64_t bound_clamp = std::max<std::uint64_t>(
       1, closeness_sample_bound(n, params.epsilon, params.delta) / 8);
   options.max_epoch_length = options.max_epoch_length != 0

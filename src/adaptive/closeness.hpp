@@ -19,12 +19,17 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "engine/engine.hpp"
 #include "graph/graph.hpp"
 #include "mpisim/runtime.hpp"
+
+namespace distbc::tune {
+struct TuningProfile;  // tune/tuner.hpp
+}
 
 namespace distbc::adaptive {
 
@@ -86,6 +91,10 @@ struct ClosenessParams {
   /// (§IV-F), hierarchical reduction (§IV-E), epoch-length rule - the
   /// same knobs as the KADABRA backends, for free via the shared engine.
   engine::EngineOptions engine;
+  /// Autotune path: when set, the profile decides aggregation strategy,
+  /// hierarchical reduction, threads per rank, and epoch sizing (against a
+  /// quick per-sample BFS cost probe) instead of the fields in `engine`.
+  std::shared_ptr<const tune::TuningProfile> auto_tune;
 };
 
 struct ClosenessResult {

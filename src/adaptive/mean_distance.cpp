@@ -8,6 +8,7 @@
 #include "graph/components.hpp"
 #include "graph/diameter.hpp"
 #include "support/random.hpp"
+#include "tune/tuner.hpp"
 
 namespace distbc::adaptive {
 
@@ -81,8 +82,19 @@ MeanDistanceResult mean_distance_rank(const graph::Graph& graph,
                                 n) <= params.epsilon;
   };
 
+  engine::EngineOptions engine_options = params.engine;
+  if (params.auto_tune != nullptr) {
+    tune::TuneRequest request;
+    request.frame_words = MomentFrame{}.raw().size();
+    request.sample_seconds =
+        tune::measure_sample_seconds(MomentFrame{}, make_sampler);
+    // All ranks must agree on the tuned epoch schedule.
+    world.bcast(std::span{&request.sample_seconds, 1}, 0);
+    request.base = engine_options;
+    engine_options = tune::tuned_options(*params.auto_tune, request);
+  }
   auto driver_result = engine::run_epochs(&world, MomentFrame{}, make_sampler,
-                                          should_stop, params.engine);
+                                          should_stop, engine_options);
 
   MeanDistanceResult result;
   result.epochs = driver_result.epochs;

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,10 @@
 #include "graph/graph.hpp"
 #include "mpisim/runtime.hpp"
 #include "support/timer.hpp"
+
+namespace distbc::tune {
+struct TuningProfile;  // tune/tuner.hpp
+}
 
 namespace distbc::adaptive {
 
@@ -64,6 +69,10 @@ struct MeanDistanceParams {
   /// Epoch-engine configuration (threads, §IV-F aggregation strategy,
   /// §IV-E hierarchical reduction, epoch-length rule).
   engine::EngineOptions engine;
+  /// Autotune path: when set, the profile decides aggregation strategy,
+  /// hierarchical reduction, threads per rank, and epoch sizing (against a
+  /// quick per-sample probe) instead of the fields in `engine`.
+  std::shared_ptr<const tune::TuningProfile> auto_tune;
 };
 
 struct MeanDistanceResult {

@@ -6,6 +6,7 @@
 #include "bc/sampler.hpp"
 #include "epoch/state_frame.hpp"
 #include "support/timer.hpp"
+#include "tune/tuner.hpp"
 
 namespace distbc::bc {
 
@@ -36,24 +37,49 @@ BcResult kadabra_run(const graph::Graph& graph, const KadabraOptions& options,
   if (world != nullptr) world->bcast(std::span{&vd, 1}, 0);
   KadabraContext context = begin_context(params, vd);
 
+  // The autotune path decides the thread count up front (calibration and
+  // the adaptive phase must agree on the stream layout).
+  engine::EngineOptions engine_options = options.engine;
+  if (options.auto_tune != nullptr)
+    engine_options.threads_per_rank =
+        options.auto_tune->shape.threads_per_rank;
+
   // --- Phase 2: parallel calibration through the engine's hook. ----------
   // Calibration streams occupy stream indices [0, V); the adaptive phase
   // continues with fresh streams [V, 2V) so the adaptive guarantee is only
   // over fresh samples, as in KADABRA.
-  const std::uint64_t streams = engine::num_streams(options.engine, num_ranks);
+  const std::uint64_t streams = engine::num_streams(engine_options, num_ranks);
+  WallTimer calibration_timer;
   phases.timed(Phase::kCalibration, [&] {
     const epoch::StateFrame initial = engine::calibrate(
         world, epoch::StateFrame(n),
         [&](std::uint64_t v) {
           return PathSampler(graph, Rng(params.seed).split(v));
         },
-        context.initial_samples, options.engine);
+        context.initial_samples, engine_options);
     if (is_root) finish_calibration(context, initial);
   });
+  const double calibration_seconds = calibration_timer.elapsed_s();
 
   // --- Phase 3: epoch-based adaptive sampling (Algorithm 2). -------------
+  if (options.auto_tune != nullptr) {
+    // Per-sample cost in cluster CPU-seconds, measured on the calibration
+    // phase this run just paid for anyway.
+    const auto total_threads =
+        static_cast<double>(num_ranks) * engine_options.threads_per_rank;
+    tune::TuneRequest request;
+    request.frame_words = epoch::StateFrame(n).raw().size();
+    if (context.initial_samples > 0)
+      request.sample_seconds = calibration_seconds * total_threads /
+                               static_cast<double>(context.initial_samples);
+    // Every rank must tune the same epoch schedule: use rank zero's
+    // measurement everywhere.
+    if (world != nullptr)
+      world->bcast(std::span{&request.sample_seconds, 1}, 0);
+    request.base = engine_options;
+    engine_options = tune::tuned_options(*options.auto_tune, request);
+  }
   WallTimer adaptive_timer;
-  engine::EngineOptions engine_options = options.engine;
   const std::uint64_t omega_clamp = std::max(
       options.min_epoch_length,
       std::max<std::uint64_t>(1, context.omega / options.omega_fraction));
@@ -73,6 +99,7 @@ BcResult kadabra_run(const graph::Graph& graph, const KadabraOptions& options,
   result.adaptive_seconds = adaptive_timer.elapsed_s();
 
   phases.merge(driver.phases);
+  result.engine_used = engine_options;
   result.epochs = driver.epochs;
   result.samples_attempted = driver.samples_attempted;
   if (is_root) {

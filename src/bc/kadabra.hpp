@@ -21,11 +21,17 @@
 // thread for cross-backend equivalence.
 #pragma once
 
+#include <memory>
+
 #include "bc/kadabra_context.hpp"
 #include "bc/result.hpp"
 #include "engine/engine.hpp"
 #include "graph/graph.hpp"
 #include "mpisim/runtime.hpp"
+
+namespace distbc::tune {
+struct TuningProfile;  // tune/tuner.hpp
+}
 
 namespace distbc::bc {
 
@@ -42,6 +48,13 @@ struct KadabraOptions {
   /// not sample far past termination before the first check.
   std::uint64_t omega_fraction = 2;
   std::uint64_t min_epoch_length = 1;
+  /// Autotune path: when set, the §IV-F aggregation strategy, §IV-E
+  /// hierarchical reduction, threads per rank, and the epoch-length knobs
+  /// are decided by the profile (measured on this cluster shape by
+  /// tune::capture_profile) instead of the fields above; the per-sample
+  /// cost feeding the epoch sizing is measured during calibration. The
+  /// applied configuration is reported in BcResult::engine_used.
+  std::shared_ptr<const tune::TuningProfile> auto_tune;
 };
 
 /// The unified driver: runs all three phases on `world` (nullptr = no

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "graph/graph.hpp"
 #include "support/timer.hpp"
 
@@ -30,6 +31,10 @@ struct BcResult {
 
   // --- Communication (MPI variants only) ----------------------------------
   std::uint64_t comm_bytes = 0;  // total payload moved by aggregations
+
+  /// Engine configuration the adaptive phase actually ran with - identical
+  /// to the caller's request unless the autotune path rewrote it.
+  engine::EngineOptions engine_used;
 
   /// Indices of the k highest-scoring vertices, descending by score.
   [[nodiscard]] std::vector<graph::Vertex> top_k(std::size_t k) const;

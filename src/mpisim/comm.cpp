@@ -70,6 +70,26 @@ void wait_deadline(CommState& state, std::unique_lock<std::mutex>& lock,
   }
 }
 
+/// Accumulates the elapsed blocked time of one wait_* call into a CommStats
+/// counter (per-collective blocking-share telemetry).
+class WaitCharge {
+ public:
+  explicit WaitCharge(std::atomic<std::uint64_t>& counter)
+      : counter_(counter), start_(Clock::now()) {}
+  ~WaitCharge() {
+    counter_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 start_)
+                .count()),
+        std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t>& counter_;
+  Clock::time_point start_;
+};
+
 }  // namespace
 }  // namespace detail
 
@@ -79,6 +99,7 @@ using detail::Slot;
 using detail::SlotKind;
 using detail::acquire_slot;
 using detail::depart_slot;
+using detail::WaitCharge;
 using detail::wait_deadline;
 using detail::wait_predicate;
 
@@ -180,6 +201,7 @@ bool poll_reduce(CommState& state, std::uint64_t ticket, int rank) {
 }
 
 void wait_reduce(CommState& state, std::uint64_t ticket, int rank) {
+  WaitCharge charge(state.stats.reduce_wait_ns);
   std::unique_lock lock(state.mu);
   Slot& slot = state.slots.at(ticket);
   if (rank == slot.root) {
@@ -253,6 +275,7 @@ bool poll_barrier(CommState& state, std::uint64_t ticket, int rank) {
 }
 
 void wait_barrier(CommState& state, std::uint64_t ticket) {
+  WaitCharge charge(state.stats.barrier_wait_ns);
   std::unique_lock lock(state.mu);
   Slot& slot = state.slots.at(ticket);
   wait_predicate(state, lock, [&] { return slot.all_arrived; });
@@ -325,6 +348,7 @@ bool poll_bcast(CommState& state, std::uint64_t ticket, int rank,
 
 void wait_bcast(CommState& state, std::uint64_t ticket, int rank,
                 std::byte* recv) {
+  WaitCharge charge(state.stats.bcast_wait_ns);
   std::unique_lock lock(state.mu);
   Slot& slot = state.slots.at(ticket);
   if (rank != slot.root) {

@@ -183,6 +183,11 @@ class Comm {
   [[nodiscard]] int size() const { return state_->size(); }
   [[nodiscard]] int node() const { return state_->node_of_rank[rank_]; }
   [[nodiscard]] int num_nodes() const { return state_->num_nodes; }
+  /// Largest number of ranks sharing one node - the cluster-shape fact
+  /// collective cost charging is based on.
+  [[nodiscard]] int max_ranks_per_node() const {
+    return state_->max_ranks_per_node;
+  }
 
   // --- Collectives -------------------------------------------------------
 
@@ -259,6 +264,16 @@ class Comm {
 
   [[nodiscard]] CommStats& stats() { return state_->stats; }
   [[nodiscard]] const NetworkModel& network() const { return state_->model; }
+
+  /// The interconnect model's charged duration for one collective over this
+  /// communicator's topology moving `bytes` per hop - the analytic anchor
+  /// the tune/ microbench reports its measurements against.
+  [[nodiscard]] double modeled_collective_seconds(std::uint64_t bytes) const {
+    return std::chrono::duration<double>(
+               state_->model.collective_cost(bytes, state_->max_ranks_per_node,
+                                             state_->num_nodes))
+        .count();
+  }
 
   /// Collective: creates (or attaches to) a shared window of `bytes` zeroed
   /// bytes. All ranks receive the same state. Used by Window<T>.

@@ -20,11 +20,26 @@ struct CommStats {
   std::atomic<std::uint64_t> reduce_bytes{0};
   std::atomic<std::uint64_t> bcast_bytes{0};
   std::atomic<std::uint64_t> p2p_bytes{0};
+  /// Wall time ranks spent blocked inside collectives - per-collective
+  /// blocking-share telemetry for Figure 2b-style reporting and tooling.
+  /// Only blocking calls (and blocking waits on requests) are charged;
+  /// unsuccessful test() polls are not.
+  std::atomic<std::uint64_t> reduce_wait_ns{0};
+  std::atomic<std::uint64_t> barrier_wait_ns{0};
+  std::atomic<std::uint64_t> bcast_wait_ns{0};
 
   [[nodiscard]] std::uint64_t total_bytes() const {
     return reduce_bytes.load(std::memory_order_relaxed) +
            bcast_bytes.load(std::memory_order_relaxed) +
            p2p_bytes.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double total_wait_seconds() const {
+    return static_cast<double>(
+               reduce_wait_ns.load(std::memory_order_relaxed) +
+               barrier_wait_ns.load(std::memory_order_relaxed) +
+               bcast_wait_ns.load(std::memory_order_relaxed)) *
+           1e-9;
   }
 
   void reset() {
@@ -37,6 +52,9 @@ struct CommStats {
     reduce_bytes = 0;
     bcast_bytes = 0;
     p2p_bytes = 0;
+    reduce_wait_ns = 0;
+    barrier_wait_ns = 0;
+    bcast_wait_ns = 0;
   }
 };
 

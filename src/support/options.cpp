@@ -7,12 +7,31 @@
 namespace distbc {
 
 Options::Options(int argc, char** argv) {
+  prog_ = argc > 0 ? argv[0] : "bench";
   for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h" || arg == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    // `--flag` is shorthand for flag=1 (and `--key=value` for key=value);
+    // a bare word without '=' stays a loud error, as before.
+    const bool dashed = arg.starts_with("--");
+    if (dashed) arg.remove_prefix(2);
     const auto eq = arg.find('=');
     if (eq == std::string_view::npos) {
+      if (dashed && !arg.empty()) {
+        values_[std::string(arg)] = "1";
+        continue;
+      }
       std::fprintf(stderr,
-                   "unrecognized argument '%s' (expected key=value)\n",
+                   "unrecognized argument '%s' (expected key=value or "
+                   "--flag)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+    if (eq == 0) {
+      std::fprintf(stderr, "malformed argument '%s' (expected key=value)\n",
                    argv[i]);
       std::exit(2);
     }
@@ -24,26 +43,62 @@ bool Options::has(const std::string& key) const {
   return values_.contains(key);
 }
 
+void Options::register_key(const std::string& key,
+                           const std::string& help) const {
+  auto [it, inserted] = registered_.try_emplace(key, help);
+  if (!inserted && it->second.empty()) it->second = help;
+}
+
+void Options::describe(const std::string& key, const std::string& help) const {
+  register_key(key, help);
+}
+
+void Options::finish(const char* summary) const {
+  if (help_requested_) {
+    std::printf("usage: %s [key=value ...] [--flag ...]\n", prog_.c_str());
+    if (summary != nullptr) std::printf("%s\n", summary);
+    std::printf("options:\n");
+    for (const auto& [key, help] : registered_)
+      std::printf("  %-14s %s\n", key.c_str(), help.c_str());
+    std::exit(0);
+  }
+  for (const auto& [key, value] : values_) {
+    if (registered_.contains(key)) continue;
+    std::fprintf(stderr, "unknown option '%s'\nknown options:", key.c_str());
+    for (const auto& [known, help] : registered_)
+      std::fprintf(stderr, " %s", known.c_str());
+    std::fprintf(stderr, "\n(run with --help for descriptions)\n");
+    std::exit(2);
+  }
+}
+
 std::string Options::get_string(const std::string& key,
-                                const std::string& fallback) const {
+                                const std::string& fallback,
+                                const std::string& help) const {
+  register_key(key, help);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;
 }
 
-std::uint64_t Options::get_u64(const std::string& key,
-                               std::uint64_t fallback) const {
+std::uint64_t Options::get_u64(const std::string& key, std::uint64_t fallback,
+                               const std::string& help) const {
+  register_key(key, help);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : std::strtoull(it->second.c_str(),
                                                         nullptr, 10);
 }
 
-double Options::get_double(const std::string& key, double fallback) const {
+double Options::get_double(const std::string& key, double fallback,
+                           const std::string& help) const {
+  register_key(key, help);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback
                              : std::strtod(it->second.c_str(), nullptr);
 }
 
-bool Options::get_bool(const std::string& key, bool fallback) const {
+bool Options::get_bool(const std::string& key, bool fallback,
+                       const std::string& help) const {
+  register_key(key, help);
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return it->second == "1" || it->second == "true" || it->second == "yes";

@@ -1,8 +1,16 @@
 // Minimal key=value command-line parsing for benches and examples.
 //
-// Usage: Options opts(argc, argv);  opts.get_u64("ranks", 16);
-// Unrecognized positional arguments abort with a usage hint, so typos in
-// sweep scripts fail loudly instead of silently running defaults.
+// Usage:
+//   Options opts(argc, argv);
+//   const auto ranks = opts.get_u64("ranks", 16, "simulated rank count");
+//   ...
+//   opts.finish();  // after every option is registered
+//
+// Every get_* (and describe()) registers its key; finish() then serves
+// `--help` (a table of registered options) and rejects any parsed key that
+// no code path registered, so typos in sweep scripts fail loudly instead
+// of silently running defaults. Arguments come as key=value; a bare
+// `--flag` is shorthand for flag=1 (e.g. the benches' `--json`).
 #pragma once
 
 #include <cstdint>
@@ -17,16 +25,34 @@ class Options {
 
   [[nodiscard]] bool has(const std::string& key) const;
 
+  // Reading an option registers it (with its help text, if given).
   [[nodiscard]] std::string get_string(const std::string& key,
-                                       const std::string& fallback) const;
+                                       const std::string& fallback,
+                                       const std::string& help = "") const;
   [[nodiscard]] std::uint64_t get_u64(const std::string& key,
-                                      std::uint64_t fallback) const;
-  [[nodiscard]] double get_double(const std::string& key,
-                                  double fallback) const;
-  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+                                      std::uint64_t fallback,
+                                      const std::string& help = "") const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback,
+                                  const std::string& help = "") const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback,
+                              const std::string& help = "") const;
+
+  /// Registers a key without reading it - for options consumed later than
+  /// finish() runs (e.g. inside a sweep loop).
+  void describe(const std::string& key, const std::string& help) const;
+
+  /// Call once every option is registered: prints the option table and
+  /// exits 0 when --help/-h was given; exits 2 with the known-option list
+  /// when an unregistered key was passed.
+  void finish(const char* summary = nullptr) const;
 
  private:
+  void register_key(const std::string& key, const std::string& help) const;
+
+  std::string prog_;
+  bool help_requested_ = false;
   std::map<std::string, std::string> values_;
+  mutable std::map<std::string, std::string> registered_;  // key -> help
 };
 
 }  // namespace distbc

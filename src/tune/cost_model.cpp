@@ -1,0 +1,70 @@
+#include "tune/cost_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace distbc::tune {
+
+AlphaBeta fit_alpha_beta(const double* bytes, const double* seconds,
+                         std::size_t count) {
+  AlphaBeta fit;
+  if (count == 0) return fit;
+  fit.valid = true;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    mean_x += bytes[i];
+    mean_y += seconds[i];
+  }
+  mean_x /= static_cast<double>(count);
+  mean_y /= static_cast<double>(count);
+  double var_x = 0.0;
+  double cov_xy = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    var_x += (bytes[i] - mean_x) * (bytes[i] - mean_x);
+    cov_xy += (bytes[i] - mean_x) * (seconds[i] - mean_y);
+  }
+  if (var_x > 0.0) fit.beta_s_per_byte = std::max(0.0, cov_xy / var_x);
+  fit.alpha_s = std::max(0.0, mean_y - fit.beta_s_per_byte * mean_x);
+  return fit;
+}
+
+CostModel CostModel::fit(const MicrobenchResult& result) {
+  CostModel model;
+  for (std::size_t p = 0; p < kNumPatterns; ++p) {
+    const auto pattern = static_cast<Pattern>(p);
+    const std::vector<PatternSample> samples = result.of(pattern);
+    if (samples.empty()) continue;
+    std::vector<double> bytes;
+    std::vector<double> seconds;
+    bytes.reserve(samples.size());
+    seconds.reserve(samples.size());
+    for (const PatternSample& sample : samples) {
+      bytes.push_back(
+          static_cast<double>(sample.message_words * sizeof(std::uint64_t)));
+      seconds.push_back(sample.overhead_s);
+    }
+    model.line(pattern) =
+        fit_alpha_beta(bytes.data(), seconds.data(), bytes.size());
+  }
+  return model;
+}
+
+double CostModel::predict_seconds(Pattern pattern,
+                                  std::size_t frame_words) const {
+  const AlphaBeta& fit = line(pattern);
+  DISTBC_ASSERT_MSG(fit.valid, "predicting an unfitted pattern");
+  return fit.predict(frame_words * sizeof(std::uint64_t));
+}
+
+double CostModel::predict_epoch_overhead(Pattern pattern,
+                                         std::size_t frame_words) const {
+  double overhead = predict_seconds(pattern, frame_words);
+  // The termination flag is one byte; its cost is all latency.
+  if (has(Pattern::kIbcast)) overhead += line(Pattern::kIbcast).predict(1);
+  return overhead;
+}
+
+}  // namespace distbc::tune

@@ -1,0 +1,69 @@
+// Alpha-beta communication cost model fitted from microbench samples
+// (tune/ layer 2).
+//
+// Classic LogP-style reduction: the exposed cost of a collective pattern at
+// message size b is modeled as alpha + b * beta, with alpha the per-call
+// latency term (hops, synchronization, progression tax) and beta the
+// per-byte term (inverse effective bandwidth). One line is fitted per
+// pattern by least squares over the microbench's message-size sweep; the
+// tuner then compares predicted per-epoch aggregation costs at the actual
+// frame size of a workload - including sizes the microbench never ran.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tune/microbench.hpp"
+
+namespace distbc::tune {
+
+/// One fitted pattern: exposed_seconds(bytes) ~= alpha_s + bytes * beta.
+struct AlphaBeta {
+  double alpha_s = 0.0;
+  double beta_s_per_byte = 0.0;
+  bool valid = false;
+
+  [[nodiscard]] double predict(std::uint64_t bytes) const {
+    return alpha_s + static_cast<double>(bytes) * beta_s_per_byte;
+  }
+};
+
+/// Least-squares fit of (bytes, seconds) points; both coefficients are
+/// clamped non-negative (a measured cost cannot be). Exposed for tests.
+[[nodiscard]] AlphaBeta fit_alpha_beta(const double* bytes,
+                                       const double* seconds,
+                                       std::size_t count);
+
+class CostModel {
+ public:
+  CostModel() = default;
+
+  /// Fits one alpha-beta line per pattern from the microbench's exposed
+  /// times. Patterns without samples stay invalid.
+  [[nodiscard]] static CostModel fit(const MicrobenchResult& result);
+
+  [[nodiscard]] bool has(Pattern pattern) const {
+    return line(pattern).valid;
+  }
+  [[nodiscard]] const AlphaBeta& line(Pattern pattern) const {
+    return patterns_[static_cast<std::size_t>(pattern)];
+  }
+  AlphaBeta& line(Pattern pattern) {
+    return patterns_[static_cast<std::size_t>(pattern)];
+  }
+
+  /// Predicted exposed seconds of one aggregation via `pattern` moving a
+  /// frame of `frame_words` uint64 words.
+  [[nodiscard]] double predict_seconds(Pattern pattern,
+                                       std::size_t frame_words) const;
+
+  /// Predicted exposed seconds of one full epoch's communication: the
+  /// aggregation via `pattern` plus the termination Ibcast (if measured).
+  [[nodiscard]] double predict_epoch_overhead(Pattern pattern,
+                                              std::size_t frame_words) const;
+
+ private:
+  std::array<AlphaBeta, kNumPatterns> patterns_{};
+};
+
+}  // namespace distbc::tune

@@ -1,0 +1,255 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace distbc::tune {
+
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  return text;
+}
+
+void append_kv(std::string& out, const std::string& key, double value) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%s = %.12e\n", key.c_str(), value);
+  out += buffer;
+}
+
+void append_kv(std::string& out, const std::string& key, int value) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%s = %d\n", key.c_str(), value);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string TuningProfile::serialize() const {
+  std::string out = "# distbc tuning profile (tune/tuner.hpp)\n";
+  append_kv(out, "tune.version", 1);
+  append_kv(out, "shape.num_ranks", shape.num_ranks);
+  append_kv(out, "shape.ranks_per_node", shape.ranks_per_node);
+  append_kv(out, "shape.threads_per_rank", shape.threads_per_rank);
+  append_kv(out, "oversubscription", oversubscription);
+  append_kv(out, "work_unit_s", work_unit_s);
+  for (std::size_t p = 0; p < kNumPatterns; ++p) {
+    const auto pattern = static_cast<Pattern>(p);
+    if (!model.has(pattern)) continue;
+    const std::string prefix = std::string("pattern.") + pattern_name(pattern);
+    append_kv(out, prefix + ".alpha_s", model.line(pattern).alpha_s);
+    append_kv(out, prefix + ".beta_s_per_byte",
+              model.line(pattern).beta_s_per_byte);
+  }
+  return out;
+}
+
+std::optional<TuningProfile> TuningProfile::parse(std::string_view text) {
+  std::map<std::string, double, std::less<>> values;
+  while (!text.empty()) {
+    const std::size_t newline = text.find('\n');
+    std::string_view line = text.substr(0, newline);
+    text.remove_prefix(newline == std::string_view::npos ? text.size()
+                                                         : newline + 1);
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) return std::nullopt;
+    char* end = nullptr;
+    const std::string value_str(value);
+    const double parsed = std::strtod(value_str.c_str(), &end);
+    if (end == nullptr || *end != '\0') return std::nullopt;
+    values[std::string(key)] = parsed;
+  }
+
+  const auto get = [&](std::string_view key) -> std::optional<double> {
+    const auto it = values.find(key);
+    if (it == values.end()) return std::nullopt;
+    return it->second;
+  };
+  const auto version = get("tune.version");
+  if (!version || *version != 1.0) return std::nullopt;
+
+  TuningProfile profile;
+  const auto ranks = get("shape.num_ranks");
+  const auto per_node = get("shape.ranks_per_node");
+  const auto threads = get("shape.threads_per_rank");
+  if (!ranks || !per_node || !threads) return std::nullopt;
+  profile.shape.num_ranks = static_cast<int>(*ranks);
+  profile.shape.ranks_per_node = static_cast<int>(*per_node);
+  profile.shape.threads_per_rank = static_cast<int>(*threads);
+  if (profile.shape.num_ranks < 1 || profile.shape.ranks_per_node < 1 ||
+      profile.shape.threads_per_rank < 1)
+    return std::nullopt;
+  profile.oversubscription = get("oversubscription").value_or(1.0);
+  profile.work_unit_s = get("work_unit_s").value_or(profile.work_unit_s);
+
+  for (std::size_t p = 0; p < kNumPatterns; ++p) {
+    const auto pattern = static_cast<Pattern>(p);
+    const std::string prefix = std::string("pattern.") + pattern_name(pattern);
+    const auto alpha = get(prefix + ".alpha_s");
+    const auto beta = get(prefix + ".beta_s_per_byte");
+    if (!alpha && !beta) continue;
+    if (!alpha || !beta) return std::nullopt;
+    AlphaBeta& line = profile.model.line(pattern);
+    line.alpha_s = *alpha;
+    line.beta_s_per_byte = *beta;
+    line.valid = true;
+  }
+  return profile;
+}
+
+bool TuningProfile::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize();
+  return static_cast<bool>(out);
+}
+
+std::optional<TuningProfile> TuningProfile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+TuningProfile capture_profile(const MicrobenchConfig& config) {
+  const MicrobenchResult result = run_microbench(config);
+  TuningProfile profile;
+  profile.shape.num_ranks = config.num_ranks;
+  profile.shape.ranks_per_node = config.ranks_per_node;
+  profile.shape.threads_per_rank = std::max(1, config.threads_per_rank);
+  profile.oversubscription = result.oversubscription;
+  profile.work_unit_s = config.work_unit_s;
+  profile.model = CostModel::fit(result);
+  return profile;
+}
+
+engine::Aggregation pattern_aggregation(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::kReduce:
+      return engine::Aggregation::kBlocking;
+    case Pattern::kIreduce:
+      return engine::Aggregation::kIreduce;
+    case Pattern::kIbarrierReduce:
+    case Pattern::kWindowPreReduce:  // leaders aggregate via Ibarrier+Reduce
+      return engine::Aggregation::kIbarrierReduce;
+    case Pattern::kIbcast:
+    case Pattern::kCount:
+      break;
+  }
+  DISTBC_ASSERT_MSG(false, "not an aggregation pattern");
+  return engine::Aggregation::kIbarrierReduce;
+}
+
+TuneDecision tune_decision(const TuningProfile& profile,
+                           const TuneRequest& request) {
+  DISTBC_ASSERT(request.frame_words > 0);
+  DISTBC_ASSERT(request.target_overhead > 0.0);
+  const CostModel& model = profile.model;
+
+  // §IV-F: the flat aggregation strategy with the cheapest predicted
+  // cost at this frame size. Ibarrier+Reduce is the paper-backed prior and
+  // is examined first; a competitor must beat the incumbent by the
+  // decision margin to take over. On an oversubscribed substrate the fully
+  // blocking variant is ineligible outright: the paper measures it as
+  // "again detrimental" once waits cannot hide, and a short microbench
+  // race systematically underprices its straggler tail (synthetic samplers
+  // are milder than real BFS cost distributions).
+  const double margin = std::clamp(1.0 - request.decision_margin, 0.0, 1.0);
+  const bool oversubscribed = profile.oversubscription > 1.0;
+  static constexpr Pattern kFlatOrder[] = {
+      Pattern::kIbarrierReduce, Pattern::kIreduce, Pattern::kReduce};
+  std::optional<Pattern> best_flat;
+  double best_flat_cost = 0.0;
+  for (const bool allow_blocking : {!oversubscribed, true}) {
+    for (const Pattern pattern : kFlatOrder) {
+      if (!model.has(pattern)) continue;
+      if (pattern == Pattern::kReduce && !allow_blocking) continue;
+      const double cost = model.predict_seconds(pattern, request.frame_words);
+      if (!best_flat || cost < best_flat_cost * margin) {
+        best_flat = pattern;
+        best_flat_cost = cost;
+      }
+    }
+    if (best_flat) break;  // second pass only if the profile held nothing else
+  }
+  DISTBC_ASSERT_MSG(best_flat.has_value(),
+                    "profile holds no aggregation pattern");
+
+  // §IV-E: hierarchical pre-reduction iff nodes hold several ranks and the
+  // measured window path clearly beats the best flat reduction.
+  TuneDecision decision;
+  decision.pattern = *best_flat;
+  bool hierarchical = false;
+  if (profile.shape.ranks_per_node > 1 && profile.shape.num_ranks > 1 &&
+      model.has(Pattern::kWindowPreReduce) &&
+      model.predict_seconds(Pattern::kWindowPreReduce, request.frame_words) <
+          best_flat_cost * margin) {
+    hierarchical = true;
+    decision.pattern = Pattern::kWindowPreReduce;
+  }
+  decision.predicted_overhead_s =
+      model.predict_epoch_overhead(decision.pattern, request.frame_words);
+
+  // §IV-D: the smallest epoch whose aggregation overhead stays below the
+  // target fraction of its sampling time, converted back through the
+  // n0 = base * streams^exponent rule.
+  const double sample_s =
+      request.sample_seconds > 0.0 ? request.sample_seconds
+                                   : profile.work_unit_s;
+  const auto total_threads =
+      static_cast<double>(profile.shape.num_ranks) *
+      static_cast<double>(profile.shape.threads_per_rank);
+  // Floor at one sample per physical thread so cheap interconnects do not
+  // degenerate into single-sample epochs.
+  const double n0_min =
+      std::max(total_threads, decision.predicted_overhead_s * total_threads /
+                                  (request.target_overhead * sample_s));
+  engine::EngineOptions options = request.base;
+  options.threads_per_rank = profile.shape.threads_per_rank;
+  options.aggregation = pattern_aggregation(decision.pattern);
+  options.hierarchical = hierarchical;
+  const double streams =
+      options.deterministic && options.virtual_streams != 0
+          ? static_cast<double>(options.virtual_streams)
+          : total_threads;
+  options.epoch_base = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(n0_min / std::pow(streams, options.epoch_exponent))));
+  // Cap runaway epochs at a small multiple of the sized epoch; adaptive
+  // drivers still clamp tighter against their own sample budgets.
+  const auto n0_cap = static_cast<std::uint64_t>(
+      std::ceil(std::max(1.0, 4.0 * n0_min)));
+  options.max_epoch_length = options.max_epoch_length == 0
+                                 ? n0_cap
+                                 : std::min(options.max_epoch_length, n0_cap);
+
+  decision.options = options;
+  decision.predicted_epoch_s =
+      n0_min * sample_s / total_threads + decision.predicted_overhead_s;
+  return decision;
+}
+
+engine::EngineOptions tuned_options(const TuningProfile& profile,
+                                    const TuneRequest& request) {
+  return tune_decision(profile, request).options;
+}
+
+}  // namespace distbc::tune

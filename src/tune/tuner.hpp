@@ -1,0 +1,121 @@
+// The decision layer of the autotuner (tune/ layer 3).
+//
+// A TuningProfile bundles what one microbench run learned about a cluster
+// shape: the fitted alpha-beta cost line per aggregation pattern, the
+// oversubscription factor, and the work-unit calibration. Profiles
+// round-trip through a plain "key = value" text format so a tuning run can
+// be captured once (examples/autotune.cpp) and reloaded by every workload
+// on that cluster.
+//
+// tune_decision() turns a profile plus a workload's frame size and
+// per-sample cost into the three knobs the paper hand-ablates:
+//   * aggregation strategy (§IV-F): the pattern with the cheapest predicted
+//     exposed cost at the actual frame size;
+//   * hierarchical pre-reduction (§IV-E): on iff the measured window path
+//     beats the best flat reduction (and nodes hold more than one rank);
+//   * epoch length (§IV-D): the smallest epoch whose predicted aggregation
+//     overhead stays below a target fraction of the epoch's sampling time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "engine/engine.hpp"
+#include "support/timer.hpp"
+#include "tune/cost_model.hpp"
+
+namespace distbc::tune {
+
+struct ClusterShape {
+  int num_ranks = 1;
+  int ranks_per_node = 1;
+  int threads_per_rank = 1;
+
+  [[nodiscard]] bool operator==(const ClusterShape&) const = default;
+};
+
+struct TuningProfile {
+  ClusterShape shape;
+  double oversubscription = 1.0;
+  /// Duration of the microbench's stand-in sample; the fallback per-sample
+  /// cost when a workload does not supply its own measurement.
+  double work_unit_s = 20e-6;
+  CostModel model;
+
+  /// Serializes to the "key = value" profile text format (one line per
+  /// field, '#' comments allowed on parse).
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static std::optional<TuningProfile> parse(
+      std::string_view text);
+
+  /// File round-trip; save returns false (load nullopt) on I/O failure.
+  [[nodiscard]] bool save(const std::string& path) const;
+  [[nodiscard]] static std::optional<TuningProfile> load(
+      const std::string& path);
+};
+
+/// Runs the microbench for the configured shape and fits the profile -
+/// the one-call capture path.
+[[nodiscard]] TuningProfile capture_profile(const MicrobenchConfig& config);
+
+struct TuneRequest {
+  /// Flat uint64 words of the workload's epoch frame (the aggregation
+  /// payload).
+  std::size_t frame_words = 1;
+  /// Measured seconds per sample of this workload; 0 falls back to the
+  /// profile's work-unit calibration.
+  double sample_seconds = 0.0;
+  /// Epoch sizing target: predicted aggregation overhead per epoch stays
+  /// below this fraction of the epoch's sampling time.
+  double target_overhead = 0.1;
+  /// Decision margin: Ibarrier+Reduce is the paper-backed prior, so a
+  /// competing flat strategy (or the hierarchical path over the best flat
+  /// one) must be predicted cheaper by this fraction to override it.
+  /// Microbench medians on near-parity shapes carry ~20% spread; §IV-F
+  /// carries evidence, so only a decisive measurement overrides it.
+  double decision_margin = 0.3;
+  /// Starting options; tuning preserves fields it does not decide
+  /// (determinism, epoch exponent, max_epochs, ...).
+  engine::EngineOptions base{};
+};
+
+struct TuneDecision {
+  engine::EngineOptions options{};
+  /// The pattern the decision is based on (kWindowPreReduce when the
+  /// hierarchical path won).
+  Pattern pattern = Pattern::kIbarrierReduce;
+  double predicted_overhead_s = 0.0;  // exposed comm seconds per epoch
+  double predicted_epoch_s = 0.0;     // sampling + exposed comm per epoch
+};
+
+/// The full decision, with the predictions that justify it.
+[[nodiscard]] TuneDecision tune_decision(const TuningProfile& profile,
+                                         const TuneRequest& request);
+
+/// Convenience: just the tuned engine options.
+[[nodiscard]] engine::EngineOptions tuned_options(const TuningProfile& profile,
+                                                  const TuneRequest& request);
+
+/// The engine Aggregation a flat pattern maps to.
+[[nodiscard]] engine::Aggregation pattern_aggregation(Pattern pattern);
+
+/// Quick per-sample cost probe for workloads without a calibration phase:
+/// times `probes` samples of a throwaway stream-0 sampler into a scratch
+/// frame. The probe sampler is independent of the run's samplers, so the
+/// run's RNG streams are untouched.
+template <typename Frame, typename MakeSampler>
+[[nodiscard]] double measure_sample_seconds(const Frame& prototype,
+                                            MakeSampler&& make_sampler,
+                                            int probes = 16) {
+  Frame scratch(prototype);
+  scratch.clear();
+  auto sampler = make_sampler(std::uint64_t{0});
+  WallTimer timer;
+  for (int i = 0; i < probes; ++i) sampler.sample(scratch);
+  return timer.elapsed_s() / static_cast<double>(probes);
+}
+
+}  // namespace distbc::tune

@@ -387,5 +387,29 @@ TEST(NetworkModel, EnabledDelaysBarrier) {
   });
 }
 
+TEST(Stats, ChargesBlockedWaitTime) {
+  RuntimeConfig config;
+  config.num_ranks = 2;
+  config.ranks_per_node = 2;
+  config.network.local_latency_s = 5e-3;  // exaggerated for testability
+  Runtime runtime(config);
+  runtime.run([&](Comm& comm) {
+    // Topology accessors reflect the deployment shape.
+    EXPECT_EQ(comm.max_ranks_per_node(), 2);
+    EXPECT_GT(comm.modeled_collective_seconds(1024), 0.0);
+
+    std::uint64_t send = 1;
+    std::uint64_t recv = 0;
+    comm.reduce(std::span<const std::uint64_t>(&send, 1),
+                std::span{&recv, 1}, 0);
+    comm.barrier();
+  });
+  // Blocking collectives charged their wall time to the wait counters.
+  const CommStats& stats = runtime.last_world_stats();
+  EXPECT_GT(stats.reduce_wait_ns.load(), 0u);
+  EXPECT_GT(stats.barrier_wait_ns.load(), 0u);
+  EXPECT_GT(stats.total_wait_seconds(), 0.0);
+}
+
 }  // namespace
 }  // namespace distbc::mpisim

@@ -175,6 +175,22 @@ TEST(Options, ParsesKeyValuePairs) {
   EXPECT_FALSE(options.has("missing"));
 }
 
+TEST(Options, DoubleDashIsBooleanFlagShorthand) {
+  const char* argv[] = {"prog", "--json", "scale=0.5"};
+  Options options(3, const_cast<char**>(argv));
+  EXPECT_TRUE(options.get_bool("json", false));
+  EXPECT_DOUBLE_EQ(options.get_double("scale", 0.0), 0.5);
+}
+
+TEST(Options, FinishAcceptsRegisteredKeys) {
+  const char* argv[] = {"prog", "ranks=4", "--json"};
+  Options options(3, const_cast<char**>(argv));
+  options.describe("json", "emit JSON");
+  EXPECT_EQ(options.get_u64("ranks", 1, "rank count"), 4u);
+  // Every parsed key is registered: finish() returns instead of exiting.
+  options.finish("test summary");
+}
+
 TEST(PhaseTimer, AccumulatesAndMerges) {
   PhaseTimer timer;
   timer.add(Phase::kDiameter, 1.0);

@@ -1,0 +1,357 @@
+// Tests for the tune/ subsystem: the alpha-beta fit, the §IV-D/E/F
+// decisions of the tuner against deterministic synthetic microbench
+// inputs, profile serialization round-trips, and the live microbench +
+// autotuned-KADABRA integration on a tiny simulated cluster.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "adaptive/closeness.hpp"
+#include "adaptive/mean_distance.hpp"
+#include "bc/kadabra.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "graph/components.hpp"
+#include "tune/cost_model.hpp"
+#include "tune/microbench.hpp"
+#include "tune/tuner.hpp"
+
+namespace distbc {
+namespace {
+
+// --- Alpha-beta fitting ------------------------------------------------------
+
+TEST(CostModelFit, RecoversExactLine) {
+  // exposed(bytes) = 5us + bytes / (1 GB/s)
+  const double bytes[] = {1024.0, 16384.0, 262144.0};
+  double seconds[3];
+  for (int i = 0; i < 3; ++i) seconds[i] = 5e-6 + bytes[i] / 1e9;
+  const tune::AlphaBeta fit = tune::fit_alpha_beta(bytes, seconds, 3);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.alpha_s, 5e-6, 1e-10);
+  EXPECT_NEAR(fit.beta_s_per_byte, 1e-9, 1e-14);
+  EXPECT_NEAR(fit.predict(65536), 5e-6 + 65536.0 / 1e9, 1e-9);
+}
+
+TEST(CostModelFit, SinglePointIsFlatLine) {
+  const double bytes[] = {4096.0};
+  const double seconds[] = {3e-4};
+  const tune::AlphaBeta fit = tune::fit_alpha_beta(bytes, seconds, 1);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_DOUBLE_EQ(fit.alpha_s, 3e-4);
+  EXPECT_DOUBLE_EQ(fit.beta_s_per_byte, 0.0);
+}
+
+TEST(CostModelFit, CoefficientsAreClampedNonNegative) {
+  // A decreasing series would fit a negative slope; the model clamps it.
+  const double bytes[] = {1024.0, 2048.0};
+  const double seconds[] = {2e-4, 1e-4};
+  const tune::AlphaBeta fit = tune::fit_alpha_beta(bytes, seconds, 2);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_GE(fit.beta_s_per_byte, 0.0);
+  EXPECT_GE(fit.alpha_s, 0.0);
+}
+
+// --- Synthetic profiles ------------------------------------------------------
+
+/// A deterministic profile for an oversubscribed shape with the §IV-F
+/// ordering baked in: Ibarrier+Reduce < Ireduce < blocking Reduce.
+tune::TuningProfile oversubscribed_profile() {
+  tune::TuningProfile profile;
+  profile.shape.num_ranks = 8;
+  profile.shape.ranks_per_node = 2;
+  profile.shape.threads_per_rank = 2;
+  profile.oversubscription = 4.0;
+  profile.work_unit_s = 20e-6;
+  const auto set = [&](tune::Pattern pattern, double alpha_us,
+                       double beta_ns_per_byte) {
+    tune::AlphaBeta& line = profile.model.line(pattern);
+    line.alpha_s = alpha_us * 1e-6;
+    line.beta_s_per_byte = beta_ns_per_byte * 1e-9;
+    line.valid = true;
+  };
+  set(tune::Pattern::kIbarrierReduce, 300.0, 2.0);
+  set(tune::Pattern::kIreduce, 900.0, 6.0);
+  set(tune::Pattern::kReduce, 1800.0, 3.0);
+  set(tune::Pattern::kIbcast, 50.0, 0.0);
+  set(tune::Pattern::kWindowPreReduce, 400.0, 3.0);
+  return profile;
+}
+
+TEST(Tuner, ReproducesParagraphIVFOrderingOnOversubscribedShape) {
+  const tune::TuningProfile profile = oversubscribed_profile();
+  const std::size_t frame_words = 10000;
+  const double ibr = profile.model.predict_seconds(
+      tune::Pattern::kIbarrierReduce, frame_words);
+  const double ireduce =
+      profile.model.predict_seconds(tune::Pattern::kIreduce, frame_words);
+  const double blocking =
+      profile.model.predict_seconds(tune::Pattern::kReduce, frame_words);
+  EXPECT_LT(ibr, ireduce);
+  EXPECT_LT(ireduce, blocking);
+
+  tune::TuneRequest request;
+  request.frame_words = frame_words;
+  const tune::TuneDecision decision = tune::tune_decision(profile, request);
+  EXPECT_EQ(decision.options.aggregation,
+            engine::Aggregation::kIbarrierReduce);
+}
+
+TEST(Tuner, BlockingIsIneligibleWhenOversubscribed) {
+  // Even if blocking measures cheapest, an oversubscribed substrate does
+  // not get it: the paper's §IV-F conclusion overrides a short race.
+  tune::TuningProfile profile = oversubscribed_profile();
+  profile.model.line(tune::Pattern::kReduce).alpha_s = 1e-6;
+  profile.model.line(tune::Pattern::kReduce).beta_s_per_byte = 0.0;
+  tune::TuneRequest request;
+  request.frame_words = 1000;
+  EXPECT_EQ(tune::tuned_options(profile, request).aggregation,
+            engine::Aggregation::kIbarrierReduce);
+
+  // With idle headroom the measured winner is honored.
+  profile.oversubscription = 1.0;
+  EXPECT_EQ(tune::tuned_options(profile, request).aggregation,
+            engine::Aggregation::kBlocking);
+}
+
+TEST(Tuner, MarginGuardsTheIncumbentOnParityShapes) {
+  tune::TuningProfile profile = oversubscribed_profile();
+  profile.oversubscription = 1.0;  // all strategies eligible
+  // Ireduce 10% cheaper than Ibarrier+Reduce: within the margin, the
+  // incumbent stays.
+  profile.model.line(tune::Pattern::kIreduce).alpha_s =
+      0.9 * profile.model.line(tune::Pattern::kIbarrierReduce).alpha_s;
+  profile.model.line(tune::Pattern::kIreduce).beta_s_per_byte =
+      0.9 * profile.model.line(tune::Pattern::kIbarrierReduce).beta_s_per_byte;
+  tune::TuneRequest request;
+  request.frame_words = 1000;
+  EXPECT_EQ(tune::tuned_options(profile, request).aggregation,
+            engine::Aggregation::kIbarrierReduce);
+  // A decisive 2x win takes over.
+  profile.model.line(tune::Pattern::kIreduce).alpha_s /= 2.0;
+  profile.model.line(tune::Pattern::kIreduce).beta_s_per_byte /= 2.0;
+  EXPECT_EQ(tune::tuned_options(profile, request).aggregation,
+            engine::Aggregation::kIreduce);
+}
+
+TEST(Tuner, HierarchicalRequiresMultiRankNodesAndDecisiveWin) {
+  tune::TuningProfile profile = oversubscribed_profile();
+  tune::TuneRequest request;
+  request.frame_words = 10000;
+  // Window path (400us + 3ns/B) does not decisively beat Ibarrier+Reduce
+  // (300us + 2ns/B): hierarchical stays off.
+  EXPECT_FALSE(tune::tuned_options(profile, request).hierarchical);
+
+  // Make the window path decisively cheaper: hierarchical turns on and the
+  // leader aggregation is Ibarrier+Reduce.
+  profile.model.line(tune::Pattern::kWindowPreReduce).alpha_s = 50e-6;
+  profile.model.line(tune::Pattern::kWindowPreReduce).beta_s_per_byte = 0.5e-9;
+  const engine::EngineOptions tuned = tune::tuned_options(profile, request);
+  EXPECT_TRUE(tuned.hierarchical);
+  EXPECT_EQ(tuned.aggregation, engine::Aggregation::kIbarrierReduce);
+
+  // One rank per node: no window to win with.
+  profile.shape.ranks_per_node = 1;
+  EXPECT_FALSE(tune::tuned_options(profile, request).hierarchical);
+}
+
+TEST(Tuner, EpochSizingScalesWithAggregationCost) {
+  tune::TuningProfile cheap = oversubscribed_profile();
+  tune::TuningProfile expensive = oversubscribed_profile();
+  for (auto pattern : {tune::Pattern::kIbarrierReduce, tune::Pattern::kIreduce,
+                       tune::Pattern::kReduce})
+    expensive.model.line(pattern).alpha_s *= 20.0;
+
+  tune::TuneRequest request;
+  request.frame_words = 10000;
+  request.sample_seconds = 50e-6;
+  const engine::EngineOptions cheap_tuned = tune::tuned_options(cheap, request);
+  const engine::EngineOptions expensive_tuned =
+      tune::tuned_options(expensive, request);
+  EXPECT_GT(expensive_tuned.epoch_base, cheap_tuned.epoch_base);
+
+  // The sized epoch respects the overhead target: predicted aggregation
+  // overhead <= target fraction of the epoch's sampling time.
+  const tune::TuneDecision decision = tune::tune_decision(cheap, request);
+  const double total_threads = 8.0 * 2.0;
+  const double n0 =
+      static_cast<double>(decision.options.epoch_base) *
+      std::pow(total_threads, decision.options.epoch_exponent);
+  const double epoch_sampling_s =
+      n0 * request.sample_seconds / total_threads;
+  EXPECT_LE(decision.predicted_overhead_s,
+            request.target_overhead * epoch_sampling_s * 1.25);
+  EXPECT_EQ(decision.options.threads_per_rank, 2);
+  EXPECT_GT(decision.options.max_epoch_length, 0u);
+}
+
+// --- Profile serialization ---------------------------------------------------
+
+TEST(TuningProfile, RoundTripsThroughTextAndKeepsDecisions) {
+  const tune::TuningProfile original = oversubscribed_profile();
+  const std::string text = original.serialize();
+  const auto parsed = tune::TuningProfile::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->shape.num_ranks, original.shape.num_ranks);
+  EXPECT_EQ(parsed->shape.ranks_per_node, original.shape.ranks_per_node);
+  EXPECT_EQ(parsed->shape.threads_per_rank, original.shape.threads_per_rank);
+  EXPECT_DOUBLE_EQ(parsed->oversubscription, original.oversubscription);
+  for (std::size_t p = 0; p < tune::kNumPatterns; ++p) {
+    const auto pattern = static_cast<tune::Pattern>(p);
+    ASSERT_EQ(parsed->model.has(pattern), original.model.has(pattern));
+    if (!original.model.has(pattern)) continue;
+    EXPECT_NEAR(parsed->model.line(pattern).alpha_s,
+                original.model.line(pattern).alpha_s, 1e-15);
+    EXPECT_NEAR(parsed->model.line(pattern).beta_s_per_byte,
+                original.model.line(pattern).beta_s_per_byte, 1e-18);
+  }
+
+  // Identical decisions for a spread of workload sizes.
+  for (const std::size_t frame_words : {64ul, 7000ul, 300000ul}) {
+    tune::TuneRequest request;
+    request.frame_words = frame_words;
+    request.sample_seconds = 80e-6;
+    const engine::EngineOptions a = tune::tuned_options(original, request);
+    const engine::EngineOptions b = tune::tuned_options(*parsed, request);
+    EXPECT_EQ(a.aggregation, b.aggregation);
+    EXPECT_EQ(a.hierarchical, b.hierarchical);
+    EXPECT_EQ(a.threads_per_rank, b.threads_per_rank);
+    EXPECT_EQ(a.epoch_base, b.epoch_base);
+    EXPECT_EQ(a.max_epoch_length, b.max_epoch_length);
+  }
+}
+
+TEST(TuningProfile, FileRoundTrip) {
+  const tune::TuningProfile original = oversubscribed_profile();
+  const std::string path = ::testing::TempDir() + "/distbc_profile.txt";
+  ASSERT_TRUE(original.save(path));
+  const auto loaded = tune::TuningProfile::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->shape.num_ranks, original.shape.num_ranks);
+  std::remove(path.c_str());
+}
+
+TEST(TuningProfile, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(tune::TuningProfile::parse("not a profile").has_value());
+  EXPECT_FALSE(tune::TuningProfile::parse("tune.version = 2").has_value());
+  // Missing shape keys.
+  EXPECT_FALSE(tune::TuningProfile::parse("tune.version = 1").has_value());
+  // A pattern with only one coefficient is rejected.
+  EXPECT_FALSE(tune::TuningProfile::parse(
+                   "tune.version = 1\nshape.num_ranks = 2\n"
+                   "shape.ranks_per_node = 1\nshape.threads_per_rank = 1\n"
+                   "pattern.reduce.alpha_s = 1e-6")
+                   .has_value());
+  // Comments and blank lines are fine.
+  EXPECT_TRUE(tune::TuningProfile::parse(
+                  "# comment\n\ntune.version = 1\nshape.num_ranks = 2\n"
+                  "shape.ranks_per_node = 1\nshape.threads_per_rank = 1\n")
+                  .has_value());
+}
+
+TEST(Patterns, NamesRoundTrip) {
+  for (std::size_t p = 0; p < tune::kNumPatterns; ++p) {
+    const auto pattern = static_cast<tune::Pattern>(p);
+    const auto back = tune::pattern_from_name(tune::pattern_name(pattern));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, pattern);
+  }
+  EXPECT_FALSE(tune::pattern_from_name("nonsense").has_value());
+}
+
+// --- Live microbench + integration ------------------------------------------
+
+TEST(Microbench, MeasuresAllPatternsOnTinyCluster) {
+  tune::MicrobenchConfig config;
+  config.num_ranks = 2;
+  config.ranks_per_node = 2;
+  config.threads_per_rank = 1;
+  config.message_words = {64, 512};
+  config.warmup_rounds = 1;
+  config.measure_rounds = 2;
+  config.repeats = 1;
+  config.epoch_units = 2;
+  config.work_unit_s = 5e-6;
+  config.network.dedicated_cores = false;  // quiet semantics-only run
+  const tune::MicrobenchResult result = tune::run_microbench(config);
+  EXPECT_GE(result.oversubscription, 1.0);
+  EXPECT_GT(result.baseline_epoch_s, 0.0);
+  for (const auto pattern :
+       {tune::Pattern::kReduce, tune::Pattern::kIreduce,
+        tune::Pattern::kIbarrierReduce, tune::Pattern::kWindowPreReduce}) {
+    const auto samples = result.of(pattern);
+    ASSERT_EQ(samples.size(), 2u) << tune::pattern_name(pattern);
+    for (const auto& sample : samples) {
+      EXPECT_TRUE(std::isfinite(sample.overhead_s));
+      EXPECT_GE(sample.overhead_s, 0.0);
+      EXPECT_GT(sample.epoch_s, 0.0);
+    }
+  }
+  EXPECT_EQ(result.of(tune::Pattern::kIbcast).size(), 1u);
+
+  const tune::CostModel model = tune::CostModel::fit(result);
+  EXPECT_TRUE(model.has(tune::Pattern::kIbarrierReduce));
+  EXPECT_GE(model.predict_seconds(tune::Pattern::kIbarrierReduce, 1000), 0.0);
+}
+
+TEST(AutoTune, KadabraRunsWithTunedOptions) {
+  const graph::Graph graph =
+      graph::largest_component(gen::erdos_renyi(150, 450, 7));
+  auto profile =
+      std::make_shared<tune::TuningProfile>(oversubscribed_profile());
+  profile->shape.num_ranks = 2;
+  profile->shape.ranks_per_node = 1;
+  profile->shape.threads_per_rank = 2;
+
+  bc::KadabraOptions options;
+  options.params.epsilon = 0.1;
+  options.params.seed = 99;
+  options.engine.threads_per_rank = 1;  // the profile overrides this
+  options.auto_tune = profile;
+  const bc::BcResult result = bc::kadabra_mpi(
+      graph, options, 2, 1, mpisim::NetworkModel::disabled());
+
+  EXPECT_GT(result.samples, 0u);
+  ASSERT_EQ(result.scores.size(), graph.num_vertices());
+  // The tuned configuration was applied and reported.
+  EXPECT_EQ(result.engine_used.threads_per_rank, 2);
+  EXPECT_EQ(result.engine_used.aggregation,
+            engine::Aggregation::kIbarrierReduce);
+  EXPECT_GT(result.engine_used.epoch_base, 0u);
+
+  // Scores are a probability-normalized betweenness estimate.
+  double sum = 0.0;
+  for (const double score : result.scores) sum += score;
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(AutoTune, AdaptiveDriversAcceptProfiles) {
+  const graph::Graph graph =
+      graph::largest_component(gen::erdos_renyi(120, 420, 11));
+  auto profile =
+      std::make_shared<tune::TuningProfile>(oversubscribed_profile());
+  profile->shape.num_ranks = 2;
+  profile->shape.ranks_per_node = 1;
+  profile->shape.threads_per_rank = 1;
+
+  adaptive::MeanDistanceParams md_params;
+  md_params.epsilon = 0.4;
+  md_params.auto_tune = profile;
+  const auto md = adaptive::mean_distance_mpi(
+      graph, md_params, 2, 1, mpisim::NetworkModel::disabled());
+  EXPECT_GT(md.samples, 0u);
+  EXPECT_GT(md.mean, 0.0);
+
+  adaptive::ClosenessParams cl_params;
+  cl_params.epsilon = 0.2;
+  cl_params.auto_tune = profile;
+  const auto cl = adaptive::closeness_mpi(graph, cl_params, 2, 1,
+                                          mpisim::NetworkModel::disabled());
+  EXPECT_GT(cl.samples, 0u);
+  EXPECT_EQ(cl.scores.size(), graph.num_vertices());
+}
+
+}  // namespace
+}  // namespace distbc
