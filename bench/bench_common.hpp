@@ -235,4 +235,20 @@ class JsonReport {
   Fields summary_;
 };
 
+/// Adds the per-collective bytes-moved breakdown (mpisim::CommVolume) to
+/// the current JSON row - Table II-style communication-volume reporting
+/// for any bench that runs MPI configurations.
+inline void add_comm_volume_fields(JsonReport& json,
+                                   const mpisim::CommVolume& volume) {
+  json.field("reduce_bytes", static_cast<double>(volume.reduce_bytes));
+  json.field("reduce_merge_bytes",
+             static_cast<double>(volume.reduce_merge_bytes));
+  json.field("gatherv_bytes", static_cast<double>(volume.gatherv_bytes));
+  json.field("bcast_bytes", static_cast<double>(volume.bcast_bytes));
+  json.field("p2p_bytes", static_cast<double>(volume.p2p_bytes));
+  json.field("aggregation_bytes",
+             static_cast<double>(volume.aggregation_bytes()));
+  json.field("total_bytes", static_cast<double>(volume.total()));
+}
+
 }  // namespace distbc::bench

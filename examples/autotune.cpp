@@ -91,6 +91,8 @@ int main(int argc, char** argv) {
   std::printf("  aggregation      = %s\n",
               engine::aggregation_name(used.aggregation));
   std::printf("  hierarchical     = %s\n", used.hierarchical ? "yes" : "no");
+  std::printf("  frame_rep        = %s\n",
+              epoch::frame_rep_name(used.frame_rep));
   std::printf("  threads_per_rank = %d\n", used.threads_per_rank);
   std::printf("  epoch_base       = %llu (max epoch %llu)\n",
               static_cast<unsigned long long>(used.epoch_base),

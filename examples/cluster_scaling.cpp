@@ -1,9 +1,11 @@
 // Demonstrates the library's cluster-facing API directly: build a simulated
 // cluster with an explicit interconnect model, run the per-rank driver
 // inside Runtime::run (the way a real MPI main() would call
-// kadabra_mpi_rank), and report scaling.
+// kadabra_mpi_rank), and report scaling plus the per-collective
+// communication-volume breakdown (mpisim::CommVolume).
 //
 //   ./cluster_scaling [scale=13] [eps=0.005] [latency_us=2]
+//                     [frame_rep=dense|sparse|auto]
 #include <cstdio>
 #include <mutex>
 
@@ -19,6 +21,8 @@ int main(int argc, char** argv) {
   options.describe("scale", "log2 vertices of the hyperbolic proxy");
   options.describe("latency_us", "inter-node latency (us)");
   options.describe("eps", "betweenness epsilon");
+  options.describe("frame_rep",
+                   "wire representation of epoch frames (dense|sparse|auto)");
   options.finish("Rank-scaling sweep on a simulated cluster.");
 
   gen::HyperbolicParams gen_params;
@@ -27,14 +31,26 @@ int main(int argc, char** argv) {
   gen_params.average_degree = 30.0;
   const graph::Graph graph =
       graph::largest_component(gen::hyperbolic(gen_params, 21));
-  std::printf("web proxy: %u vertices, %llu edges\n\n", graph.num_vertices(),
-              static_cast<unsigned long long>(graph.num_edges()));
+  const std::string rep_name = options.get_string("frame_rep", "auto");
+  const auto parsed_rep = epoch::frame_rep_from_name(rep_name);
+  if (!parsed_rep) {
+    std::fprintf(stderr,
+                 "unknown frame_rep '%s' (valid: dense, sparse, auto)\n",
+                 rep_name.c_str());
+    return 2;
+  }
+  const epoch::FrameRep frame_rep = *parsed_rep;
+  std::printf("web proxy: %u vertices, %llu edges, frame_rep=%s\n\n",
+              graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              epoch::frame_rep_name(frame_rep));
 
   mpisim::NetworkModel network;
   network.remote_latency_s = options.get_double("latency_us", 2.0) * 1e-6;
 
-  std::printf("%-8s %-10s %-10s %-10s %-10s\n", "ranks", "total(s)",
-              "ADS(s)", "epochs", "speedup");
+  std::printf("%-8s %-10s %-10s %-8s %-9s %-12s %-12s %-12s\n", "ranks",
+              "total(s)", "ADS(s)", "epochs", "speedup", "reduce(B)",
+              "merge(B)", "bcast(B)");
   double base_time = 0.0;
   for (const int ranks : {1, 2, 4, 8, 16}) {
     mpisim::RuntimeConfig config;
@@ -46,6 +62,7 @@ int main(int argc, char** argv) {
     bc::KadabraOptions bc_options;
     bc_options.params.epsilon = options.get_double("eps", 0.005);
     bc_options.params.seed = 5;
+    bc_options.engine.frame_rep = frame_rep;
 
     // The explicit form of bc::kadabra_mpi(): our own rank main.
     bc::BcResult root_result;
@@ -59,13 +76,20 @@ int main(int argc, char** argv) {
     });
 
     if (ranks == 1) base_time = root_result.total_seconds;
-    std::printf("%-8d %-10.2f %-10.2f %-10llu %.2fx\n", ranks,
-                root_result.total_seconds, root_result.adaptive_seconds,
+    const mpisim::CommVolume& volume = root_result.comm_volume;
+    std::printf("%-8d %-10.2f %-10.2f %-8llu %-9.2f %-12llu %-12llu %-12llu\n",
+                ranks, root_result.total_seconds,
+                root_result.adaptive_seconds,
                 static_cast<unsigned long long>(root_result.epochs),
-                base_time / root_result.total_seconds);
+                base_time / root_result.total_seconds,
+                static_cast<unsigned long long>(volume.reduce_bytes),
+                static_cast<unsigned long long>(volume.reduce_merge_bytes),
+                static_cast<unsigned long long>(volume.bcast_bytes));
   }
   std::printf("\nNear-linear scaling through P=8, flattening at 16 as the "
               "sequential phases\n(diameter, calibration) gain weight - the "
-              "paper's Fig. 2a in miniature.\n");
+              "paper's Fig. 2a in miniature. With\nframe_rep=sparse|auto the "
+              "reduce column collapses into the (far smaller)\nmerge column: "
+              "aggregation bytes follow samples taken, not |V|.\n");
   return 0;
 }

@@ -105,6 +105,10 @@ ClosenessResult closeness_rank(const graph::Graph& graph,
     ClosenessFrame probe(n);  // one O(n) frame serves size query and probe
     tune::TuneRequest request;
     request.frame_words = probe.raw().size();
+    // A BFS source credits every vertex: samples write the whole frame, so
+    // the tuner's frame_rep decision resolves to dense.
+    request.touched_words_per_sample =
+        static_cast<double>(probe.raw().size());
     request.sample_seconds = tune::measure_sample_seconds(probe, make_sampler);
     // All ranks must agree on the tuned epoch schedule.
     world.bcast(std::span{&request.sample_seconds, 1}, 0);

@@ -86,6 +86,9 @@ MeanDistanceResult mean_distance_rank(const graph::Graph& graph,
   if (params.auto_tune != nullptr) {
     tune::TuneRequest request;
     request.frame_words = MomentFrame{}.raw().size();
+    // Every sample writes all three moment words; a sparse image of three
+    // slots is larger than the frame, so the tuner keeps dense.
+    request.touched_words_per_sample = 3.0;
     request.sample_seconds =
         tune::measure_sample_seconds(MomentFrame{}, make_sampler);
     // All ranks must agree on the tuned epoch schedule.

@@ -4,16 +4,23 @@
 #include <mutex>
 
 #include "bc/sampler.hpp"
+#include "epoch/sparse_frame.hpp"
 #include "epoch/state_frame.hpp"
 #include "support/timer.hpp"
 #include "tune/tuner.hpp"
 
 namespace distbc::bc {
 
-BcResult kadabra_run(const graph::Graph& graph, const KadabraOptions& options,
-                     mpisim::Comm* world) {
-  DISTBC_ASSERT(options.engine.threads_per_rank >= 1);
-  DISTBC_ASSERT(options.omega_fraction > 0);
+namespace {
+
+/// The three-phase driver, generic over the frame representation. kDense
+/// runs use StateFrame (flat elementwise reductions, the paper's layout);
+/// sparse/auto runs use SparseFrame (touched-set tracking + delta images).
+/// Deterministic-mode results are bitwise identical across the two.
+template <typename Frame>
+BcResult kadabra_run_frames(const graph::Graph& graph,
+                            const KadabraOptions& options,
+                            mpisim::Comm* world) {
   WallTimer total_timer;
   PhaseTimer phases;
   BcResult result;
@@ -50,14 +57,24 @@ BcResult kadabra_run(const graph::Graph& graph, const KadabraOptions& options,
   // over fresh samples, as in KADABRA.
   const std::uint64_t streams = engine::num_streams(engine_options, num_ranks);
   WallTimer calibration_timer;
+  double touched_words_per_sample = 0.0;
   phases.timed(Phase::kCalibration, [&] {
-    const epoch::StateFrame initial = engine::calibrate(
-        world, epoch::StateFrame(n),
+    const Frame initial = engine::calibrate(
+        world, Frame(n),
         [&](std::uint64_t v) {
           return PathSampler(graph, Rng(params.seed).split(v));
         },
         context.initial_samples, engine_options);
-    if (is_root) finish_calibration(context, initial);
+    if (is_root) {
+      finish_calibration(context, initial);
+      // Average dense slots one sample writes (internal path vertices plus
+      // the tau slot) - the wire-payload predictor the tuner prices the
+      // frame_rep axis with. Only tuned runs consume it.
+      if (options.auto_tune != nullptr)
+        touched_words_per_sample =
+            1.0 + static_cast<double>(initial.count_sum()) /
+                      static_cast<double>(initial.tau());
+    }
   });
   const double calibration_seconds = calibration_timer.elapsed_s();
 
@@ -68,14 +85,17 @@ BcResult kadabra_run(const graph::Graph& graph, const KadabraOptions& options,
     const auto total_threads =
         static_cast<double>(num_ranks) * engine_options.threads_per_rank;
     tune::TuneRequest request;
-    request.frame_words = epoch::StateFrame(n).raw().size();
+    request.frame_words = static_cast<std::size_t>(n) + 1;
     if (context.initial_samples > 0)
       request.sample_seconds = calibration_seconds * total_threads /
                                static_cast<double>(context.initial_samples);
+    request.touched_words_per_sample = touched_words_per_sample;
     // Every rank must tune the same epoch schedule: use rank zero's
-    // measurement everywhere.
-    if (world != nullptr)
+    // measurements everywhere.
+    if (world != nullptr) {
       world->bcast(std::span{&request.sample_seconds, 1}, 0);
+      world->bcast(std::span{&request.touched_words_per_sample, 1}, 0);
+    }
     request.base = engine_options;
     engine_options = tune::tuned_options(*options.auto_tune, request);
   }
@@ -88,11 +108,11 @@ BcResult kadabra_run(const graph::Graph& graph, const KadabraOptions& options,
           ? std::min(engine_options.max_epoch_length, omega_clamp)
           : omega_clamp;
   auto driver = engine::run_epochs(
-      world, epoch::StateFrame(n),
+      world, Frame(n),
       [&](std::uint64_t v) {
         return PathSampler(graph, Rng(params.seed).split(streams + v));
       },
-      [&](const epoch::StateFrame& aggregate) {
+      [&](const Frame& aggregate) {
         return context.stop_satisfied(aggregate);
       },
       engine_options);
@@ -103,19 +123,36 @@ BcResult kadabra_run(const graph::Graph& graph, const KadabraOptions& options,
   result.epochs = driver.epochs;
   result.samples_attempted = driver.samples_attempted;
   if (is_root) {
-    const epoch::StateFrame& aggregate = driver.aggregate;
-    result.scores.assign(n, 0.0);
-    const auto tau = static_cast<double>(aggregate.tau());
-    for (graph::Vertex v = 0; v < n; ++v)
-      result.scores[v] = static_cast<double>(aggregate.count(v)) / tau;
+    const Frame& aggregate = driver.aggregate;
+    scores_from_frame(aggregate, result.scores);
     result.samples = aggregate.tau();
     result.comm_bytes = driver.comm_bytes;
+    result.comm_volume = driver.comm_volume;
     result.omega = context.omega;
     result.vertex_diameter = vd;
     result.phases = phases;
   }
   result.total_seconds = total_timer.elapsed_s();
   return result;
+}
+
+}  // namespace
+
+BcResult kadabra_run(const graph::Graph& graph, const KadabraOptions& options,
+                     mpisim::Comm* world) {
+  DISTBC_ASSERT(options.engine.threads_per_rank >= 1);
+  DISTBC_ASSERT(options.omega_fraction > 0);
+  // Autotuned runs also get SparseFrame: the tuner may upgrade frame_rep
+  // to auto mid-run (after calibration), and only SparseFrame's touched
+  // set makes that upgrade O(nonzeros) per encode instead of an O(V) scan.
+  // Should the tuner keep dense, SparseFrame's dense images are bitwise
+  // equivalent on the wire.
+  const bool dense_frames = options.engine.frame_rep ==
+                                engine::FrameRep::kDense &&
+                            options.auto_tune == nullptr;
+  return dense_frames
+             ? kadabra_run_frames<epoch::StateFrame>(graph, options, world)
+             : kadabra_run_frames<epoch::SparseFrame>(graph, options, world);
 }
 
 BcResult kadabra_sequential(const graph::Graph& graph,

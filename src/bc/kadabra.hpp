@@ -38,10 +38,20 @@ namespace distbc::bc {
 /// Aggregation strategy vocabulary, re-exported from the engine.
 using engine::Aggregation;
 
+/// Frame-representation vocabulary, re-exported from the engine.
+using engine::FrameRep;
+
 struct KadabraOptions {
   KadabraParams params;
   /// Engine configuration: threads per rank, aggregation strategy,
-  /// hierarchical reduction, epoch-length rule, deterministic mode.
+  /// hierarchical reduction, epoch-length rule, deterministic mode, and
+  /// the frame representation (engine.frame_rep): kDense runs on
+  /// epoch::StateFrame with flat elementwise reductions; kSparse/kAuto run
+  /// on epoch::SparseFrame, shipping index/count delta images whose size
+  /// scales with samples taken instead of |V|. Deterministic-mode results
+  /// are bitwise identical across representations. Autotuned runs (below)
+  /// always use SparseFrame, since the tuner may upgrade frame_rep to
+  /// auto after calibration and only SparseFrame encodes in O(nonzeros).
   engine::EngineOptions engine;
   /// First-stop-check clamp: the total epoch length is capped at
   /// max(min_epoch_length, omega / omega_fraction) so easy instances do

@@ -1,34 +1,9 @@
 #include "bc/kadabra_context.hpp"
 
-#include <cmath>
-
 #include "graph/components.hpp"
 #include "graph/diameter.hpp"
 
 namespace distbc::bc {
-
-bool KadabraContext::stop_satisfied(
-    const epoch::StateFrame& aggregate) const {
-  const std::uint64_t tau = aggregate.tau();
-  if (tau == 0) return false;
-  if (tau >= omega) return true;  // VC-dimension budget exhausted
-
-  const double omega_d = static_cast<double>(omega);
-  const std::uint32_t n = aggregate.num_vertices();
-  for (std::uint32_t v = 0; v < n; ++v) {
-    const double b_tilde = static_cast<double>(aggregate.count(v)) /
-                           static_cast<double>(tau);
-    if (stopping_f(b_tilde, calibration.delta_l[v], omega_d, tau) >=
-        params.epsilon) {
-      return false;
-    }
-    if (stopping_g(b_tilde, calibration.delta_u[v], omega_d, tau) >=
-        params.epsilon) {
-      return false;
-    }
-  }
-  return true;
-}
 
 std::uint32_t kadabra_vertex_diameter(const graph::Graph& graph,
                                       const KadabraParams& params) {
@@ -47,16 +22,6 @@ KadabraContext begin_context(const KadabraParams& params,
                                 ? params.initial_samples
                                 : auto_initial_samples(context.omega);
   return context;
-}
-
-void finish_calibration(KadabraContext& context,
-                        const epoch::StateFrame& initial_frame) {
-  DISTBC_ASSERT(initial_frame.tau() > 0);
-  const auto raw = initial_frame.raw();
-  context.calibration =
-      calibrate(raw.subspan(0, initial_frame.num_vertices()),
-                initial_frame.tau(), context.params.epsilon,
-                context.params.delta, context.params.balancing);
 }
 
 }  // namespace distbc::bc

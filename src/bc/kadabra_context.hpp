@@ -2,14 +2,20 @@
 // shared-memory, MPI): phase 1 (diameter -> omega) and phase 2
 // (calibration) produce a KadabraContext; phase 3 (adaptive sampling)
 // consults stop_satisfied() on consistent aggregated state frames.
+//
+// The context is frame-representation agnostic: stop_satisfied and
+// finish_calibration accept any aggregate exposing count()/tau()/
+// num_vertices() (epoch::StateFrame and epoch::SparseFrame both do), so
+// the same stopping machinery serves every wire representation.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "bc/calibration.hpp"
 #include "bc/kadabra_math.hpp"
-#include "epoch/state_frame.hpp"
 #include "graph/graph.hpp"
+#include "support/assert.hpp"
 
 namespace distbc::bc {
 
@@ -22,7 +28,28 @@ struct KadabraContext {
 
   /// Evaluates KADABRA's stopping condition on an aggregated state frame.
   /// The frame must be a consistent snapshot (f and g are not monotone).
-  [[nodiscard]] bool stop_satisfied(const epoch::StateFrame& aggregate) const;
+  template <typename Frame>
+  [[nodiscard]] bool stop_satisfied(const Frame& aggregate) const {
+    const std::uint64_t tau = aggregate.tau();
+    if (tau == 0) return false;
+    if (tau >= omega) return true;  // VC-dimension budget exhausted
+
+    const double omega_d = static_cast<double>(omega);
+    const std::uint32_t n = aggregate.num_vertices();
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const double b_tilde = static_cast<double>(aggregate.count(v)) /
+                             static_cast<double>(tau);
+      if (stopping_f(b_tilde, calibration.delta_l[v], omega_d, tau) >=
+          params.epsilon) {
+        return false;
+      }
+      if (stopping_g(b_tilde, calibration.delta_u[v], omega_d, tau) >=
+          params.epsilon) {
+        return false;
+      }
+    }
+    return true;
+  }
 };
 
 /// Phase 1: vertex diameter of the (connected) input graph.
@@ -34,8 +61,16 @@ struct KadabraContext {
                                            std::uint32_t vertex_diameter);
 
 /// Phase 2 completion: calibrate per-vertex failure shares from the
-/// aggregated non-adaptive samples.
-void finish_calibration(KadabraContext& context,
-                        const epoch::StateFrame& initial_frame);
+/// aggregated non-adaptive samples. Zero-copy: both frame types expose
+/// their dense counts-then-tau layout through a (const) raw() span.
+template <typename Frame>
+void finish_calibration(KadabraContext& context, const Frame& initial_frame) {
+  DISTBC_ASSERT(initial_frame.tau() > 0);
+  const std::span<const std::uint64_t> raw(initial_frame.raw());
+  context.calibration =
+      calibrate(raw.subspan(0, initial_frame.num_vertices()),
+                initial_frame.tau(), context.params.epsilon,
+                context.params.delta, context.params.balancing);
+}
 
 }  // namespace distbc::bc

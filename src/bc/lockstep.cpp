@@ -8,14 +8,42 @@
 
 #include "bc/sampler.hpp"
 #include "engine/streams.hpp"
+#include "epoch/sparse_frame.hpp"
+#include "epoch/state_frame.hpp"
 #include "support/timer.hpp"
 
 namespace distbc::bc {
 
-BcResult lockstep_mpi_rank(const graph::Graph& graph,
-                           const LockstepOptions& options,
-                           mpisim::Comm& world) {
-  DISTBC_ASSERT(options.threads_per_rank >= 1);
+namespace {
+
+/// Reduces `local` to `round_agg` at world rank 0, honoring the frame
+/// representation: flat elementwise reduce for StateFrame, delta images
+/// via reduce_merge for SparseFrame (the same wire formats the epoch
+/// engine uses, minus every overlap trick - this is the baseline).
+void round_reduce(mpisim::Comm& world, const epoch::StateFrame& local,
+                  epoch::StateFrame& round_agg, epoch::FrameRep /*rep*/,
+                  std::vector<std::uint64_t>& /*scratch*/) {
+  world.reduce(std::span<const std::uint64_t>(local.raw()), round_agg.raw(),
+               0);
+}
+
+void round_reduce(mpisim::Comm& world, const epoch::SparseFrame& local,
+                  epoch::SparseFrame& round_agg, epoch::FrameRep rep,
+                  std::vector<std::uint64_t>& scratch) {
+  scratch.clear();
+  local.encode(scratch, rep);
+  round_agg.clear();
+  world.reduce_merge(std::span<const std::uint64_t>(scratch),
+                     [&](int, std::span<const std::uint64_t> image) {
+                       round_agg.decode_add(image);
+                     },
+                     0);
+}
+
+template <typename Frame>
+BcResult lockstep_frames(const graph::Graph& graph,
+                         const LockstepOptions& options,
+                         mpisim::Comm& world) {
   WallTimer total_timer;
   PhaseTimer phases;
   BcResult result;
@@ -41,9 +69,9 @@ BcResult lockstep_mpi_rank(const graph::Graph& graph,
 
   const std::uint64_t total_threads =
       static_cast<std::uint64_t>(num_ranks) * num_threads;
+  std::vector<std::uint64_t> wire_scratch;
   phases.timed(Phase::kCalibration, [&] {
-    std::vector<epoch::StateFrame> frames(num_threads,
-                                          epoch::StateFrame(n));
+    std::vector<Frame> frames(num_threads, Frame(n));
     auto worker = [&](int t) {
       const std::uint64_t gti =
           static_cast<std::uint64_t>(rank) * num_threads + t;
@@ -57,11 +85,10 @@ BcResult lockstep_mpi_rank(const graph::Graph& graph,
     for (int t = 1; t < num_threads; ++t) pool.emplace_back(worker, t);
     worker(0);
     for (auto& thread : pool) thread.join();
-    epoch::StateFrame local(n);
+    Frame local(n);
     for (const auto& frame : frames) local.merge(frame);
-    epoch::StateFrame initial(n);
-    world.reduce(std::span<const std::uint64_t>(local.raw()), initial.raw(),
-                 0);
+    Frame initial(n);
+    round_reduce(world, local, initial, options.frame_rep, wire_scratch);
     if (is_root) finish_calibration(context, initial);
   });
 
@@ -76,7 +103,7 @@ BcResult lockstep_mpi_rank(const graph::Graph& graph,
                      std::max<std::uint64_t>(
                          1, context.omega / (2 * total_threads)));
 
-  std::vector<epoch::StateFrame> frames(num_threads, epoch::StateFrame(n));
+  std::vector<Frame> frames(num_threads, Frame(n));
   std::vector<PathSampler> samplers;
   samplers.reserve(num_threads);
   for (int t = 0; t < num_threads; ++t) {
@@ -87,7 +114,7 @@ BcResult lockstep_mpi_rank(const graph::Graph& graph,
 
   std::barrier sync(num_threads);
   std::atomic<bool> stop{false};
-  epoch::StateFrame running(n);  // valid at root
+  Frame running(n);  // valid at root
 
   auto round_worker = [&](int t) {
     while (!stop.load(std::memory_order_acquire)) {
@@ -95,15 +122,15 @@ BcResult lockstep_mpi_rank(const graph::Graph& graph,
         samplers[t].sample(frames[t]);
       sync.arrive_and_wait();  // all local samples of this round done
       if (t == 0) {
-        epoch::StateFrame local(n);
+        Frame local(n);
         for (auto& frame : frames) {
           local.merge(frame);
           frame.clear();
         }
-        epoch::StateFrame round_agg(n);
+        Frame round_agg(n);
         phases.timed(Phase::kReduction, [&] {
-          world.reduce(std::span<const std::uint64_t>(local.raw()),
-                       round_agg.raw(), 0);
+          round_reduce(world, local, round_agg, options.frame_rep,
+                       wire_scratch);
         });
         std::uint8_t done_flag = 0;
         if (is_root) {
@@ -135,21 +162,30 @@ BcResult lockstep_mpi_rank(const graph::Graph& graph,
                std::span{&world_taken, 1}, 0);
 
   if (is_root) {
-    result.scores.assign(n, 0.0);
-    const auto tau = static_cast<double>(running.tau());
-    for (graph::Vertex v = 0; v < n; ++v)
-      result.scores[v] = static_cast<double>(running.count(v)) / tau;
+    scores_from_frame(running, result.scores);
     result.samples = running.tau();
     result.samples_attempted = world_taken;
     result.omega = context.omega;
     result.vertex_diameter = vd;
-    result.comm_bytes = world.stats().total_bytes();
+    result.comm_volume = world.stats().volume();
+    result.comm_bytes = result.comm_volume.total();
     result.phases = phases;
   } else {
     result.samples_attempted = local_taken;
   }
   result.total_seconds = total_timer.elapsed_s();
   return result;
+}
+
+}  // namespace
+
+BcResult lockstep_mpi_rank(const graph::Graph& graph,
+                           const LockstepOptions& options,
+                           mpisim::Comm& world) {
+  DISTBC_ASSERT(options.threads_per_rank >= 1);
+  return options.frame_rep == epoch::FrameRep::kDense
+             ? lockstep_frames<epoch::StateFrame>(graph, options, world)
+             : lockstep_frames<epoch::SparseFrame>(graph, options, world);
 }
 
 BcResult lockstep_mpi(const graph::Graph& graph,

@@ -8,6 +8,7 @@
 
 #include "bc/kadabra_context.hpp"
 #include "bc/result.hpp"
+#include "epoch/frame_codec.hpp"
 #include "graph/graph.hpp"
 #include "mpisim/runtime.hpp"
 
@@ -20,6 +21,10 @@ struct LockstepOptions {
   std::uint64_t round_share = 0;
   std::uint64_t epoch_base = 1000;
   double epoch_exponent = 1.33;
+  /// Frame representation of the per-round reduction (the lockstep
+  /// baseline aggregates with blocking collectives either way): dense
+  /// elementwise reduce, or sparse/auto delta images via reduce_merge.
+  epoch::FrameRep frame_rep = epoch::default_frame_rep();
 };
 
 [[nodiscard]] BcResult lockstep_mpi_rank(const graph::Graph& graph,

@@ -31,6 +31,9 @@ struct BcResult {
 
   // --- Communication (MPI variants only) ----------------------------------
   std::uint64_t comm_bytes = 0;  // total payload moved by aggregations
+  /// Per-collective breakdown of comm_bytes (dense reductions, sparse
+  /// merge reductions, window/p2p traffic, broadcasts).
+  mpisim::CommVolume comm_volume;
 
   /// Engine configuration the adaptive phase actually ran with - identical
   /// to the caller's request unless the autotune path rewrote it.
@@ -42,5 +45,18 @@ struct BcResult {
   /// Largest absolute difference to another score vector (same graph).
   [[nodiscard]] double max_abs_difference(const BcResult& other) const;
 };
+
+/// Extracts normalized betweenness estimates b~(v) = c~(v) / tau from an
+/// aggregated state frame - representation-agnostic (any frame with
+/// count()/tau()/num_vertices()), shared by every sampling driver.
+template <typename Frame>
+void scores_from_frame(const Frame& aggregate, std::vector<double>& scores) {
+  const std::uint32_t n = aggregate.num_vertices();
+  scores.assign(n, 0.0);
+  const auto tau = static_cast<double>(aggregate.tau());
+  if (tau == 0.0) return;
+  for (std::uint32_t v = 0; v < n; ++v)
+    scores[v] = static_cast<double>(aggregate.count(v)) / tau;
+}
 
 }  // namespace distbc::bc

@@ -56,10 +56,7 @@ BcResult rk(const graph::Graph& graph, const RkParams& params,
   for (const auto& frame : frames) total.merge(frame);
   DISTBC_ASSERT(total.tau() == budget);
 
-  const auto tau = static_cast<double>(total.tau());
-  for (graph::Vertex v = 0; v < n; ++v)
-    result.scores[v] = static_cast<double>(total.count(v)) / tau;
-
+  scores_from_frame(total, result.scores);
   result.samples = total.tau();
   result.epochs = 1;
   phases.add(Phase::kSampling, sampling_timer.elapsed_s());

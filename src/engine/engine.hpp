@@ -21,9 +21,19 @@
 // Requirements on Frame:
 //   Frame(const Frame&)            - copyable prototype construction
 //   void clear()
-//   void merge(const Frame&)       - equivalent to elementwise sum of raw()
-//   std::span<std::uint64_t> raw() - flat view used for reductions and the
-//                                    hierarchical window
+//   void merge(const Frame&)       - equivalent to elementwise sum
+// plus at least one wire interface (engine/frame_traits.hpp):
+//   std::span<std::uint64_t> raw() - mutable flat view: the classic
+//     elementwise-reduction path (and the dense §IV-E window pass);
+//   dense_words()/encode()/decode_add()/add_dense() - the frame_codec
+//     serialization contract: variable-length wire images (dense or sparse
+//     index/count deltas), moved by mpisim::Comm::reduce_merge and
+//     scatter-added into the §IV-E window.
+// EngineOptions::frame_rep picks the wire representation for frames that
+// support both; epoch::SparseFrame is serializable-only, so it always
+// rides the image path. In deterministic mode all representations produce
+// bitwise-identical aggregates: images carry exact uint64 counts and
+// decoding is a commutative elementwise sum.
 // Requirements on the sampler factory: Sampler make(stream_index) for
 // stream indices in [0, num_streams), where Sampler provides
 // void sample(Frame&). Requirements on the stop functor (evaluated at world
@@ -36,9 +46,11 @@
 #include <utility>
 #include <vector>
 
+#include "engine/frame_traits.hpp"
 #include "engine/hierarchy.hpp"
 #include "engine/streams.hpp"
 #include "epoch/epoch_manager.hpp"
+#include "epoch/frame_codec.hpp"
 #include "mpisim/comm.hpp"
 #include "support/timer.hpp"
 
@@ -52,6 +64,10 @@ enum class Aggregation : std::uint8_t {
 };
 
 [[nodiscard]] const char* aggregation_name(Aggregation aggregation);
+
+/// Wire representation of epoch state frames (epoch/frame_codec.hpp):
+/// dense flat vectors, sparse index/count deltas, or per-payload choice.
+using FrameRep = epoch::FrameRep;
 
 struct EngineOptions {
   int threads_per_rank = 1;
@@ -77,6 +93,15 @@ struct EngineOptions {
   /// Stream count for deterministic mode (0 = physical thread count).
   /// Fixing it decouples the sample set from the physical layout.
   std::uint64_t virtual_streams = 0;
+  /// Frame representation on the wire: kDense ships the flat |V|+1 vector
+  /// as one elementwise reduction (the paper's layout); kSparse ships
+  /// index/count delta pairs over variable-length merge reductions, making
+  /// aggregation cost proportional to samples taken; kAuto picks the
+  /// smaller image per payload (never loses to the worse fixed choice).
+  /// Only effective for frames implementing the serialization interface;
+  /// drivers choose the matching frame type (StateFrame vs SparseFrame).
+  /// Defaults to the DISTBC_FRAME_REP environment override, else dense.
+  FrameRep frame_rep = epoch::default_frame_rep();
 };
 
 /// Number of RNG streams a run with these options draws from; sampler
@@ -98,7 +123,10 @@ struct EngineResult {
   /// Payload moved over the communicators this engine used, including the
   /// hierarchical substrate (cumulative over the comm's lifetime).
   std::uint64_t comm_bytes = 0;
-  PhaseTimer phases;
+  /// Per-collective breakdown of comm_bytes (dense reductions vs sparse
+  /// merge reductions vs window/p2p vs broadcasts).
+  mpisim::CommVolume comm_volume{};
+  PhaseTimer phases{};
   double total_seconds = 0.0;
 };
 
@@ -182,10 +210,27 @@ Frame calibrate(mpisim::Comm* world, const Frame& prototype,
   for (const Frame& frame : frames) local.merge(frame);
   if (num_ranks <= 1) return local;
 
+  static_assert(DenseReducible<Frame> || WireSerializable<Frame>,
+                "Frame offers neither wire interface (frame_traits.hpp)");
   Frame aggregate(prototype);
   aggregate.clear();
-  world->reduce(std::span<const std::uint64_t>(local.raw()), aggregate.raw(),
-                0);
+  if constexpr (WireSerializable<Frame>) {
+    if (uses_wire_images<Frame>(options.frame_rep)) {
+      std::vector<std::uint64_t> image;
+      local.encode(image, options.frame_rep);
+      world->reduce_merge(
+          std::span<const std::uint64_t>(image),
+          [&](int, std::span<const std::uint64_t> contribution) {
+            aggregate.decode_add(contribution);
+          },
+          0);
+      return world->rank() == 0 ? aggregate : local;
+    }
+  }
+  if constexpr (DenseReducible<Frame>) {
+    world->reduce(std::span<const std::uint64_t>(local.raw()),
+                  aggregate.raw(), 0);
+  }
   return world->rank() == 0 ? aggregate : local;
 }
 
@@ -196,12 +241,18 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
                                MakeSampler&& make_sampler,
                                StopFn&& should_stop,
                                const EngineOptions& options) {
+  static_assert(DenseReducible<Frame> || WireSerializable<Frame>,
+                "Frame offers neither wire interface (frame_traits.hpp)");
   DISTBC_ASSERT(options.threads_per_rank >= 1);
   DISTBC_ASSERT_MSG(options.deterministic || options.virtual_streams == 0,
                     "virtual streams require deterministic mode");
   WallTimer total_timer;
-  EngineResult<Frame> result{prototype};
+  EngineResult<Frame> result{.aggregate = prototype};
   result.aggregate.clear();
+  // Whether epoch snapshots cross the wire as variable-length images
+  // (sparse delta frames / auto densification) instead of the classic
+  // fixed-size elementwise reduction.
+  const bool wire_images = uses_wire_images<Frame>(options.frame_rep);
 
   const int num_ranks = world != nullptr ? world->size() : 1;
   const int rank = world != nullptr ? world->rank() : 0;
@@ -232,8 +283,15 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
       rank, num_threads, total_threads, streams, n0_total, make_sampler);
 
   Hierarchy hierarchy;
-  if (options.hierarchical && multi_rank)
-    hierarchy.init(*world, result.aggregate.raw().size());
+  if (options.hierarchical && multi_rank) {
+    std::size_t frame_words = 0;
+    if constexpr (WireSerializable<Frame>) {
+      frame_words = result.aggregate.dense_words();
+    } else {
+      frame_words = result.aggregate.raw().size();
+    }
+    hierarchy.init(*world, frame_words);
+  }
 
   epoch::EpochManager<Frame> manager(num_threads, prototype);
   std::vector<std::uint64_t> taken(num_threads, 0);
@@ -273,6 +331,7 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
   {
     Frame snapshot(prototype);   // S^e_loc: this rank's epoch aggregate
     Frame epoch_agg(prototype);  // S^e: global epoch aggregate (at root)
+    std::vector<std::uint64_t> wire_buffer;  // reused encode scratch
     std::uint8_t done_flag = 0;
     std::uint32_t epoch = 0;
     std::uint64_t count = 0;
@@ -290,6 +349,34 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
         ++count;
       }
       std::this_thread::yield();
+    };
+
+    // One §IV-F strategy dispatch serving both wire formats: the callers
+    // supply the blocking reduction and the non-blocking starter for
+    // their payload (elementwise spans or encoded images).
+    auto run_aggregation = [&](mpisim::Comm& global, auto&& blocking_reduce,
+                               auto&& start_reduce) {
+      switch (options.aggregation) {
+        case Aggregation::kIbarrierReduce: {
+          result.phases.timed(Phase::kBarrier, [&] {
+            mpisim::Request barrier = global.ibarrier();
+            while (!barrier.test()) overlap_sample();
+          });
+          result.phases.timed(Phase::kReduction, blocking_reduce);
+          break;
+        }
+        case Aggregation::kIreduce: {
+          result.phases.timed(Phase::kReduction, [&] {
+            mpisim::Request reduce = start_reduce();
+            while (!reduce.test()) overlap_sample();
+          });
+          break;
+        }
+        case Aggregation::kBlocking: {
+          result.phases.timed(Phase::kReduction, blocking_reduce);
+          break;
+        }
+      }
     };
 
     while (true) {
@@ -325,40 +412,39 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
       } else {
         // Node-local pre-aggregation via the shared window (§IV-E).
         bool in_global = true;
-        if (hierarchy.active()) in_global = hierarchy.pre_reduce(snapshot.raw());
+        if (hierarchy.active())
+          in_global = hierarchy.pre_reduce(snapshot, options.frame_rep);
 
         // Global aggregation to world rank zero (§IV-F strategies). With
         // hierarchy the reduction runs on the node-leader communicator
-        // whose rank zero is world rank zero.
-        if (in_global) {
-          mpisim::Comm& global =
-              hierarchy.active() ? hierarchy.global() : *world;
-          const std::span<const std::uint64_t> send(snapshot.raw());
-          switch (options.aggregation) {
-            case Aggregation::kIbarrierReduce: {
-              result.phases.timed(Phase::kBarrier, [&] {
-                mpisim::Request barrier = global.ibarrier();
-                while (!barrier.test()) overlap_sample();
-              });
-              result.phases.timed(Phase::kReduction, [&] {
-                global.reduce(send, epoch_agg.raw(), 0);
-              });
-              break;
-            }
-            case Aggregation::kIreduce: {
-              result.phases.timed(Phase::kReduction, [&] {
-                mpisim::Request reduce =
-                    global.ireduce(send, epoch_agg.raw(), 0);
-                while (!reduce.test()) overlap_sample();
-              });
-              break;
-            }
-            case Aggregation::kBlocking: {
-              result.phases.timed(Phase::kReduction, [&] {
-                global.reduce(send, epoch_agg.raw(), 0);
-              });
-              break;
-            }
+        // whose rank zero is world rank zero. The wire-image path ships
+        // the snapshot's encoded image (sparse deltas or dense, per the
+        // representation policy) through the variable-length merge
+        // reduction; the classic path reduces the flat frame elementwise.
+        if (in_global && wire_images) {
+          if constexpr (WireSerializable<Frame>) {
+            mpisim::Comm& global =
+                hierarchy.active() ? hierarchy.global() : *world;
+            wire_buffer.clear();
+            snapshot.encode(wire_buffer, options.frame_rep);
+            epoch_agg.clear();
+            auto merge_image = [&](int,
+                                   std::span<const std::uint64_t> image) {
+              epoch_agg.decode_add(image);
+            };
+            const std::span<const std::uint64_t> send(wire_buffer);
+            run_aggregation(
+                global, [&] { global.reduce_merge(send, merge_image, 0); },
+                [&] { return global.ireduce_merge(send, merge_image, 0); });
+          }
+        } else if (in_global) {
+          if constexpr (DenseReducible<Frame>) {
+            mpisim::Comm& global =
+                hierarchy.active() ? hierarchy.global() : *world;
+            const std::span<const std::uint64_t> send(snapshot.raw());
+            run_aggregation(
+                global, [&] { global.reduce(send, epoch_agg.raw(), 0); },
+                [&] { return global.ireduce(send, epoch_agg.raw(), 0); });
           }
         }
 
@@ -406,7 +492,9 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
     world->reduce(std::span<const std::uint64_t>(&local_taken, 1),
                   std::span{&world_taken, 1}, 0);
     result.samples_attempted = is_root ? world_taken : local_taken;
-    result.comm_bytes = world->stats().total_bytes() + hierarchy.comm_bytes();
+    result.comm_volume = world->stats().volume();
+    result.comm_volume += hierarchy.volume();
+    result.comm_bytes = result.comm_volume.total();
   } else {
     result.samples_attempted = local_taken;
   }

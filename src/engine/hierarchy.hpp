@@ -6,12 +6,24 @@
 // the pre-reduced node aggregate back and joins the global inter-node
 // reduction. This shrinks the global reduction from P to P/ranks_per_node
 // participants at the cost of one cheap intra-node window pass.
+//
+// The window itself is always the dense flat frame; what varies is how a
+// rank's snapshot enters it. Dense-reducible frames accumulate their whole
+// raw() span (the original path). Wire-serializable frames under a sparse
+// representation scatter-add their encoded delta pairs, so the intra-node
+// pass moves O(nonzeros); the leader then re-reads the dense node aggregate
+// and ships whatever encoding the global representation policy picks -
+// typically dense, since the node aggregate is the union of its ranks'
+// deltas ("only leaders ship dense data when that is cheaper").
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
+#include "engine/frame_traits.hpp"
+#include "epoch/frame_codec.hpp"
 #include "mpisim/comm.hpp"
 #include "mpisim/window.hpp"
 
@@ -37,6 +49,23 @@ class Hierarchy {
   /// node communicator. Returns true iff this rank is the node leader, in
   /// which case `frame` now holds the whole node's aggregate and the
   /// caller must forward it into the global reduction via global().
+  /// `rep` selects how snapshots enter the window when the frame supports
+  /// wire images (ignored on the dense path).
+  template <typename Frame>
+  [[nodiscard]] bool pre_reduce(Frame& frame, epoch::FrameRep rep) {
+    DISTBC_ASSERT(active_);
+    if constexpr (WireSerializable<Frame>) {
+      if (uses_wire_images<Frame>(rep)) return pre_reduce_images(frame, rep);
+    }
+    if constexpr (DenseReducible<Frame>) {
+      return pre_reduce(std::span<std::uint64_t>(frame.raw()));
+    } else {
+      DISTBC_ASSERT_MSG(false, "frame supports no pre-reduction path");
+      return false;
+    }
+  }
+
+  /// The dense primitive: pre-reduces a flat frame over the window.
   [[nodiscard]] bool pre_reduce(std::span<std::uint64_t> frame) {
     DISTBC_ASSERT(active_);
     window_->accumulate(std::span<const std::uint64_t>(frame));
@@ -58,17 +87,48 @@ class Hierarchy {
   }
 
   /// Payload moved by the hierarchical substrate (window + leader comm).
-  [[nodiscard]] std::uint64_t comm_bytes() {
-    if (!active_) return 0;
-    std::uint64_t bytes = local_.stats().total_bytes();
-    if (leader_.valid()) bytes += leader_.stats().total_bytes();
+  [[nodiscard]] std::uint64_t comm_bytes() { return volume().total(); }
+
+  /// Per-collective byte breakdown of the hierarchical substrate.
+  [[nodiscard]] mpisim::CommVolume volume() {
+    mpisim::CommVolume bytes;
+    if (!active_) return bytes;
+    bytes += local_.stats().volume();
+    if (leader_.valid()) bytes += leader_.stats().volume();
     return bytes;
   }
 
  private:
+  template <typename Frame>
+  [[nodiscard]] bool pre_reduce_images(Frame& frame, epoch::FrameRep rep) {
+    image_.clear();
+    frame.encode(image_, rep);
+    const std::span<const std::uint64_t> image(image_);
+    if (epoch::image_rep(image) == epoch::FrameRep::kDense) {
+      window_->accumulate(image.subspan(1));
+    } else {
+      window_->accumulate_pairs(image.subspan(2));
+    }
+    local_.barrier();
+    const bool leader = local_.rank() == 0;
+    if (leader) {
+      // Lazy: only node leaders ever pay the O(V) read-back buffer.
+      if (scratch_.size() != window_->size())
+        scratch_.assign(window_->size(), 0);
+      window_->read(std::span<std::uint64_t>(scratch_));
+      window_->clear();
+      frame.clear();
+      frame.add_dense(scratch_);
+    }
+    local_.barrier();
+    return leader;
+  }
+
   mpisim::Comm local_;
   mpisim::Comm leader_;
   std::optional<mpisim::Window<std::uint64_t>> window_;
+  std::vector<std::uint64_t> scratch_;  // leader's dense read-back buffer
+  std::vector<std::uint64_t> image_;    // per-epoch encode buffer
   bool active_ = false;
 };
 

@@ -96,6 +96,12 @@ class EpochManager {
     DISTBC_ASSERT(transition_done(epoch));
     for (int t = 0; t < num_threads_; ++t) {
       Frame& source = frame(t, epoch);
+      // Threads that took no samples this epoch (stragglers on
+      // oversubscribed hosts, unowned streams in deterministic mode) leave
+      // their frame empty; skip the merge and clear sweeps entirely.
+      if constexpr (requires { source.empty(); }) {
+        if (source.empty()) continue;
+      }
       out.merge(source);
       source.clear();
     }

@@ -1,0 +1,71 @@
+#include "epoch/frame_codec.hpp"
+
+#include <cstdlib>
+
+namespace distbc::epoch {
+
+const char* frame_rep_name(FrameRep rep) {
+  switch (rep) {
+    case FrameRep::kDense:
+      return "dense";
+    case FrameRep::kSparse:
+      return "sparse";
+    case FrameRep::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+std::optional<FrameRep> frame_rep_from_name(std::string_view name) {
+  for (const FrameRep rep :
+       {FrameRep::kDense, FrameRep::kSparse, FrameRep::kAuto}) {
+    if (name == frame_rep_name(rep)) return rep;
+  }
+  return std::nullopt;
+}
+
+FrameRep default_frame_rep() {
+  static const FrameRep rep = [] {
+    const char* env = std::getenv("DISTBC_FRAME_REP");
+    if (env == nullptr) return FrameRep::kDense;
+    return frame_rep_from_name(env).value_or(FrameRep::kDense);
+  }();
+  return rep;
+}
+
+void append_dense_image(std::span<const std::uint64_t> dense,
+                        std::vector<std::uint64_t>& out) {
+  out.reserve(out.size() + dense_image_words(dense.size()));
+  out.push_back(kDenseTag);
+  out.insert(out.end(), dense.begin(), dense.end());
+}
+
+void append_sparse_image(std::span<const std::uint64_t> dense,
+                         std::span<const std::uint32_t> sorted_indices,
+                         std::vector<std::uint64_t>& out) {
+  out.reserve(out.size() + sparse_image_words(sorted_indices.size()));
+  out.push_back(kSparseTag);
+  out.push_back(sorted_indices.size());
+  for (const std::uint32_t index : sorted_indices) {
+    DISTBC_DEBUG_ASSERT(index < dense.size() && dense[index] != 0);
+    out.push_back(index);
+    out.push_back(dense[index]);
+  }
+}
+
+void append_sparse_image_scan(std::span<const std::uint64_t> dense,
+                              std::vector<std::uint64_t>& out) {
+  out.push_back(kSparseTag);
+  const std::size_t npairs_slot = out.size();
+  out.push_back(0);
+  std::uint64_t npairs = 0;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] == 0) continue;
+    out.push_back(i);
+    out.push_back(dense[i]);
+    ++npairs;
+  }
+  out[npairs_slot] = npairs;
+}
+
+}  // namespace distbc::epoch

@@ -1,0 +1,124 @@
+// Wire images for epoch state frames - the pluggable frame-representation
+// layer.
+//
+// A frame's *wire image* is a self-describing flat uint64 sequence:
+//   dense : [kDenseTag,  w_0 ... w_{W-1}]                 W = dense words
+//   sparse: [kSparseTag, npairs, (index, value) x npairs] indices ascending
+// Both describe the same elementwise-summable vector, so decoding is an
+// *additive* merge into dense storage: dense images add elementwise, sparse
+// images scatter-add their pairs. Every representation-aware data path (the
+// engine's variable-length aggregation, mpisim::Comm::reduce_merge, the
+// §IV-E shared window) moves these images, so a frame type only has to
+// implement the encode()/decode_add() contract to ride any of them.
+//
+// Representation selection (FrameRep):
+//   kDense  - always the dense image: one word per slot, the paper's §III-B
+//             layout, aggregation cost proportional to |V|.
+//   kSparse - always index/count pairs, even past the size crossover; the
+//             honest "fixed sparse" arm of the ablation.
+//   kAuto   - per-payload choice: pairs while they undercut the densify
+//             threshold (a fraction of the dense image), dense afterwards.
+//             Auto therefore never ships more than min(dense, sparse)
+//             scaled by the threshold - it cannot lose to the worse fixed
+//             representation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace distbc::epoch {
+
+enum class FrameRep : std::uint8_t { kDense, kSparse, kAuto };
+
+[[nodiscard]] const char* frame_rep_name(FrameRep rep);
+[[nodiscard]] std::optional<FrameRep> frame_rep_from_name(
+    std::string_view name);
+
+/// Engine-wide default representation: the DISTBC_FRAME_REP environment
+/// variable ("dense" | "sparse" | "auto", read once) or kDense. Lets a CI
+/// leg or an operator force a representation without touching call sites.
+[[nodiscard]] FrameRep default_frame_rep();
+
+inline constexpr std::uint64_t kDenseTag = 0;
+inline constexpr std::uint64_t kSparseTag = 1;
+
+/// Words of a dense image of a `dense_words`-slot frame.
+[[nodiscard]] inline std::size_t dense_image_words(std::size_t dense_words) {
+  return 1 + dense_words;
+}
+
+/// Words of a sparse image holding `npairs` (index, value) pairs.
+[[nodiscard]] inline std::size_t sparse_image_words(std::size_t npairs) {
+  return 2 + 2 * npairs;
+}
+
+/// The representation an encoded image carries.
+[[nodiscard]] inline FrameRep image_rep(std::span<const std::uint64_t> image) {
+  DISTBC_ASSERT(!image.empty());
+  return image.front() == kDenseTag ? FrameRep::kDense : FrameRep::kSparse;
+}
+
+/// Appends the dense image of `dense` to `out`.
+void append_dense_image(std::span<const std::uint64_t> dense,
+                        std::vector<std::uint64_t>& out);
+
+/// Appends the sparse image of `dense` restricted to `sorted_indices`
+/// (ascending, all with nonzero values).
+void append_sparse_image(std::span<const std::uint64_t> dense,
+                         std::span<const std::uint32_t> sorted_indices,
+                         std::vector<std::uint64_t>& out);
+
+/// Appends the sparse image of every nonzero slot of `dense` (full scan -
+/// the path for frames that do not track touched slots).
+void append_sparse_image_scan(std::span<const std::uint64_t> dense,
+                              std::vector<std::uint64_t>& out);
+
+/// True iff a sparse image of `npairs` pairs stays under `densify_threshold`
+/// times the dense image of a `dense_words`-slot frame - the kAuto rule.
+[[nodiscard]] inline bool sparse_pays(std::size_t npairs,
+                                      std::size_t dense_words,
+                                      double densify_threshold) {
+  return static_cast<double>(sparse_image_words(npairs)) <
+         densify_threshold *
+             static_cast<double>(dense_image_words(dense_words));
+}
+
+/// Additively decodes `image` into `dense`, invoking touch(index) for every
+/// slot that receives a nonzero contribution (the hook sparse frames use to
+/// maintain their touched set).
+template <typename TouchFn>
+void decode_add_image(std::span<std::uint64_t> dense,
+                      std::span<const std::uint64_t> image, TouchFn&& touch) {
+  DISTBC_ASSERT(!image.empty());
+  if (image.front() == kDenseTag) {
+    DISTBC_ASSERT(image.size() == 1 + dense.size());
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      const std::uint64_t value = image[1 + i];
+      if (value == 0) continue;
+      dense[i] += value;
+      touch(i);
+    }
+    return;
+  }
+  DISTBC_ASSERT(image.front() == kSparseTag && image.size() >= 2);
+  const std::uint64_t npairs = image[1];
+  DISTBC_ASSERT(image.size() == sparse_image_words(npairs));
+  for (std::uint64_t p = 0; p < npairs; ++p) {
+    const std::uint64_t index = image[2 + 2 * p];
+    DISTBC_ASSERT(index < dense.size());
+    dense[index] += image[2 + 2 * p + 1];
+    touch(static_cast<std::size_t>(index));
+  }
+}
+
+inline void decode_add_image(std::span<std::uint64_t> dense,
+                             std::span<const std::uint64_t> image) {
+  decode_add_image(dense, image, [](std::size_t) {});
+}
+
+}  // namespace distbc::epoch

@@ -1,0 +1,12 @@
+#include "epoch/sparse_frame.hpp"
+
+// SparseFrame is header-only; this translation unit instantiates its
+// EpochManager so representation-specific template errors surface at
+// library build time (mirrors state_frame.cpp).
+#include "epoch/epoch_manager.hpp"
+
+namespace distbc::epoch {
+
+template class EpochManager<SparseFrame>;
+
+}  // namespace distbc::epoch

@@ -248,6 +248,153 @@ Request Comm::ireduce_bytes_impl(const std::byte* send, std::size_t bytes,
   return Request(std::move(impl));
 }
 
+// --- Variable-length merge collectives (reduce_merge / gatherv) -------------
+
+namespace {
+
+/// Posts one variable-length contribution (shared by reduce_merge and
+/// gatherv; they differ only in byte attribution and the root consumer).
+void post_mergev(CommState& state, std::uint64_t ticket, SlotKind kind,
+                 int rank, const std::byte* send, std::size_t bytes,
+                 detail::MergeBytesFn merge, int root, bool nonblocking) {
+  std::lock_guard lock(state.mu);
+  Slot& slot = acquire_slot(state, ticket, kind);
+  if (slot.arrived == 0) {
+    slot.root = root;
+    slot.nonblocking = nonblocking;
+    slot.contribs.resize(state.size());
+  }
+  DISTBC_ASSERT_MSG(slot.root == root && slot.nonblocking == nonblocking,
+                    "mismatched merge-collective participants");
+  slot.contribs[rank].assign(send, send + bytes);
+  if (rank == root) {
+    DISTBC_ASSERT_MSG(static_cast<bool>(merge),
+                      "merge collective needs a root-side consumer");
+    slot.merge = std::move(merge);
+  }
+
+  const auto now = Clock::now();
+  slot.rank_ready[rank] =
+      now + state.model.injection_cost(bytes, state.num_nodes == 1);
+  if (rank != root) {
+    auto& counter = kind == SlotKind::kGatherv ? state.stats.gatherv_bytes
+                                               : state.stats.reduce_merge_bytes;
+    counter.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  if (++slot.arrived == state.size()) {
+    slot.all_arrived = true;
+    // The tree's critical path carries the largest contribution.
+    std::size_t max_bytes = 0;
+    for (const auto& contrib : slot.contribs)
+      max_bytes = std::max(max_bytes, contrib.size());
+    slot.bytes = max_bytes;
+    auto cost = state.model.collective_cost(max_bytes,
+                                            state.max_ranks_per_node,
+                                            state.num_nodes);
+    if (slot.nonblocking) {
+      // Same §IV-F software-progression penalty as Ireduce.
+      cost = std::chrono::nanoseconds(static_cast<std::int64_t>(
+          static_cast<double>(cost.count()) *
+          state.model.ireduce_progression_factor));
+    }
+    slot.ready_time = now + cost;
+    state.cv.notify_all();
+  }
+}
+
+/// Root-side completion: feed every contribution to the consumer, in rank
+/// order. Caller holds state.mu and has verified all_arrived + deadline.
+void run_mergev_action(CommState& state, Slot& slot) {
+  if (slot.action_done) return;
+  for (int r = 0; r < state.size(); ++r)
+    slot.merge(r, slot.contribs[r].data(), slot.contribs[r].size());
+  slot.action_done = true;
+}
+
+bool poll_mergev(CommState& state, std::uint64_t ticket, int rank) {
+  bool progress_pending = false;
+  {
+    std::lock_guard lock(state.mu);
+    Slot& slot = state.slots.at(ticket);
+    const auto now = Clock::now();
+    if (rank == slot.root) {
+      if (!slot.all_arrived || now < slot.ready_time) {
+        progress_pending = slot.nonblocking;
+      } else {
+        run_mergev_action(state, slot);
+        depart_slot(state, ticket, slot);
+        return true;
+      }
+    } else {
+      if (now >= slot.rank_ready[rank]) {
+        depart_slot(state, ticket, slot);
+        return true;
+      }
+    }
+  }
+  if (progress_pending && state.model.enabled &&
+      state.model.ireduce_poll_cost_s > 0) {
+    // Unsuccessful root polls of a non-blocking merge burn the same
+    // software-progression CPU time as Ireduce polls.
+    const auto until =
+        Clock::now() + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                           state.model.ireduce_poll_cost_s * 1e9));
+    while (Clock::now() < until) {
+    }
+  }
+  return false;
+}
+
+void wait_mergev(CommState& state, std::uint64_t ticket, int rank) {
+  WaitCharge charge(state.stats.reduce_wait_ns);
+  std::unique_lock lock(state.mu);
+  Slot& slot = state.slots.at(ticket);
+  if (rank == slot.root) {
+    wait_predicate(state, lock, [&] { return slot.all_arrived; });
+    wait_deadline(state, lock, slot.ready_time);
+    run_mergev_action(state, slot);
+  } else {
+    // Tree participation, as in wait_reduce: released once everybody has
+    // arrived or after the own injection deadline, whichever is later.
+    wait_predicate(state, lock, [&] { return slot.all_arrived; });
+    wait_deadline(state, lock, slot.rank_ready[rank]);
+  }
+  depart_slot(state, ticket, slot);
+}
+
+}  // namespace
+
+void Comm::mergev_bytes_impl(detail::SlotKind kind, const std::byte* send,
+                             std::size_t bytes, detail::MergeBytesFn merge,
+                             int root) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  auto& calls = kind == SlotKind::kGatherv ? state_->stats.gatherv_calls
+                                           : state_->stats.reduce_merge_calls;
+  calls.fetch_add(1, std::memory_order_relaxed);
+  post_mergev(*state_, ticket, kind, rank_, send, bytes, std::move(merge),
+              root, /*nonblocking=*/false);
+  wait_mergev(*state_, ticket, rank_);
+}
+
+Request Comm::imergev_bytes_impl(detail::SlotKind kind, const std::byte* send,
+                                 std::size_t bytes,
+                                 detail::MergeBytesFn merge, int root) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  auto& calls = kind == SlotKind::kGatherv ? state_->stats.gatherv_calls
+                                           : state_->stats.reduce_merge_calls;
+  calls.fetch_add(1, std::memory_order_relaxed);
+  post_mergev(*state_, ticket, kind, rank_, send, bytes, std::move(merge),
+              root, /*nonblocking=*/true);
+  auto impl = std::make_shared<Request::Impl>();
+  impl->state = state_;
+  impl->ticket = ticket;
+  impl->rank = rank_;
+  return Request(std::move(impl));
+}
+
 // --- Barrier ----------------------------------------------------------------
 
 namespace {
@@ -430,6 +577,13 @@ bool poll_request(Request::Impl& impl, bool blocking) {
         return true;
       }
       return poll_reduce(state, impl.ticket, impl.rank);
+    case SlotKind::kReduceMerge:
+    case SlotKind::kGatherv:
+      if (blocking) {
+        wait_mergev(state, impl.ticket, impl.rank);
+        return true;
+      }
+      return poll_mergev(state, impl.ticket, impl.rank);
     case SlotKind::kBcast:
       if (blocking) {
         wait_bcast(state, impl.ticket, impl.rank, impl.recv);

@@ -26,10 +26,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "mpisim/network.hpp"
@@ -73,8 +75,13 @@ CombineFn combine_fn(ReduceOp op) {
   return nullptr;
 }
 
-enum class SlotKind : std::uint8_t { kBarrier, kReduce, kBcast, kSplit,
-                                     kWindow };
+enum class SlotKind : std::uint8_t { kBarrier, kReduce, kReduceMerge,
+                                     kGatherv, kBcast, kSplit, kWindow };
+
+/// Root-side consumer of one variable-length contribution:
+/// (source rank, payload pointer, payload bytes).
+using MergeBytesFn =
+    std::function<void(int, const std::byte*, std::size_t)>;
 
 struct Slot {
   SlotKind kind{};
@@ -96,6 +103,10 @@ struct Slot {
 
   // Bcast payload (copied from the root).
   std::vector<std::byte> payload;
+
+  // Variable-length merge state (kReduceMerge / kGatherv): the root's
+  // per-contribution consumer, run once per rank at completion.
+  MergeBytesFn merge;
 
   // Split state.
   std::vector<std::pair<int, int>> color_key;  // per-rank (color, key)
@@ -234,6 +245,66 @@ class Comm {
                              buffer.size() * sizeof(T), root);
   }
 
+  // --- Variable-length collectives (sparse frame images, §IV-F over the
+  // --- delta representation) ---------------------------------------------
+  //
+  // Unlike the fixed-size collectives above, every rank may contribute a
+  // different element count. Contributions are eager (buffer reusable on
+  // return/completion); the root's completion deadline is the last arrival
+  // plus the alpha-beta tree cost charged at the *largest* contribution
+  // (the reduction tree's critical path carries the biggest payload; with
+  // auto-densifying frames, merged payloads stay within the densify
+  // threshold of the dense frame, bounding union growth). Non-root bytes
+  // are accounted per path (CommStats::reduce_merge_bytes/gatherv_bytes).
+
+  /// Sparse-merge reduction: `merge(src_rank, payload)` is invoked at the
+  /// root exactly once per rank, in rank order, when the reduction
+  /// completes (inside the blocking call, or the completing test()/wait()
+  /// of the non-blocking form). `merge` runs under the communicator lock
+  /// and must not call back into the communicator. Non-roots may pass any
+  /// callable; it is ignored.
+  template <typename T, typename MergeFn>
+  void reduce_merge(std::span<const T> send, MergeFn&& merge, int root) {
+    mergev_bytes_impl(detail::SlotKind::kReduceMerge,
+                      as_bytes_ptr(send.data()), send.size() * sizeof(T),
+                      erase_merge<T>(std::forward<MergeFn>(merge), root),
+                      root);
+  }
+
+  /// Non-blocking merge reduction; progresses like Ireduce (§IV-F
+  /// progression penalty and poll tax apply).
+  template <typename T, typename MergeFn>
+  [[nodiscard]] Request ireduce_merge(std::span<const T> send,
+                                      MergeFn&& merge, int root) {
+    return imergev_bytes_impl(detail::SlotKind::kReduceMerge,
+                              as_bytes_ptr(send.data()),
+                              send.size() * sizeof(T),
+                              erase_merge<T>(std::forward<MergeFn>(merge),
+                                             root),
+                              root);
+  }
+
+  /// Variable-length gather: at the root, `recv` is resized to size() and
+  /// recv[r] receives rank r's contribution; untouched at non-roots.
+  template <typename T>
+  void gatherv(std::span<const T> send, std::vector<std::vector<T>>& recv,
+               int root) {
+    mergev_bytes_impl(detail::SlotKind::kGatherv, as_bytes_ptr(send.data()),
+                      send.size() * sizeof(T), erase_gather<T>(recv, root),
+                      root);
+  }
+
+  /// Non-blocking gatherv; `recv` must stay alive until completion.
+  template <typename T>
+  [[nodiscard]] Request igatherv(std::span<const T> send,
+                                 std::vector<std::vector<T>>& recv,
+                                 int root) {
+    return imergev_bytes_impl(detail::SlotKind::kGatherv,
+                              as_bytes_ptr(send.data()),
+                              send.size() * sizeof(T),
+                              erase_gather<T>(recv, root), root);
+  }
+
   // --- Point-to-point (used by tests and the window substrate) -----------
 
   template <typename T>
@@ -296,6 +367,37 @@ class Comm {
   }
 
   std::uint64_t next_ticket() { return ticket_++; }
+
+  /// Wraps a typed merge callable as the byte-level consumer stored in the
+  /// slot; non-roots carry an empty function (their callable is ignored).
+  template <typename T, typename MergeFn>
+  detail::MergeBytesFn erase_merge(MergeFn&& merge, int root) {
+    if (rank_ != root) return {};
+    return [m = std::forward<MergeFn>(merge)](int src, const std::byte* data,
+                                              std::size_t bytes) mutable {
+      m(src, std::span<const T>(reinterpret_cast<const T*>(data),
+                                bytes / sizeof(T)));
+    };
+  }
+
+  template <typename T>
+  detail::MergeBytesFn erase_gather(std::vector<std::vector<T>>& recv,
+                                    int root) {
+    if (rank_ != root) return {};
+    recv.assign(static_cast<std::size_t>(size()), {});
+    return [&recv](int src, const std::byte* data, std::size_t bytes) {
+      const T* typed = reinterpret_cast<const T*>(data);
+      recv[static_cast<std::size_t>(src)].assign(typed,
+                                                 typed + bytes / sizeof(T));
+    };
+  }
+
+  void mergev_bytes_impl(detail::SlotKind kind, const std::byte* send,
+                         std::size_t bytes, detail::MergeBytesFn merge,
+                         int root);
+  Request imergev_bytes_impl(detail::SlotKind kind, const std::byte* send,
+                             std::size_t bytes, detail::MergeBytesFn merge,
+                             int root);
 
   void reduce_bytes_impl(const std::byte* send, std::size_t bytes,
                          std::size_t count, std::byte* recv,

@@ -7,10 +7,44 @@
 
 namespace distbc::mpisim {
 
+/// Plain copyable snapshot of the per-collective bytes-moved counters -
+/// what engine results and bench JSON reports carry so payload volume can
+/// be attributed to the path that moved it (dense reductions vs sparse
+/// merge reductions vs gathers vs broadcasts vs window/p2p traffic).
+struct CommVolume {
+  std::uint64_t reduce_bytes = 0;
+  std::uint64_t reduce_merge_bytes = 0;
+  std::uint64_t gatherv_bytes = 0;
+  std::uint64_t bcast_bytes = 0;
+  std::uint64_t p2p_bytes = 0;
+
+  /// Bytes moved by the epoch-aggregation paths (dense elementwise
+  /// reductions, sparse merge reductions, and the window/p2p substrate the
+  /// hierarchical pre-reduction rides) - the ablation_frame_rep metric.
+  [[nodiscard]] std::uint64_t aggregation_bytes() const {
+    return reduce_bytes + reduce_merge_bytes + gatherv_bytes + p2p_bytes;
+  }
+
+  [[nodiscard]] std::uint64_t total() const {
+    return aggregation_bytes() + bcast_bytes;
+  }
+
+  CommVolume& operator+=(const CommVolume& other) {
+    reduce_bytes += other.reduce_bytes;
+    reduce_merge_bytes += other.reduce_merge_bytes;
+    gatherv_bytes += other.gatherv_bytes;
+    bcast_bytes += other.bcast_bytes;
+    p2p_bytes += other.p2p_bytes;
+    return *this;
+  }
+};
+
 /// Shared per-communicator counters; all ranks update them atomically.
 struct CommStats {
   std::atomic<std::uint64_t> reduce_calls{0};
   std::atomic<std::uint64_t> ireduce_calls{0};
+  std::atomic<std::uint64_t> reduce_merge_calls{0};
+  std::atomic<std::uint64_t> gatherv_calls{0};
   std::atomic<std::uint64_t> barrier_calls{0};
   std::atomic<std::uint64_t> ibarrier_calls{0};
   std::atomic<std::uint64_t> bcast_calls{0};
@@ -18,21 +52,32 @@ struct CommStats {
   /// Payload bytes moved by reductions: buffer size x (participants - 1),
   /// i.e. every non-root contribution crosses the wire once.
   std::atomic<std::uint64_t> reduce_bytes{0};
+  /// Non-root payload bytes of variable-length merge reductions (sparse
+  /// frame images) and gathers - the same crossing-the-wire convention.
+  std::atomic<std::uint64_t> reduce_merge_bytes{0};
+  std::atomic<std::uint64_t> gatherv_bytes{0};
   std::atomic<std::uint64_t> bcast_bytes{0};
   std::atomic<std::uint64_t> p2p_bytes{0};
   /// Wall time ranks spent blocked inside collectives - per-collective
   /// blocking-share telemetry for Figure 2b-style reporting and tooling.
   /// Only blocking calls (and blocking waits on requests) are charged;
-  /// unsuccessful test() polls are not.
+  /// unsuccessful test() polls are not. Variable-length reductions and
+  /// gathers charge reduce_wait_ns (they are the aggregation path).
   std::atomic<std::uint64_t> reduce_wait_ns{0};
   std::atomic<std::uint64_t> barrier_wait_ns{0};
   std::atomic<std::uint64_t> bcast_wait_ns{0};
 
-  [[nodiscard]] std::uint64_t total_bytes() const {
-    return reduce_bytes.load(std::memory_order_relaxed) +
-           bcast_bytes.load(std::memory_order_relaxed) +
-           p2p_bytes.load(std::memory_order_relaxed);
+  [[nodiscard]] CommVolume volume() const {
+    CommVolume v;
+    v.reduce_bytes = reduce_bytes.load(std::memory_order_relaxed);
+    v.reduce_merge_bytes = reduce_merge_bytes.load(std::memory_order_relaxed);
+    v.gatherv_bytes = gatherv_bytes.load(std::memory_order_relaxed);
+    v.bcast_bytes = bcast_bytes.load(std::memory_order_relaxed);
+    v.p2p_bytes = p2p_bytes.load(std::memory_order_relaxed);
+    return v;
   }
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return volume().total(); }
 
   [[nodiscard]] double total_wait_seconds() const {
     return static_cast<double>(
@@ -45,11 +90,15 @@ struct CommStats {
   void reset() {
     reduce_calls = 0;
     ireduce_calls = 0;
+    reduce_merge_calls = 0;
+    gatherv_calls = 0;
     barrier_calls = 0;
     ibarrier_calls = 0;
     bcast_calls = 0;
     p2p_messages = 0;
     reduce_bytes = 0;
+    reduce_merge_bytes = 0;
+    gatherv_bytes = 0;
     bcast_bytes = 0;
     p2p_bytes = 0;
     reduce_wait_ns = 0;

@@ -36,6 +36,23 @@ class Window {
                                        std::memory_order_relaxed);
   }
 
+  /// Passive-target scatter-accumulate: atomically (under the window lock)
+  /// adds flat (index, delta) pairs into the window - the sparse-frame
+  /// path of the §IV-E pre-reduction, moving O(nonzeros) instead of O(V).
+  void accumulate_pairs(std::span<const T> pairs) {
+    DISTBC_ASSERT(pairs.size() % 2 == 0);
+    std::lock_guard lock(state_->mu);
+    T* data = reinterpret_cast<T*>(state_->data.data());
+    for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+      const auto index = static_cast<std::size_t>(pairs[i]);
+      DISTBC_ASSERT(index < count_);
+      data[index] += pairs[i + 1];
+    }
+    comm_->stats().p2p_messages.fetch_add(1, std::memory_order_relaxed);
+    comm_->stats().p2p_bytes.fetch_add(pairs.size_bytes(),
+                                       std::memory_order_relaxed);
+  }
+
   /// Copies the window contents into `out` under the window lock.
   void read(std::span<T> out) const {
     DISTBC_ASSERT(out.size() == count_);

@@ -52,19 +52,30 @@ CostModel CostModel::fit(const MicrobenchResult& result) {
   return model;
 }
 
-double CostModel::predict_seconds(Pattern pattern,
-                                  std::size_t frame_words) const {
+double CostModel::predict_seconds_bytes(Pattern pattern,
+                                        std::uint64_t wire_bytes) const {
   const AlphaBeta& fit = line(pattern);
   DISTBC_ASSERT_MSG(fit.valid, "predicting an unfitted pattern");
-  return fit.predict(frame_words * sizeof(std::uint64_t));
+  return fit.predict(wire_bytes);
+}
+
+double CostModel::predict_epoch_overhead_bytes(Pattern pattern,
+                                               std::uint64_t wire_bytes) const {
+  double overhead = predict_seconds_bytes(pattern, wire_bytes);
+  // The termination flag is one byte; its cost is all latency.
+  if (has(Pattern::kIbcast)) overhead += line(Pattern::kIbcast).predict(1);
+  return overhead;
+}
+
+double CostModel::predict_seconds(Pattern pattern,
+                                  std::size_t frame_words) const {
+  return predict_seconds_bytes(pattern, frame_words * sizeof(std::uint64_t));
 }
 
 double CostModel::predict_epoch_overhead(Pattern pattern,
                                          std::size_t frame_words) const {
-  double overhead = predict_seconds(pattern, frame_words);
-  // The termination flag is one byte; its cost is all latency.
-  if (has(Pattern::kIbcast)) overhead += line(Pattern::kIbcast).predict(1);
-  return overhead;
+  return predict_epoch_overhead_bytes(pattern,
+                                      frame_words * sizeof(std::uint64_t));
 }
 
 }  // namespace distbc::tune

@@ -52,13 +52,23 @@ class CostModel {
     return patterns_[static_cast<std::size_t>(pattern)];
   }
 
-  /// Predicted exposed seconds of one aggregation via `pattern` moving a
-  /// frame of `frame_words` uint64 words.
+  /// Predicted exposed seconds of one aggregation via `pattern` moving
+  /// `wire_bytes` of payload. The beta term is per-byte, so the same
+  /// fitted line prices any frame representation - dense flat frames and
+  /// sparse delta images alike - which is what gives the tuner a real
+  /// message-size axis for the frame_rep decision.
+  [[nodiscard]] double predict_seconds_bytes(Pattern pattern,
+                                             std::uint64_t wire_bytes) const;
+
+  /// Predicted exposed seconds of one full epoch's communication at
+  /// `wire_bytes` of aggregation payload: the aggregation via `pattern`
+  /// plus the termination Ibcast (if measured).
+  [[nodiscard]] double predict_epoch_overhead_bytes(
+      Pattern pattern, std::uint64_t wire_bytes) const;
+
+  /// Convenience overloads at the dense frame size (frame_words uint64s).
   [[nodiscard]] double predict_seconds(Pattern pattern,
                                        std::size_t frame_words) const;
-
-  /// Predicted exposed seconds of one full epoch's communication: the
-  /// aggregation via `pattern` plus the termination Ibcast (if measured).
   [[nodiscard]] double predict_epoch_overhead(Pattern pattern,
                                               std::size_t frame_words) const;
 

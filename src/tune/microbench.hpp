@@ -70,9 +70,11 @@ struct MicrobenchConfig {
   /// Physical cores assumed for the oversubscription factor
   /// (0 = std::thread::hardware_concurrency()).
   int assumed_cores = 0;
-  /// Message sizes to sweep, in uint64 words (epoch frames are flat
-  /// uint64 arrays).
-  std::vector<std::size_t> message_words = {256, 4096, 32768};
+  /// Payload sizes to sweep per pattern, in uint64 words. The small end
+  /// anchors the alpha-beta line in the sparse-delta-image regime (a short
+  /// epoch's image is tens of pairs), the large end in the dense-frame
+  /// regime; the fitted per-byte beta then prices both representations.
+  std::vector<std::size_t> message_words = {64, 256, 4096, 32768};
   /// Epochs the engine race runs per (pattern, size); the per-epoch cost
   /// is the run's average, so the first-epoch transient is amortized over
   /// this count rather than excluded.

@@ -163,69 +163,132 @@ TuneDecision tune_decision(const TuningProfile& profile,
   DISTBC_ASSERT(request.frame_words > 0);
   DISTBC_ASSERT(request.target_overhead > 0.0);
   const CostModel& model = profile.model;
-
-  // §IV-F: the flat aggregation strategy with the cheapest predicted
-  // cost at this frame size. Ibarrier+Reduce is the paper-backed prior and
-  // is examined first; a competitor must beat the incumbent by the
-  // decision margin to take over. On an oversubscribed substrate the fully
-  // blocking variant is ineligible outright: the paper measures it as
-  // "again detrimental" once waits cannot hide, and a short microbench
-  // race systematically underprices its straggler tail (synthetic samplers
-  // are milder than real BFS cost distributions).
   const double margin = std::clamp(1.0 - request.decision_margin, 0.0, 1.0);
   const bool oversubscribed = profile.oversubscription > 1.0;
-  static constexpr Pattern kFlatOrder[] = {
-      Pattern::kIbarrierReduce, Pattern::kIreduce, Pattern::kReduce};
-  std::optional<Pattern> best_flat;
-  double best_flat_cost = 0.0;
-  for (const bool allow_blocking : {!oversubscribed, true}) {
-    for (const Pattern pattern : kFlatOrder) {
-      if (!model.has(pattern)) continue;
-      if (pattern == Pattern::kReduce && !allow_blocking) continue;
-      const double cost = model.predict_seconds(pattern, request.frame_words);
-      if (!best_flat || cost < best_flat_cost * margin) {
-        best_flat = pattern;
-        best_flat_cost = cost;
-      }
-    }
-    if (best_flat) break;  // second pass only if the profile held nothing else
-  }
-  DISTBC_ASSERT_MSG(best_flat.has_value(),
-                    "profile holds no aggregation pattern");
 
-  // §IV-E: hierarchical pre-reduction iff nodes hold several ranks and the
-  // measured window path clearly beats the best flat reduction.
-  TuneDecision decision;
-  decision.pattern = *best_flat;
-  bool hierarchical = false;
-  if (profile.shape.ranks_per_node > 1 && profile.shape.num_ranks > 1 &&
-      model.has(Pattern::kWindowPreReduce) &&
-      model.predict_seconds(Pattern::kWindowPreReduce, request.frame_words) <
-          best_flat_cost * margin) {
-    hierarchical = true;
-    decision.pattern = Pattern::kWindowPreReduce;
-  }
-  decision.predicted_overhead_s =
-      model.predict_epoch_overhead(decision.pattern, request.frame_words);
+  // §IV-F + §IV-E selection at a given wire payload. Ibarrier+Reduce is
+  // the paper-backed prior and is examined first; a competitor must beat
+  // the incumbent by the decision margin to take over. On an
+  // oversubscribed substrate the fully blocking variant is ineligible
+  // outright: the paper measures it as "again detrimental" once waits
+  // cannot hide, and a short microbench race systematically underprices
+  // its straggler tail (synthetic samplers are milder than real BFS cost
+  // distributions). The payload is a parameter because sparse delta images
+  // shrink with the epoch: the same profile prices every representation
+  // through its per-byte beta term.
+  struct Path {
+    Pattern pattern = Pattern::kIbarrierReduce;
+    bool hierarchical = false;
+    double overhead_s = 0.0;  // aggregation + termination bcast, exposed
+  };
+  const auto choose_path = [&](std::uint64_t wire_bytes) {
+    static constexpr Pattern kFlatOrder[] = {
+        Pattern::kIbarrierReduce, Pattern::kIreduce, Pattern::kReduce};
+    std::optional<Pattern> best_flat;
+    double best_flat_cost = 0.0;
+    for (const bool allow_blocking : {!oversubscribed, true}) {
+      for (const Pattern pattern : kFlatOrder) {
+        if (!model.has(pattern)) continue;
+        if (pattern == Pattern::kReduce && !allow_blocking) continue;
+        const double cost = model.predict_seconds_bytes(pattern, wire_bytes);
+        if (!best_flat || cost < best_flat_cost * margin) {
+          best_flat = pattern;
+          best_flat_cost = cost;
+        }
+      }
+      if (best_flat) break;  // second pass iff the profile held nothing else
+    }
+    DISTBC_ASSERT_MSG(best_flat.has_value(),
+                      "profile holds no aggregation pattern");
+    Path path;
+    path.pattern = *best_flat;
+    // §IV-E: hierarchical pre-reduction iff nodes hold several ranks and
+    // the measured window path clearly beats the best flat reduction.
+    if (profile.shape.ranks_per_node > 1 && profile.shape.num_ranks > 1 &&
+        model.has(Pattern::kWindowPreReduce) &&
+        model.predict_seconds_bytes(Pattern::kWindowPreReduce, wire_bytes) <
+            best_flat_cost * margin) {
+      path.hierarchical = true;
+      path.pattern = Pattern::kWindowPreReduce;
+    }
+    path.overhead_s =
+        model.predict_epoch_overhead_bytes(path.pattern, wire_bytes);
+    return path;
+  };
 
   // §IV-D: the smallest epoch whose aggregation overhead stays below the
-  // target fraction of its sampling time, converted back through the
-  // n0 = base * streams^exponent rule.
+  // target fraction of its sampling time. Floor at one sample per physical
+  // thread so cheap interconnects do not degenerate into single-sample
+  // epochs.
   const double sample_s =
       request.sample_seconds > 0.0 ? request.sample_seconds
                                    : profile.work_unit_s;
   const auto total_threads =
       static_cast<double>(profile.shape.num_ranks) *
       static_cast<double>(profile.shape.threads_per_rank);
-  // Floor at one sample per physical thread so cheap interconnects do not
-  // degenerate into single-sample epochs.
-  const double n0_min =
-      std::max(total_threads, decision.predicted_overhead_s * total_threads /
-                                  (request.target_overhead * sample_s));
+  const auto n0_for = [&](const Path& path) {
+    return std::max(total_threads, path.overhead_s * total_threads /
+                                       (request.target_overhead * sample_s));
+  };
+
+  const std::uint64_t dense_bytes =
+      static_cast<std::uint64_t>(request.frame_words) * sizeof(std::uint64_t);
+  Path path = choose_path(dense_bytes);
+  double n0_min = n0_for(path);
+  std::uint64_t wire_bytes = dense_bytes;
+  engine::FrameRep frame_rep = request.base.frame_rep;
+
+  // Frame representation: predict the sparse delta image of one epoch's
+  // per-rank contribution (epoch samples x touched words, capped at the
+  // dense frame) and re-decide at that payload when it undercuts dense.
+  // Smaller payloads shrink the beta term, which shrinks the epoch, which
+  // shrinks the payload again - iterate the monotone fixed point. Auto is
+  // emitted rather than forced-sparse: per-payload densification means the
+  // decision cannot lose when the estimate is off.
+  if (request.touched_words_per_sample > 0.0) {
+    const double per_rank =
+        1.0 / static_cast<double>(std::max(1, profile.shape.num_ranks));
+    const auto sparse_bytes_at = [&](double n0) {
+      const double pairs =
+          std::min(static_cast<double>(request.frame_words),
+                   n0 * per_rank * request.touched_words_per_sample);
+      const std::size_t words =
+          std::min(epoch::dense_image_words(request.frame_words),
+                   epoch::sparse_image_words(
+                       static_cast<std::size_t>(std::ceil(pairs))));
+      return static_cast<std::uint64_t>(words) * sizeof(std::uint64_t);
+    };
+    std::uint64_t candidate = sparse_bytes_at(n0_min);
+    if (candidate < dense_bytes) {
+      // Chase the fixed point payload -> strategy/overhead -> epoch ->
+      // payload until the predicted image size stabilizes (capped; the
+      // map is monotone, so it settles in a few rounds).
+      for (int iteration = 0; iteration < 8; ++iteration) {
+        const std::uint64_t next =
+            sparse_bytes_at(n0_for(choose_path(candidate)));
+        if (next == candidate) break;
+        candidate = next;
+      }
+      if (candidate < dense_bytes) {
+        // Final pricing at the accepted payload, so the emitted strategy,
+        // epoch sizing, and telemetry all refer to the same wire bytes.
+        frame_rep = engine::FrameRep::kAuto;
+        wire_bytes = candidate;
+        path = choose_path(wire_bytes);
+        n0_min = n0_for(path);
+      } else {
+        frame_rep = engine::FrameRep::kDense;
+      }
+    } else {
+      frame_rep = engine::FrameRep::kDense;
+    }
+  }
+
   engine::EngineOptions options = request.base;
   options.threads_per_rank = profile.shape.threads_per_rank;
-  options.aggregation = pattern_aggregation(decision.pattern);
-  options.hierarchical = hierarchical;
+  options.aggregation = pattern_aggregation(path.pattern);
+  options.hierarchical = path.hierarchical;
+  options.frame_rep = frame_rep;
   const double streams =
       options.deterministic && options.virtual_streams != 0
           ? static_cast<double>(options.virtual_streams)
@@ -241,9 +304,14 @@ TuneDecision tune_decision(const TuningProfile& profile,
                                  ? n0_cap
                                  : std::min(options.max_epoch_length, n0_cap);
 
+  TuneDecision decision;
+  decision.pattern = path.pattern;
+  decision.frame_rep = frame_rep;
+  decision.predicted_overhead_s = path.overhead_s;
+  decision.predicted_wire_bytes = wire_bytes;
   decision.options = options;
   decision.predicted_epoch_s =
-      n0_min * sample_s / total_threads + decision.predicted_overhead_s;
+      n0_min * sample_s / total_threads + path.overhead_s;
   return decision;
 }
 

@@ -8,13 +8,21 @@
 // on that cluster.
 //
 // tune_decision() turns a profile plus a workload's frame size and
-// per-sample cost into the three knobs the paper hand-ablates:
+// per-sample cost into the knobs the paper hand-ablates, plus one it
+// could not: the frame representation.
 //   * aggregation strategy (§IV-F): the pattern with the cheapest predicted
-//     exposed cost at the actual frame size;
+//     exposed cost at the actual wire payload;
 //   * hierarchical pre-reduction (§IV-E): on iff the measured window path
 //     beats the best flat reduction (and nodes hold more than one rank);
 //   * epoch length (§IV-D): the smallest epoch whose predicted aggregation
-//     overhead stays below a target fraction of the epoch's sampling time.
+//     overhead stays below a target fraction of the epoch's sampling time;
+//   * frame representation: with a per-sample touch estimate, the tuner
+//     predicts the sparse delta image of an epoch and, when it undercuts
+//     the dense frame, re-decides strategy and epoch length at the sparse
+//     payload (the per-byte beta makes both meaningful at any size) and
+//     emits frame_rep = auto. Shorter epochs shrink the payload further,
+//     so the sizing iterates to a fixed point - this is what lets short
+//     epochs, huge V, and fine-grained stop checks coexist.
 #pragma once
 
 #include <cstdint>
@@ -68,6 +76,11 @@ struct TuneRequest {
   /// Measured seconds per sample of this workload; 0 falls back to the
   /// profile's work-unit calibration.
   double sample_seconds = 0.0;
+  /// Average dense frame words one sample writes (e.g. internal path
+  /// vertices + tau for betweenness, measured on calibration). Feeds the
+  /// frame_rep decision: predicted sparse payload = epoch samples x this,
+  /// capped at the dense frame. 0 = unknown; frame_rep keeps base's value.
+  double touched_words_per_sample = 0.0;
   /// Epoch sizing target: predicted aggregation overhead per epoch stays
   /// below this fraction of the epoch's sampling time.
   double target_overhead = 0.1;
@@ -87,8 +100,12 @@ struct TuneDecision {
   /// The pattern the decision is based on (kWindowPreReduce when the
   /// hierarchical path won).
   Pattern pattern = Pattern::kIbarrierReduce;
+  /// The representation the decision priced (mirrors options.frame_rep).
+  engine::FrameRep frame_rep = engine::FrameRep::kDense;
   double predicted_overhead_s = 0.0;  // exposed comm seconds per epoch
   double predicted_epoch_s = 0.0;     // sampling + exposed comm per epoch
+  /// Predicted per-epoch aggregation payload at the chosen representation.
+  std::uint64_t predicted_wire_bytes = 0;
 };
 
 /// The full decision, with the predictions that justify it.

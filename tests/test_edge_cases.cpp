@@ -7,6 +7,7 @@
 #include "bc/kadabra.hpp"
 #include "bc/rk.hpp"
 #include "epoch/epoch_manager.hpp"
+#include "epoch/state_frame.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "graph/bidirectional_bfs.hpp"
 #include "graph/builder.hpp"

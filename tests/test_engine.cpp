@@ -6,6 +6,8 @@
 // function of (seed, virtual streams, epoch schedule).
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "adaptive/mean_distance.hpp"
 #include "bc/kadabra.hpp"
 #include "engine/engine.hpp"
@@ -133,6 +135,68 @@ TEST(EngineEquivalence, AggregationStrategiesAreBitwiseIdentical) {
   ASSERT_GT(barrier.samples, 0u);
   expect_bitwise_equal(barrier, ireduce, "ibarrier+reduce vs ireduce");
   expect_bitwise_equal(barrier, blocking, "ibarrier+reduce vs blocking");
+}
+
+// The frame-representation contract: in deterministic mode, dense, sparse,
+// and auto wire representations are bitwise identical across every §IV-F
+// aggregation strategy, with and without the §IV-E hierarchy - the sparse
+// delta images carry exact uint64 counts and decode by commutative sums,
+// so nothing about the result may depend on the encoding.
+TEST(EngineEquivalence, FrameRepresentationSweepIsBitwiseIdentical) {
+  const graph::Graph graph = equivalence_graph();
+  auto run = [&](engine::FrameRep rep, engine::Aggregation aggregation,
+                 bool hierarchical) {
+    bc::KadabraOptions options = deterministic_options(1);
+    options.engine.frame_rep = rep;
+    options.engine.aggregation = aggregation;
+    options.engine.hierarchical = hierarchical;
+    return bc::kadabra_mpi(graph, options, /*num_ranks=*/4,
+                           /*ranks_per_node=*/hierarchical ? 2 : 1,
+                           mpisim::NetworkModel::disabled());
+  };
+  const bc::BcResult baseline = run(engine::FrameRep::kDense,
+                                    engine::Aggregation::kIbarrierReduce,
+                                    /*hierarchical=*/false);
+  ASSERT_GT(baseline.samples, 0u);
+  for (const engine::FrameRep rep :
+       {engine::FrameRep::kDense, engine::FrameRep::kSparse,
+        engine::FrameRep::kAuto}) {
+    for (const engine::Aggregation aggregation :
+         {engine::Aggregation::kIbarrierReduce, engine::Aggregation::kIreduce,
+          engine::Aggregation::kBlocking}) {
+      for (const bool hierarchical : {false, true}) {
+        const bc::BcResult result = run(rep, aggregation, hierarchical);
+        const std::string label =
+            std::string(epoch::frame_rep_name(rep)) + " / " +
+            engine::aggregation_name(aggregation) +
+            (hierarchical ? " / hierarchical" : " / flat");
+        expect_bitwise_equal(baseline, result, label.c_str());
+      }
+    }
+  }
+}
+
+// Sparse runs move strictly fewer aggregation bytes than dense ones on a
+// sparsely-hit instance (the motivating claim, checked end to end).
+TEST(EngineEquivalence, SparseRepresentationShrinksAggregationBytes) {
+  const graph::Graph graph = equivalence_graph();
+  auto run = [&](engine::FrameRep rep) {
+    bc::KadabraOptions options = deterministic_options(1);
+    options.engine.frame_rep = rep;
+    return bc::kadabra_mpi(graph, options, /*num_ranks=*/4,
+                           /*ranks_per_node=*/1,
+                           mpisim::NetworkModel::disabled());
+  };
+  const bc::BcResult dense = run(engine::FrameRep::kDense);
+  const bc::BcResult sparse = run(engine::FrameRep::kSparse);
+  EXPECT_GT(dense.comm_volume.reduce_bytes, 0u);
+  EXPECT_EQ(dense.comm_volume.reduce_merge_bytes, 0u);
+  // The sparse run's frames travel exclusively as merge reductions; its
+  // only elementwise reduce is the one-word samples_attempted bookkeeping.
+  EXPECT_GT(sparse.comm_volume.reduce_merge_bytes, 0u);
+  EXPECT_LE(sparse.comm_volume.reduce_bytes, 3 * sizeof(std::uint64_t));
+  EXPECT_LT(sparse.comm_volume.aggregation_bytes(),
+            dense.comm_volume.aggregation_bytes());
 }
 
 TEST(EngineEquivalence, HierarchicalReductionMatchesFlat) {

@@ -9,6 +9,7 @@
 #include "bc/kadabra_context.hpp"
 #include "bc/kadabra_math.hpp"
 #include "engine/streams.hpp"
+#include "epoch/state_frame.hpp"
 
 namespace distbc::bc {
 namespace {

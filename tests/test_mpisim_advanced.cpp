@@ -223,6 +223,121 @@ TEST(P2p, PingPongAcrossNodes) {
   });
 }
 
+// --- Variable-length collectives (sparse frame images) ----------------------
+
+TEST(VariableLength, GathervDeliversPerRankPayloads) {
+  Runtime runtime(quiet(4));
+  runtime.run([&](Comm& comm) {
+    // Rank r contributes r+1 words holding its rank id.
+    const std::vector<std::uint64_t> mine(
+        static_cast<std::size_t>(comm.rank()) + 1,
+        static_cast<std::uint64_t>(comm.rank()));
+    std::vector<std::vector<std::uint64_t>> gathered;
+    comm.gatherv(std::span<const std::uint64_t>(mine), gathered, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(gathered.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        ASSERT_EQ(gathered[r].size(), static_cast<std::size_t>(r) + 1);
+        for (const std::uint64_t word : gathered[r])
+          EXPECT_EQ(word, static_cast<std::uint64_t>(r));
+      }
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+  });
+  // Non-root contributions cross the wire once: (2+3+4) words.
+  EXPECT_EQ(runtime.last_world_stats().gatherv_bytes.load(), 9 * sizeof(std::uint64_t));
+  EXPECT_EQ(runtime.last_world_stats().gatherv_calls.load(), 4u);
+}
+
+TEST(VariableLength, IgathervCompletesViaRequest) {
+  Runtime runtime(quiet(3));
+  runtime.run([&](Comm& comm) {
+    const std::vector<std::uint64_t> mine{
+        static_cast<std::uint64_t>(comm.rank() * 10)};
+    std::vector<std::vector<std::uint64_t>> gathered;
+    Request request =
+        comm.igatherv(std::span<const std::uint64_t>(mine), gathered, 0);
+    while (!request.test()) {
+    }
+    if (comm.rank() == 0) {
+      ASSERT_EQ(gathered.size(), 3u);
+      for (int r = 0; r < 3; ++r) {
+        ASSERT_EQ(gathered[r].size(), 1u);
+        EXPECT_EQ(gathered[r][0], static_cast<std::uint64_t>(r * 10));
+      }
+    }
+  });
+}
+
+TEST(VariableLength, ReduceMergeVisitsContributionsInRankOrder) {
+  Runtime runtime(quiet(4));
+  runtime.run([&](Comm& comm) {
+    const std::vector<std::uint64_t> mine(
+        static_cast<std::size_t>(comm.rank()) + 1, 1);
+    std::vector<int> order;
+    std::uint64_t total = 0;
+    comm.reduce_merge(
+        std::span<const std::uint64_t>(mine),
+        [&](int src, std::span<const std::uint64_t> payload) {
+          order.push_back(src);
+          for (const std::uint64_t word : payload) total += word;
+        },
+        0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+      EXPECT_EQ(total, 1u + 2 + 3 + 4);
+    } else {
+      // Non-root callables are never invoked.
+      EXPECT_TRUE(order.empty());
+    }
+  });
+  EXPECT_EQ(runtime.last_world_stats().reduce_merge_bytes.load(),
+            9 * sizeof(std::uint64_t));
+  EXPECT_GT(runtime.last_world_stats().total_bytes(), 0u);
+}
+
+TEST(VariableLength, IreduceMergeMergesOnCompletingPoll) {
+  Runtime runtime(quiet(3));
+  runtime.run([&](Comm& comm) {
+    const std::uint64_t mine = static_cast<std::uint64_t>(comm.rank()) + 1;
+    std::uint64_t total = 0;
+    Request request = comm.ireduce_merge(
+        std::span<const std::uint64_t>(&mine, 1),
+        [&](int, std::span<const std::uint64_t> payload) {
+          total += payload[0];
+        },
+        0);
+    request.wait();
+    if (comm.rank() == 0) EXPECT_EQ(total, 6u);
+  });
+}
+
+TEST(VariableLength, RepeatedRoundsInterleaveWithFixedCollectives) {
+  Runtime runtime(quiet(4, 2));
+  runtime.run([&](Comm& comm) {
+    for (int round = 0; round < 12; ++round) {
+      const std::vector<std::uint64_t> mine(
+          static_cast<std::size_t>(round % 3) + 1,
+          static_cast<std::uint64_t>(comm.rank()));
+      std::uint64_t merged = 0;
+      comm.reduce_merge(
+          std::span<const std::uint64_t>(mine),
+          [&](int, std::span<const std::uint64_t> payload) {
+            for (const std::uint64_t word : payload) merged += word;
+          },
+          0);
+      std::uint8_t flag = comm.rank() == 0 ? 1 : 0;
+      comm.bcast(std::span{&flag, 1}, 0);
+      ASSERT_EQ(flag, 1);
+      if (comm.rank() == 0) {
+        const auto width = static_cast<std::uint64_t>(round % 3) + 1;
+        EXPECT_EQ(merged, width * (0 + 1 + 2 + 3));
+      }
+    }
+  });
+}
+
 TEST(Runtime, ManyRanksStress) {
   Runtime runtime(quiet(24));
   std::atomic<std::uint64_t> total{0};

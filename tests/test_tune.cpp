@@ -186,6 +186,62 @@ TEST(Tuner, EpochSizingScalesWithAggregationCost) {
   EXPECT_GT(decision.options.max_epoch_length, 0u);
 }
 
+TEST(Tuner, FrameRepDecisionFollowsPredictedWireBytes) {
+  const tune::TuningProfile profile = oversubscribed_profile();
+  // Huge frame, light touch: a short epoch's delta image is tiny, so the
+  // tuner must emit auto (sparse with per-payload densification) and
+  // predict a far smaller wire payload than the dense frame.
+  tune::TuneRequest sparse_request;
+  sparse_request.frame_words = 1u << 20;
+  sparse_request.sample_seconds = 50e-6;
+  sparse_request.touched_words_per_sample = 10.0;
+  const tune::TuneDecision sparse_decision =
+      tune::tune_decision(profile, sparse_request);
+  EXPECT_EQ(sparse_decision.frame_rep, engine::FrameRep::kAuto);
+  EXPECT_EQ(sparse_decision.options.frame_rep, engine::FrameRep::kAuto);
+  EXPECT_LT(sparse_decision.predicted_wire_bytes,
+            sparse_request.frame_words * sizeof(std::uint64_t));
+
+  // Dense-writing workload (every sample touches the whole frame): sparse
+  // images cannot undercut the flat frame; the tuner pins dense.
+  tune::TuneRequest dense_request = sparse_request;
+  dense_request.frame_words = 1000;
+  dense_request.touched_words_per_sample = 1000.0;
+  const tune::TuneDecision dense_decision =
+      tune::tune_decision(profile, dense_request);
+  EXPECT_EQ(dense_decision.frame_rep, engine::FrameRep::kDense);
+  EXPECT_EQ(dense_decision.predicted_wire_bytes,
+            dense_request.frame_words * sizeof(std::uint64_t));
+
+  // No touch estimate: the base representation is preserved untouched.
+  tune::TuneRequest unknown_request = sparse_request;
+  unknown_request.touched_words_per_sample = 0.0;
+  unknown_request.base.frame_rep = engine::FrameRep::kSparse;
+  EXPECT_EQ(tune::tuned_options(profile, unknown_request).frame_rep,
+            engine::FrameRep::kSparse);
+}
+
+TEST(Tuner, SparseWirePayloadShrinksTheSizedEpoch) {
+  // With a per-byte beta, pricing the aggregation at the sparse payload
+  // instead of the dense frame lowers the predicted overhead, which lets
+  // the §IV-D rule size shorter epochs - the short-epochs/huge-V synergy.
+  tune::TuningProfile profile = oversubscribed_profile();
+  tune::TuneRequest request;
+  request.frame_words = 1u << 20;
+  request.sample_seconds = 50e-6;
+  request.base.frame_rep = engine::FrameRep::kDense;  // env-override-proof
+
+  tune::TuneRequest sparse_request = request;
+  sparse_request.touched_words_per_sample = 10.0;
+  const tune::TuneDecision dense = tune::tune_decision(profile, request);
+  const tune::TuneDecision sparse =
+      tune::tune_decision(profile, sparse_request);
+  EXPECT_EQ(dense.frame_rep, engine::FrameRep::kDense);
+  EXPECT_EQ(sparse.frame_rep, engine::FrameRep::kAuto);
+  EXPECT_LT(sparse.predicted_overhead_s, dense.predicted_overhead_s);
+  EXPECT_LE(sparse.options.epoch_base, dense.options.epoch_base);
+}
+
 // --- Profile serialization ---------------------------------------------------
 
 TEST(TuningProfile, RoundTripsThroughTextAndKeepsDecisions) {
