@@ -1,0 +1,186 @@
+// Ablation for tree-merge sparse reductions: under a flat merge reduction
+// every per-rank delta image lands at the root whole, so root ingest grows
+// as O(P x nnz); the tree merge combines images at interior ranks (with
+// mid-tree densification), so the root ingests only its direct children's
+// merged images. On a hub-heavy graph (Barabasi-Albert) per-rank deltas
+// overlap strongly and the merged unions shrink well below the sum of
+// their parts. Acceptance:
+//   * root-ingest bytes under tree merge strictly below flat sparse merge
+//     for P >= 16 (any radix),
+//   * deterministic-mode scores bitwise identical across
+//     flat/tree x dense/sparse/auto at every P,
+//   * tree root ingest bounded by radix x the densify-capped image - the
+//     O(radix) cap that replaces flat's O(P x nnz) growth. (Total moved
+//     bytes legitimately rise with tree depth - pairs cross one hop per
+//     level - which is the latency-for-ingest tradeoff the per-hop
+//     alpha-beta charge prices.)
+// The --json object (BENCH_tree_merge.json in CI) carries root-ingest and
+// per-collective bytes for every configuration and feeds the CI
+// bench-regression gate.
+#include <algorithm>
+#include <string>
+
+#include "bench_common.hpp"
+#include "gen/barabasi_albert.hpp"
+#include "graph/components.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distbc;
+  bench::BenchConfig config(argc, argv);
+  config.options.describe("vertices", "graph size (hub overlap is the point)");
+  config.options.describe("eps", "betweenness epsilon");
+  config.options.describe("n0", "per-stream epoch share (n0 = share x P)");
+  config.finish("Tree-merge sparse reductions: root ingest vs P.");
+  bench::print_preamble(
+      "Ablation - tree merge (flat | radix 2 | radix 4)",
+      "§IV-E hierarchy generalized to the reduction tree; root ingest "
+      "O(log P)",
+      config);
+  bench::JsonReport json("ablation_tree_merge", config);
+
+  const auto vertices = static_cast<std::uint32_t>(
+      config.options.get_u64("vertices", 2000));
+  const double eps = config.options.get_double("eps", 0.1);
+  const auto n0_share = config.options.get_u64("n0", 16);
+  const graph::Graph graph = graph::largest_component(
+      gen::barabasi_albert(vertices, 3, config.seed));
+  std::printf("instance: Barabasi-Albert |V|=%u |E|=%llu, eps=%.3g\n\n",
+              graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()), eps);
+  json.param("vertices", static_cast<double>(graph.num_vertices()));
+  json.param("n0_share", static_cast<double>(n0_share));
+
+  const std::vector<int> rank_counts =
+      config.options.has("ranks")
+          ? std::vector<int>{static_cast<int>(
+                config.options.get_u64("ranks", 16))}
+          : std::vector<int>{4, 16};
+  const int radixes[] = {0, 2, 4};  // 0 = flat
+  const bc::FrameRep reps[] = {bc::FrameRep::kDense, bc::FrameRep::kSparse,
+                               bc::FrameRep::kAuto};
+
+  const auto run = [&](int ranks, int radix, bc::FrameRep rep) {
+    bc::KadabraOptions options;
+    options.params.epsilon = eps;
+    options.params.seed = config.seed;
+    options.params.exact_diameter = false;
+    options.engine.threads_per_rank = 1;
+    // Deterministic mode pins the sample set: every configuration
+    // aggregates the same frames, so byte counts are comparable and
+    // scores must be bitwise identical.
+    options.engine.deterministic = true;
+    options.engine.virtual_streams = static_cast<std::uint64_t>(ranks);
+    options.engine.epoch_base = n0_share * static_cast<std::uint64_t>(ranks);
+    options.engine.epoch_exponent = 0.0;
+    options.engine.frame_rep = rep;
+    options.engine.tree_radix = radix;
+    return bc::kadabra_mpi(graph, options, ranks, /*ranks_per_node=*/1,
+                           mpisim::NetworkModel::disabled());
+  };
+
+  TablePrinter table({"P", "mode", "rep", "epochs", "agg bytes",
+                      "merge bytes", "root ingest"});
+  bool bitwise_identical = true;
+  bool tree_cuts_ingest = true;
+  bool ingest_bounded = true;
+  // A merged image never exceeds its densify cap (threshold 1.0: the dense
+  // image), so the root ingests at most radix such images per epoch.
+  const std::uint64_t dense_image_bytes =
+      (static_cast<std::uint64_t>(graph.num_vertices()) + 2) *
+      sizeof(std::uint64_t);
+  std::uint64_t flat_sparse_ingest_pmax = 0;
+  std::uint64_t tree2_sparse_ingest_pmax = 0;
+  const int p_max = *std::max_element(rank_counts.begin(), rank_counts.end());
+
+  for (const int ranks : rank_counts) {
+    // Per-P baseline: flat x dense. Virtual streams scale with P, so
+    // identity is checked within one cluster shape.
+    const bc::BcResult baseline = run(ranks, 0, bc::FrameRep::kDense);
+    std::uint64_t flat_sparse_ingest = 0;
+    for (const int radix : radixes) {
+      for (const bc::FrameRep rep : reps) {
+        const bc::BcResult result = run(ranks, radix, rep);
+        const mpisim::CommVolume& volume = result.comm_volume;
+        const bool sparse_wire = rep != bc::FrameRep::kDense;
+        if (radix == 0 && rep == bc::FrameRep::kSparse) {
+          flat_sparse_ingest = volume.root_ingest_bytes;
+          if (ranks == p_max) flat_sparse_ingest_pmax = flat_sparse_ingest;
+        }
+        if (radix != 0 && sparse_wire) {
+          // The acceptance check: interior merging must strictly shrink
+          // what the root ingests on large P (every image shares at least
+          // the tau pair, and hub overlap shrinks unions further), and
+          // ingest stays under the O(radix) densify cap per epoch.
+          if (ranks >= 16 && rep == bc::FrameRep::kSparse &&
+              volume.root_ingest_bytes >= flat_sparse_ingest)
+            tree_cuts_ingest = false;
+          if (volume.root_ingest_bytes > static_cast<std::uint64_t>(radix) *
+                                             dense_image_bytes *
+                                             result.epochs)
+            ingest_bounded = false;
+          if (ranks == p_max && radix == 2 && rep == bc::FrameRep::kSparse)
+            tree2_sparse_ingest_pmax = volume.root_ingest_bytes;
+        }
+
+        if (result.samples != baseline.samples ||
+            result.scores.size() != baseline.scores.size())
+          bitwise_identical = false;
+        for (std::size_t v = 0; v < result.scores.size(); ++v)
+          if (result.scores[v] != baseline.scores[v]) {
+            bitwise_identical = false;
+            break;
+          }
+
+        const std::string mode =
+            radix == 0 ? "flat" : "tree r=" + std::to_string(radix);
+        table.add_row(
+            {TablePrinter::fmt_int(ranks), mode,
+             epoch::frame_rep_name(rep),
+             TablePrinter::fmt_int(static_cast<long long>(result.epochs)),
+             TablePrinter::fmt_int(
+                 static_cast<long long>(volume.aggregation_bytes())),
+             TablePrinter::fmt_int(
+                 static_cast<long long>(volume.reduce_merge_bytes)),
+             TablePrinter::fmt_int(
+                 static_cast<long long>(volume.root_ingest_bytes))});
+        json.begin_row();
+        json.field("ranks", static_cast<double>(ranks));
+        json.field("tree_radix", static_cast<double>(radix));
+        json.field("rep", epoch::frame_rep_name(rep));
+        json.field("epochs", static_cast<double>(result.epochs));
+        json.field("samples", static_cast<double>(result.samples));
+        json.field("sparse_wire", sparse_wire ? 1.0 : 0.0);
+        bench::add_comm_volume_fields(json, volume);
+      }
+    }
+  }
+  table.print();
+
+  const double ingest_ratio =
+      tree2_sparse_ingest_pmax > 0
+          ? static_cast<double>(flat_sparse_ingest_pmax) /
+                static_cast<double>(tree2_sparse_ingest_pmax)
+          : 0.0;
+  std::printf("\nroot ingest at P=%d (sparse): flat %llu vs tree r=2 %llu "
+              "= %.2fx\n",
+              p_max,
+              static_cast<unsigned long long>(flat_sparse_ingest_pmax),
+              static_cast<unsigned long long>(tree2_sparse_ingest_pmax),
+              ingest_ratio);
+  std::printf("check: tree merge cuts root ingest for P >= 16: %s\n",
+              tree_cuts_ingest ? "PASS" : "FAIL");
+  std::printf("check: tree root ingest bounded by radix x densify cap: %s\n",
+              ingest_bounded ? "PASS" : "FAIL");
+  std::printf("check: bitwise-identical deterministic results: %s\n",
+              bitwise_identical ? "PASS" : "FAIL");
+  json.summary("flat_sparse_root_ingest",
+               static_cast<double>(flat_sparse_ingest_pmax));
+  json.summary("tree2_sparse_root_ingest",
+               static_cast<double>(tree2_sparse_ingest_pmax));
+  json.summary("flat_over_tree_ingest", ingest_ratio);
+  json.summary("tree_cuts_root_ingest", tree_cuts_ingest ? 1.0 : 0.0);
+  json.summary("tree_ingest_bounded", ingest_bounded ? 1.0 : 0.0);
+  json.summary("bitwise_identical", bitwise_identical ? 1.0 : 0.0);
+  json.write();
+  return tree_cuts_ingest && ingest_bounded && bitwise_identical ? 0 : 1;
+}

@@ -246,6 +246,8 @@ inline void add_comm_volume_fields(JsonReport& json,
   json.field("gatherv_bytes", static_cast<double>(volume.gatherv_bytes));
   json.field("bcast_bytes", static_cast<double>(volume.bcast_bytes));
   json.field("p2p_bytes", static_cast<double>(volume.p2p_bytes));
+  json.field("root_ingest_bytes",
+             static_cast<double>(volume.root_ingest_bytes));
   json.field("aggregation_bytes",
              static_cast<double>(volume.aggregation_bytes()));
   json.field("total_bytes", static_cast<double>(volume.total()));

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate: compare a BENCH_*.json snapshot to a baseline.
+
+Usage: compare_bench.py BASELINE CURRENT [--tolerance 0.10]
+
+Both files are single JSON objects as emitted by bench_common's JsonReport
+(--json out=...). The gate compares the numeric fields of the "summary"
+object:
+
+  * boolean check fields (value 0/1 in the baseline, or names containing
+    "identical"/"never"/"wins"/"bounded"/"cuts") must not regress from 1
+    to 0;
+  * byte/count fields (*_bytes, epochs, samples, ratios) must stay within
+    the relative tolerance of the baseline - deterministic-mode benches
+    make these machine-independent;
+  * wall-time fields (names containing "seconds", "wall" or "time") are
+    skipped: they are not comparable across runners. Modeled costs are
+    analytic and named *modeled*, so they ARE compared.
+
+Exits nonzero with a per-field report on any regression, so the CI job
+fails instead of silently uploading a worse snapshot.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+BOOL_MARKERS = ("identical", "never", "wins", "bounded", "cuts")
+SKIP_MARKERS = ("seconds", "wall", "time")
+
+
+def classify(name: str, baseline_value: float) -> str:
+    lowered = name.lower()
+    if any(marker in lowered for marker in SKIP_MARKERS) and \
+            "modeled" not in lowered:
+        return "skip"
+    if any(marker in lowered for marker in BOOL_MARKERS) or (
+            baseline_value in (0.0, 1.0) and
+            lowered.endswith(("_ok", "_pass"))):
+        return "bool"
+    return "value"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative tolerance for value fields")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+
+    base_summary = baseline.get("summary", {})
+    cur_summary = current.get("summary", {})
+    if not base_summary:
+        print(f"FAIL: baseline {args.baseline} has no summary object")
+        return 2
+
+    failures = []
+    compared = 0
+    for name, base_value in base_summary.items():
+        if not isinstance(base_value, (int, float)) or \
+                isinstance(base_value, bool):
+            continue
+        kind = classify(name, float(base_value))
+        if kind == "skip":
+            print(f"  skip  {name} (wall time)")
+            continue
+        if name not in cur_summary:
+            failures.append(f"{name}: missing from current snapshot")
+            continue
+        cur_value = cur_summary[name]
+        if not isinstance(cur_value, (int, float)):
+            failures.append(f"{name}: non-numeric in current snapshot")
+            continue
+        compared += 1
+        base_f, cur_f = float(base_value), float(cur_value)
+        if kind == "bool":
+            ok = not (base_f >= 1.0 and cur_f < 1.0)
+            verdict = "ok" if ok else "REGRESSED (check went 1 -> 0)"
+        else:
+            if not (math.isfinite(base_f) and math.isfinite(cur_f)):
+                ok = False
+                verdict = "non-finite"
+            elif base_f == 0.0:
+                ok = abs(cur_f) <= args.tolerance
+                verdict = "ok" if ok else "moved off zero"
+            else:
+                rel = abs(cur_f - base_f) / abs(base_f)
+                ok = rel <= args.tolerance
+                verdict = ("ok" if ok else
+                           f"off by {rel:.1%} (> {args.tolerance:.0%})")
+        print(f"  {'ok ' if ok else 'FAIL'}  {name}: "
+              f"baseline {base_f:g} vs current {cur_f:g} - {verdict}")
+        if not ok:
+            failures.append(f"{name}: {verdict}")
+
+    if compared == 0:
+        print("FAIL: no comparable summary fields")
+        return 2
+    if failures:
+        print(f"\nbench regression vs {args.baseline}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nbench OK: {compared} fields within tolerance of "
+          f"{args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

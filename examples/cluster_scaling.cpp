@@ -5,7 +5,7 @@
 // communication-volume breakdown (mpisim::CommVolume).
 //
 //   ./cluster_scaling [scale=13] [eps=0.005] [latency_us=2]
-//                     [frame_rep=dense|sparse|auto]
+//                     [frame_rep=dense|sparse|auto] [tree_radix=0|2|...]
 #include <cstdio>
 #include <mutex>
 
@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
   options.describe("eps", "betweenness epsilon");
   options.describe("frame_rep",
                    "wire representation of epoch frames (dense|sparse|auto)");
+  options.describe("tree_radix",
+                   "tree-merge fan-in for sparse images (0 = flat)");
   options.finish("Rank-scaling sweep on a simulated cluster.");
 
   gen::HyperbolicParams gen_params;
@@ -40,10 +42,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   const epoch::FrameRep frame_rep = *parsed_rep;
-  std::printf("web proxy: %u vertices, %llu edges, frame_rep=%s\n\n",
+  const auto tree_radix =
+      static_cast<int>(options.get_u64("tree_radix", 0));
+  std::printf("web proxy: %u vertices, %llu edges, frame_rep=%s, "
+              "tree_radix=%d\n\n",
               graph.num_vertices(),
               static_cast<unsigned long long>(graph.num_edges()),
-              epoch::frame_rep_name(frame_rep));
+              epoch::frame_rep_name(frame_rep), tree_radix);
 
   mpisim::NetworkModel network;
   network.remote_latency_s = options.get_double("latency_us", 2.0) * 1e-6;
@@ -63,6 +68,7 @@ int main(int argc, char** argv) {
     bc_options.params.epsilon = options.get_double("eps", 0.005);
     bc_options.params.seed = 5;
     bc_options.engine.frame_rep = frame_rep;
+    bc_options.engine.tree_radix = tree_radix;
 
     // The explicit form of bc::kadabra_mpi(): our own rank main.
     bc::BcResult root_result;

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "bc/sampler.hpp"
+#include "bc/topk.hpp"
 #include "epoch/sparse_frame.hpp"
 #include "epoch/state_frame.hpp"
 #include "support/timer.hpp"
@@ -99,6 +100,10 @@ BcResult kadabra_run_frames(const graph::Graph& graph,
     request.base = engine_options;
     engine_options = tune::tuned_options(*options.auto_tune, request);
   }
+  // Distributed top-k extraction needs every rank's own partial aggregate;
+  // single-rank runs select straight off the global aggregate instead.
+  if (options.top_k > 0 && world != nullptr && num_ranks > 1)
+    engine_options.local_aggregates = true;
   WallTimer adaptive_timer;
   const std::uint64_t omega_clamp = std::max(
       options.min_epoch_length,
@@ -122,6 +127,39 @@ BcResult kadabra_run_frames(const graph::Graph& graph,
   result.engine_used = engine_options;
   result.epochs = driver.epochs;
   result.samples_attempted = driver.samples_attempted;
+
+  // Top-k extraction: exact selection at the root - through the TPUT-style
+  // gatherv protocol over the per-rank partials when multi-rank - then one
+  // small broadcast, so every rank serves the same answer without a full
+  // |V| frame ever moving.
+  if (options.top_k > 0) {
+    const auto k = std::min<std::size_t>(options.top_k, n);
+    const std::vector<TopKEntry> top =
+        world == nullptr || num_ranks <= 1
+            ? local_top_k(driver.aggregate, k)
+            : distributed_top_k(*world, driver.local_aggregate, k);
+    std::uint64_t header[2] = {top.size(),
+                               is_root ? driver.aggregate.tau() : 0};
+    std::vector<std::uint64_t> packed;
+    if (is_root) {
+      for (const TopKEntry& entry : top) {
+        packed.push_back(entry.vertex);
+        packed.push_back(entry.count);
+      }
+    }
+    if (world != nullptr && num_ranks > 1) {
+      world->bcast(std::span<std::uint64_t>(header), 0);
+      packed.resize(2 * header[0]);
+      if (!packed.empty()) world->bcast(std::span<std::uint64_t>(packed), 0);
+    }
+    const auto tau = static_cast<double>(header[1]);
+    result.top_k_pairs.clear();
+    for (std::size_t i = 0; i + 1 < packed.size(); i += 2) {
+      result.top_k_pairs.emplace_back(
+          static_cast<graph::Vertex>(packed[i]),
+          tau == 0.0 ? 0.0 : static_cast<double>(packed[i + 1]) / tau);
+    }
+  }
   if (is_root) {
     const Frame& aggregate = driver.aggregate;
     scores_from_frame(aggregate, result.scores);

@@ -58,6 +58,13 @@ struct KadabraOptions {
   /// not sample far past termination before the first check.
   std::uint64_t omega_fraction = 2;
   std::uint64_t min_epoch_length = 1;
+  /// When > 0, the run additionally extracts the k highest betweenness
+  /// scores and delivers them to *every* rank (BcResult::top_k_pairs):
+  /// multi-rank runs keep per-rank local aggregates and run the TPUT-style
+  /// distributed selection over gatherv (bc/topk.hpp) followed by one
+  /// 2k-word broadcast - O(k + candidates) wire bytes instead of a full
+  /// |V| score broadcast.
+  std::size_t top_k = 0;
   /// Autotune path: when set, the §IV-F aggregation strategy, §IV-E
   /// hierarchical reduction, threads per rank, and the epoch-length knobs
   /// are decided by the profile (measured on this cluster shape by

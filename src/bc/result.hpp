@@ -39,6 +39,11 @@ struct BcResult {
   /// to the caller's request unless the autotune path rewrote it.
   engine::EngineOptions engine_used;
 
+  /// The k highest (vertex, score) pairs, descending by score (ties by
+  /// vertex id) - filled on *every* rank when KadabraOptions::top_k > 0,
+  /// delivered without moving any full |V| frame (bc/topk.hpp).
+  std::vector<std::pair<graph::Vertex, double>> top_k_pairs;
+
   /// Indices of the k highest-scoring vertices, descending by score.
   [[nodiscard]] std::vector<graph::Vertex> top_k(std::size_t k) const;
 

@@ -1,6 +1,18 @@
 #include "engine/engine.hpp"
 
+#include <cstdlib>
+
 namespace distbc::engine {
+
+int default_tree_radix() {
+  static const int radix = [] {
+    const char* env = std::getenv("DISTBC_TREE_RADIX");
+    if (env == nullptr) return 0;
+    const int parsed = std::atoi(env);
+    return parsed >= 2 ? parsed : 0;
+  }();
+  return radix;
+}
 
 const char* aggregation_name(Aggregation aggregation) {
   switch (aggregation) {

@@ -65,6 +65,12 @@ enum class Aggregation : std::uint8_t {
 
 [[nodiscard]] const char* aggregation_name(Aggregation aggregation);
 
+/// Engine-wide default tree-merge radix: the DISTBC_TREE_RADIX environment
+/// variable (an integer >= 2; anything else means flat, read once) or 0.
+/// Lets a CI leg or an operator force tree aggregation without touching
+/// call sites, like DISTBC_FRAME_REP does for the representation.
+[[nodiscard]] int default_tree_radix();
+
 /// Wire representation of epoch state frames (epoch/frame_codec.hpp):
 /// dense flat vectors, sparse index/count deltas, or per-payload choice.
 using FrameRep = epoch::FrameRep;
@@ -102,6 +108,21 @@ struct EngineOptions {
   /// drivers choose the matching frame type (StateFrame vs SparseFrame).
   /// Defaults to the DISTBC_FRAME_REP environment override, else dense.
   FrameRep frame_rep = epoch::default_frame_rep();
+  /// Tree-merge aggregation of wire images (mpisim reduce_merge_tree):
+  /// 0 = flat (the root ingests every per-rank image); >= 2 = images
+  /// combine at interior ranks of a radix-k tree with mid-tree
+  /// densification, charging alpha-beta per hop, so root ingest shrinks
+  /// from O(P x nnz) to the top-of-tree merged images and latency grows
+  /// with depth instead of P. Only affects the wire-image path; the final
+  /// aggregate is bitwise identical in deterministic mode. Defaults to
+  /// the DISTBC_TREE_RADIX environment override, else 0.
+  int tree_radix = default_tree_radix();
+  /// Keep per-rank local aggregates: every rank (the root included) also
+  /// accumulates its own epoch snapshots into
+  /// EngineResult::local_aggregate, feeding collectives that operate on
+  /// per-rank partials (e.g. the distributed top-k extraction). Off by
+  /// default - it costs one frame merge per epoch.
+  bool local_aggregates = false;
 };
 
 /// Number of RNG streams a run with these options draws from; sampler
@@ -118,6 +139,10 @@ struct EngineOptions {
 template <typename Frame>
 struct EngineResult {
   Frame aggregate;  // consistent final state (valid at world rank 0)
+  /// This rank's own aggregated samples - valid on every rank when
+  /// EngineOptions::local_aggregates is set (empty otherwise). The
+  /// elementwise sum of all ranks' local aggregates equals `aggregate`.
+  Frame local_aggregate;
   std::uint64_t epochs = 0;
   std::uint64_t samples_attempted = 0;  // all ranks (valid at rank 0)
   /// Payload moved over the communicators this engine used, including the
@@ -218,12 +243,26 @@ Frame calibrate(mpisim::Comm* world, const Frame& prototype,
     if (uses_wire_images<Frame>(options.frame_rep)) {
       std::vector<std::uint64_t> image;
       local.encode(image, options.frame_rep);
-      world->reduce_merge(
-          std::span<const std::uint64_t>(image),
-          [&](int, std::span<const std::uint64_t> contribution) {
-            aggregate.decode_add(contribution);
-          },
-          0);
+      const auto merge_image = [&](int,
+                                   std::span<const std::uint64_t> contribution) {
+        aggregate.decode_add(contribution);
+      };
+      if (options.tree_radix >= 2) {
+        // By-value captures: the stored combiner runs at the *last*
+        // arrival, possibly after fast non-root ranks left this scope.
+        const std::size_t dense_words = local.dense_words();
+        const double densify = densify_threshold_of(local);
+        world->reduce_merge_tree(
+            std::span<const std::uint64_t>(image),
+            [dense_words, densify](std::vector<std::uint64_t>& acc,
+                                   std::span<const std::uint64_t> in) {
+              epoch::merge_images(acc, in, dense_words, densify);
+            },
+            merge_image, 0, options.tree_radix);
+      } else {
+        world->reduce_merge(std::span<const std::uint64_t>(image),
+                            merge_image, 0);
+      }
       return world->rank() == 0 ? aggregate : local;
     }
   }
@@ -247,8 +286,10 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
   DISTBC_ASSERT_MSG(options.deterministic || options.virtual_streams == 0,
                     "virtual streams require deterministic mode");
   WallTimer total_timer;
-  EngineResult<Frame> result{.aggregate = prototype};
+  EngineResult<Frame> result{.aggregate = prototype,
+                             .local_aggregate = prototype};
   result.aggregate.clear();
+  result.local_aggregate.clear();
   // Whether epoch snapshots cross the wire as variable-length images
   // (sparse delta frames / auto densification) instead of the classic
   // fixed-size elementwise reduction.
@@ -399,6 +440,9 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
       });
       snapshot.clear();
       manager.collect(epoch, snapshot);
+      // Per-rank partials, captured before the hierarchy can replace a
+      // leader's snapshot with its node aggregate.
+      if (options.local_aggregates) result.local_aggregate.merge(snapshot);
 
       if (!multi_rank) {
         // Null/1-rank communicator: the epoch aggregate is already global.
@@ -433,9 +477,38 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
               epoch_agg.decode_add(image);
             };
             const std::span<const std::uint64_t> send(wire_buffer);
-            run_aggregation(
-                global, [&] { global.reduce_merge(send, merge_image, 0); },
-                [&] { return global.ireduce_merge(send, merge_image, 0); });
+            if (options.tree_radix >= 2) {
+              // Tree merge: images combine at interior ranks (with the
+              // frame's own densify policy), so the root ingests only the
+              // top-of-tree merged images. The combiner captures by VALUE:
+              // the slot stores the first poster's closure and invokes it
+              // at the last arrival, by which time a fast non-root rank's
+              // non-blocking aggregation has completed and this epoch
+              // scope is gone (use-after-scope otherwise; the parity
+              // tests run this shape under ASan).
+              const std::size_t dense_words = snapshot.dense_words();
+              const double densify = densify_threshold_of(snapshot);
+              auto combine_image = [dense_words, densify](
+                                       std::vector<std::uint64_t>& acc,
+                                       std::span<const std::uint64_t> in) {
+                epoch::merge_images(acc, in, dense_words, densify);
+              };
+              run_aggregation(
+                  global,
+                  [&] {
+                    global.reduce_merge_tree(send, combine_image, merge_image,
+                                             0, options.tree_radix);
+                  },
+                  [&] {
+                    return global.ireduce_merge_tree(send, combine_image,
+                                                     merge_image, 0,
+                                                     options.tree_radix);
+                  });
+            } else {
+              run_aggregation(
+                  global, [&] { global.reduce_merge(send, merge_image, 0); },
+                  [&] { return global.ireduce_merge(send, merge_image, 0); });
+            }
           }
         } else if (in_global) {
           if constexpr (DenseReducible<Frame>) {

@@ -40,6 +40,21 @@ concept WireSerializable =
       frame.add_dense(image);
     };
 
+/// The densify threshold governing a frame's kAuto encoding, when the
+/// frame exposes one (epoch::SparseFrame); 1.0 - the plain dense-size
+/// crossover - otherwise. Mid-tree densification of tree-merge reductions
+/// uses the same rule, so merged images follow the frame's own policy.
+template <typename Frame>
+[[nodiscard]] double densify_threshold_of(const Frame& frame) {
+  if constexpr (requires {
+                  { frame.densify_threshold() } -> std::convertible_to<double>;
+                }) {
+    return frame.densify_threshold();
+  } else {
+    return 1.0;
+  }
+}
+
 /// Whether a run with `rep` moves wire images (variable-length path) for
 /// this frame type; frames without a mutable dense view always do.
 template <typename Frame>

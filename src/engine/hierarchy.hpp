@@ -112,13 +112,26 @@ class Hierarchy {
     local_.barrier();
     const bool leader = local_.rank() == 0;
     if (leader) {
-      // Lazy: only node leaders ever pay the O(V) read-back buffer.
-      if (scratch_.size() != window_->size())
-        scratch_.assign(window_->size(), 0);
-      window_->read(std::span<std::uint64_t>(scratch_));
-      window_->clear();
       frame.clear();
-      frame.add_dense(scratch_);
+      // Windowed touched-bitmap read-back: as long as every rank scattered
+      // sparse pairs, the leader sweeps only the union of touched slots -
+      // O(union nnz) per epoch instead of O(V). The pair list decodes as a
+      // synthesized sparse image, so the frame's own touched bookkeeping
+      // stays consistent.
+      image_.assign(2, 0);
+      if (window_->read_touched_pairs(image_)) {
+        image_[0] = epoch::kSparseTag;
+        image_[1] = (image_.size() - 2) / 2;
+        frame.decode_add(std::span<const std::uint64_t>(image_));
+        window_->clear_touched();
+      } else {
+        // A dense accumulate filled the window: pay the O(V) read-back.
+        if (scratch_.size() != window_->size())
+          scratch_.assign(window_->size(), 0);
+        window_->read(std::span<std::uint64_t>(scratch_));
+        window_->clear();
+        frame.add_dense(scratch_);
+      }
     }
     local_.barrier();
     return leader;

@@ -103,72 +103,200 @@ using detail::WaitCharge;
 using detail::wait_deadline;
 using detail::wait_predicate;
 
-// --- Reduce ----------------------------------------------------------------
+// --- The slot protocol (reduce / reduce_merge / gatherv / tree merge) -------
+//
+// Every reduction-shaped collective runs one post/poll/wait state machine.
+// The §IV-F economics - the software-progression penalty stretching
+// non-blocking completion deadlines and the poll tax burned by every
+// unsuccessful root test() - are therefore modeled exactly once; the
+// flavors differ only in what post_collective records, how the completion
+// deadline is priced at last arrival, and which completion action runs at
+// the root (elementwise combine, per-rank merge consumer, or the tree
+// inbox delivery).
 
 namespace {
 
-/// Posts this rank's contribution; returns the ticket's slot (locked scope).
-void post_reduce(CommState& state, std::uint64_t ticket, int rank,
-                 const std::byte* send, std::size_t bytes, std::size_t count,
-                 std::byte* recv, detail::CombineFn combine, int root,
-                 bool nonblocking) {
+/// Everything a flavor contributes to the shared protocol. Built by the
+/// Comm entry points; root-only fields are ignored at non-roots.
+struct PostSpec {
+  SlotKind kind{};
+  int root = -1;
+  bool nonblocking = false;
+  // kReduce.
+  std::size_t count = 0;
+  detail::CombineFn combine = nullptr;
+  std::byte* root_recv = nullptr;
+  // kReduceMerge / kGatherv / kTreeMerge.
+  detail::MergeBytesFn merge;
+  // kTreeMerge.
+  detail::CombineImagesFn combine_images;
+  int radix = 0;
+  /// Per-flavor non-root payload counter (reduce_bytes / reduce_merge_bytes
+  /// / gatherv_bytes); null for flavors that account at last arrival.
+  std::atomic<std::uint64_t>* byte_counter = nullptr;
+};
+
+std::chrono::nanoseconds stretch_nonblocking(
+    const CommState& state, std::chrono::nanoseconds cost) {
+  // §IV-F: software progression of non-blocking reductions is slower than
+  // the synchronized blocking path.
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(
+      static_cast<double>(cost.count()) *
+      state.model.ireduce_progression_factor));
+}
+
+/// Runs the radix tree's interior combines at last arrival: positions are
+/// heap-shaped (position 0 = the root rank, children of p are
+/// radix*p+1 .. radix*p+radix), each position's upward image folds into
+/// its parent via the caller's combiner, every hop is charged a
+/// point-to-point cost, and the root's direct children's merged images
+/// are parked in the slot inbox for the completion action. Returns the
+/// critical-path duration. Caller holds state.mu.
+std::chrono::nanoseconds finalize_tree(CommState& state, Slot& slot) {
+  const int size = state.size();
+  const int radix = slot.radix;
+  DISTBC_ASSERT_MSG(static_cast<bool>(slot.combine_images),
+                    "tree merge needs an image combiner");
+  std::vector<std::vector<std::byte>> up(size);
+  for (int p = 0; p < size; ++p)
+    up[p] = std::move(slot.contribs[(slot.root + p) % size]);
+  std::vector<std::chrono::nanoseconds> finish(
+      size, std::chrono::nanoseconds::zero());
+  for (int p = size - 1; p >= 1; --p) {
+    const int parent = (p - 1) / radix;
+    const int rank = (slot.root + p) % size;
+    const int parent_rank = (slot.root + parent) % size;
+    const bool same_node =
+        state.node_of_rank[rank] == state.node_of_rank[parent_rank];
+    finish[parent] = std::max(
+        finish[parent],
+        finish[p] + state.model.message_cost(up[p].size(), same_node));
+    state.stats.reduce_merge_bytes.fetch_add(up[p].size(),
+                                             std::memory_order_relaxed);
+    if (parent == 0) {
+      state.stats.root_ingest_bytes.fetch_add(up[p].size(),
+                                              std::memory_order_relaxed);
+      slot.root_inbox.emplace_back(rank, std::move(up[p]));
+    } else {
+      slot.combine_images(up[parent], up[p].data(), up[p].size());
+    }
+  }
+  // The root's own contribution goes back to its slot for the action.
+  slot.contribs[slot.root] = std::move(up[0]);
+  return finish[0];
+}
+
+/// Posts this rank's contribution. The last arrival prices the completion
+/// deadline: fixed payload for kReduce, the largest contribution for the
+/// flat variable-length flavors (the reduction tree's critical path
+/// carries the biggest payload), the explicit per-hop critical path for
+/// the tree merge.
+void post_collective(CommState& state, std::uint64_t ticket, int rank,
+                     const std::byte* send, std::size_t bytes,
+                     PostSpec&& spec) {
   std::lock_guard lock(state.mu);
-  Slot& slot = acquire_slot(state, ticket, SlotKind::kReduce);
+  Slot& slot = acquire_slot(state, ticket, spec.kind);
   if (slot.arrived == 0) {
     slot.bytes = bytes;
-    slot.count = count;
-    slot.combine = combine;
-    slot.root = root;
-    slot.nonblocking = nonblocking;
+    slot.count = spec.count;
+    slot.combine = spec.combine;
+    slot.root = spec.root;
+    slot.nonblocking = spec.nonblocking;
+    slot.radix = spec.radix;
     slot.contribs.resize(state.size());
   }
-  DISTBC_ASSERT_MSG(slot.bytes == bytes && slot.root == root &&
-                        slot.nonblocking == nonblocking,
-                    "mismatched reduce participants");
+  DISTBC_ASSERT_MSG(slot.root == spec.root &&
+                        slot.nonblocking == spec.nonblocking &&
+                        slot.radix == spec.radix &&
+                        (spec.kind != SlotKind::kReduce ||
+                         slot.bytes == bytes),
+                    "mismatched collective participants");
   slot.contribs[rank].assign(send, send + bytes);
-  if (rank == root) slot.root_recv = recv;
+  if (rank == spec.root) {
+    slot.root_recv = spec.root_recv;
+    if (spec.kind != SlotKind::kReduce) {
+      DISTBC_ASSERT_MSG(static_cast<bool>(spec.merge),
+                        "merge collective needs a root-side consumer");
+      slot.merge = std::move(spec.merge);
+    }
+  }
+  if (!slot.combine_images && spec.combine_images)
+    slot.combine_images = std::move(spec.combine_images);
 
   const auto now = Clock::now();
   slot.rank_ready[rank] =
       now + state.model.injection_cost(bytes, state.num_nodes == 1);
-  if (rank != root)
-    state.stats.reduce_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (rank != spec.root && spec.byte_counter != nullptr) {
+    spec.byte_counter->fetch_add(bytes, std::memory_order_relaxed);
+    // Flat flavors ship every non-root contribution to the root whole.
+    state.stats.root_ingest_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
 
   if (++slot.arrived == state.size()) {
     slot.all_arrived = true;
-    auto cost = state.model.collective_cost(bytes, state.max_ranks_per_node,
-                                            state.num_nodes);
-    if (slot.nonblocking) {
-      // §IV-F: software progression of non-blocking reductions is slower
-      // than the synchronized blocking path.
-      cost = std::chrono::nanoseconds(static_cast<std::int64_t>(
-          static_cast<double>(cost.count()) *
-          state.model.ireduce_progression_factor));
+    std::chrono::nanoseconds cost{};
+    if (spec.kind == SlotKind::kTreeMerge) {
+      cost = finalize_tree(state, slot);
+    } else {
+      std::size_t wire_bytes = slot.bytes;
+      if (spec.kind != SlotKind::kReduce) {
+        std::size_t max_bytes = 0;
+        for (const auto& contrib : slot.contribs)
+          max_bytes = std::max(max_bytes, contrib.size());
+        slot.bytes = wire_bytes = max_bytes;
+      }
+      cost = state.model.collective_cost(wire_bytes, state.max_ranks_per_node,
+                                         state.num_nodes);
     }
+    if (slot.nonblocking) cost = stretch_nonblocking(state, cost);
     slot.ready_time = now + cost;
     state.cv.notify_all();
   }
 }
 
-/// Root-side completion: combine all contributions into root_recv. Caller
-/// holds state.mu and has verified all_arrived and the deadline.
-void run_reduce_action(CommState& state, Slot& slot) {
+/// Root-side completion action, run exactly once after all arrivals and
+/// the modeled deadline. Caller holds state.mu.
+void run_completion_action(CommState& state, Slot& slot) {
   if (slot.action_done) return;
-  DISTBC_ASSERT(slot.root_recv != nullptr);
-  std::memcpy(slot.root_recv, slot.contribs[slot.root].data(), slot.bytes);
-  for (int r = 0; r < state.size(); ++r) {
-    if (r == slot.root) continue;
-    slot.combine(slot.root_recv, slot.contribs[r].data(), slot.count);
+  switch (slot.kind) {
+    case SlotKind::kReduce: {
+      DISTBC_ASSERT(slot.root_recv != nullptr);
+      std::memcpy(slot.root_recv, slot.contribs[slot.root].data(),
+                  slot.bytes);
+      for (int r = 0; r < state.size(); ++r) {
+        if (r == slot.root) continue;
+        slot.combine(slot.root_recv, slot.contribs[r].data(), slot.count);
+      }
+      break;
+    }
+    case SlotKind::kReduceMerge:
+    case SlotKind::kGatherv:
+      // Feed every contribution to the consumer, in rank order.
+      for (int r = 0; r < state.size(); ++r)
+        slot.merge(r, slot.contribs[r].data(), slot.contribs[r].size());
+      break;
+    case SlotKind::kTreeMerge:
+      // The root's own contribution, then the top-of-tree merged images
+      // (reversed so sources ascend; decoding is additive, so delivery
+      // order does not affect the aggregate).
+      slot.merge(slot.root, slot.contribs[slot.root].data(),
+                 slot.contribs[slot.root].size());
+      for (auto it = slot.root_inbox.rbegin(); it != slot.root_inbox.rend();
+           ++it)
+        slot.merge(it->first, it->second.data(), it->second.size());
+      break;
+    default:
+      DISTBC_ASSERT_MSG(false, "slot kind has no completion action");
   }
   slot.action_done = true;
 }
 
-/// Non-blocking poll of a reduce at `rank`. For the root: all arrived and
-/// tree deadline passed, then combine. For a non-root: own injection
-/// deadline passed (eager send). An unsuccessful root poll of a
-/// non-blocking reduction burns the modeled progression time (§IV-F):
-/// the library only advances the tree inside test(), at real CPU cost.
-bool poll_reduce(CommState& state, std::uint64_t ticket, int rank) {
+/// Non-blocking poll at `rank`. For the root: all arrived and the modeled
+/// deadline passed, then the completion action runs. For a non-root: own
+/// injection deadline passed (eager send). An unsuccessful root poll of a
+/// non-blocking operation burns the modeled progression time (§IV-F): the
+/// library only advances the reduction inside test(), at real CPU cost.
+bool poll_collective(CommState& state, std::uint64_t ticket, int rank) {
   bool progress_pending = false;
   {
     std::lock_guard lock(state.mu);
@@ -178,7 +306,7 @@ bool poll_reduce(CommState& state, std::uint64_t ticket, int rank) {
       if (!slot.all_arrived || now < slot.ready_time) {
         progress_pending = slot.nonblocking;
       } else {
-        run_reduce_action(state, slot);
+        run_completion_action(state, slot);
         depart_slot(state, ticket, slot);
         return true;
       }
@@ -200,18 +328,18 @@ bool poll_reduce(CommState& state, std::uint64_t ticket, int rank) {
   return false;
 }
 
-void wait_reduce(CommState& state, std::uint64_t ticket, int rank) {
+void wait_collective(CommState& state, std::uint64_t ticket, int rank) {
   WaitCharge charge(state.stats.reduce_wait_ns);
   std::unique_lock lock(state.mu);
   Slot& slot = state.slots.at(ticket);
   if (rank == slot.root) {
     wait_predicate(state, lock, [&] { return slot.all_arrived; });
     wait_deadline(state, lock, slot.ready_time);
-    run_reduce_action(state, slot);
+    run_completion_action(state, slot);
   } else {
-    // Blocking reduce at a non-root models tree participation: the rank is
-    // released once everybody has arrived (its subtree is drained), or after
-    // its own injection deadline, whichever is later.
+    // Blocking participation models the reduction tree: the rank is
+    // released once everybody has arrived (its subtree is drained), or
+    // after its own injection deadline, whichever is later.
     wait_predicate(state, lock, [&] { return slot.all_arrived; });
     wait_deadline(state, lock, slot.rank_ready[rank]);
   }
@@ -220,6 +348,8 @@ void wait_reduce(CommState& state, std::uint64_t ticket, int rank) {
 
 }  // namespace
 
+// --- Entry points over the slot protocol -------------------------------------
+
 void Comm::reduce_bytes_impl(const std::byte* send, std::size_t bytes,
                              std::size_t count, std::byte* recv,
                              detail::CombineFn combine, int root,
@@ -227,10 +357,16 @@ void Comm::reduce_bytes_impl(const std::byte* send, std::size_t bytes,
   DISTBC_ASSERT(valid());
   const std::uint64_t ticket = next_ticket();
   state_->stats.reduce_calls.fetch_add(1, std::memory_order_relaxed);
-  post_reduce(*state_, ticket, rank_, send, bytes, count, recv, combine,
-              root, /*nonblocking=*/false);
+  PostSpec spec;
+  spec.kind = SlotKind::kReduce;
+  spec.root = root;
+  spec.count = count;
+  spec.combine = combine;
+  spec.root_recv = recv;
+  spec.byte_counter = &state_->stats.reduce_bytes;
+  post_collective(*state_, ticket, rank_, send, bytes, std::move(spec));
   DISTBC_ASSERT(blocking);
-  wait_reduce(*state_, ticket, rank_);
+  wait_collective(*state_, ticket, rank_);
 }
 
 Request Comm::ireduce_bytes_impl(const std::byte* send, std::size_t bytes,
@@ -239,128 +375,31 @@ Request Comm::ireduce_bytes_impl(const std::byte* send, std::size_t bytes,
   DISTBC_ASSERT(valid());
   const std::uint64_t ticket = next_ticket();
   state_->stats.ireduce_calls.fetch_add(1, std::memory_order_relaxed);
-  post_reduce(*state_, ticket, rank_, send, bytes, count, recv, combine,
-              root, /*nonblocking=*/true);
-  auto impl = std::make_shared<Request::Impl>();
-  impl->state = state_;
-  impl->ticket = ticket;
-  impl->rank = rank_;
-  return Request(std::move(impl));
+  PostSpec spec;
+  spec.kind = SlotKind::kReduce;
+  spec.root = root;
+  spec.nonblocking = true;
+  spec.count = count;
+  spec.combine = combine;
+  spec.root_recv = recv;
+  spec.byte_counter = &state_->stats.reduce_bytes;
+  post_collective(*state_, ticket, rank_, send, bytes, std::move(spec));
+  return make_request(ticket);
 }
-
-// --- Variable-length merge collectives (reduce_merge / gatherv) -------------
 
 namespace {
 
-/// Posts one variable-length contribution (shared by reduce_merge and
-/// gatherv; they differ only in byte attribution and the root consumer).
-void post_mergev(CommState& state, std::uint64_t ticket, SlotKind kind,
-                 int rank, const std::byte* send, std::size_t bytes,
-                 detail::MergeBytesFn merge, int root, bool nonblocking) {
-  std::lock_guard lock(state.mu);
-  Slot& slot = acquire_slot(state, ticket, kind);
-  if (slot.arrived == 0) {
-    slot.root = root;
-    slot.nonblocking = nonblocking;
-    slot.contribs.resize(state.size());
-  }
-  DISTBC_ASSERT_MSG(slot.root == root && slot.nonblocking == nonblocking,
-                    "mismatched merge-collective participants");
-  slot.contribs[rank].assign(send, send + bytes);
-  if (rank == root) {
-    DISTBC_ASSERT_MSG(static_cast<bool>(merge),
-                      "merge collective needs a root-side consumer");
-    slot.merge = std::move(merge);
-  }
-
-  const auto now = Clock::now();
-  slot.rank_ready[rank] =
-      now + state.model.injection_cost(bytes, state.num_nodes == 1);
-  if (rank != root) {
-    auto& counter = kind == SlotKind::kGatherv ? state.stats.gatherv_bytes
-                                               : state.stats.reduce_merge_bytes;
-    counter.fetch_add(bytes, std::memory_order_relaxed);
-  }
-
-  if (++slot.arrived == state.size()) {
-    slot.all_arrived = true;
-    // The tree's critical path carries the largest contribution.
-    std::size_t max_bytes = 0;
-    for (const auto& contrib : slot.contribs)
-      max_bytes = std::max(max_bytes, contrib.size());
-    slot.bytes = max_bytes;
-    auto cost = state.model.collective_cost(max_bytes,
-                                            state.max_ranks_per_node,
-                                            state.num_nodes);
-    if (slot.nonblocking) {
-      // Same §IV-F software-progression penalty as Ireduce.
-      cost = std::chrono::nanoseconds(static_cast<std::int64_t>(
-          static_cast<double>(cost.count()) *
-          state.model.ireduce_progression_factor));
-    }
-    slot.ready_time = now + cost;
-    state.cv.notify_all();
-  }
-}
-
-/// Root-side completion: feed every contribution to the consumer, in rank
-/// order. Caller holds state.mu and has verified all_arrived + deadline.
-void run_mergev_action(CommState& state, Slot& slot) {
-  if (slot.action_done) return;
-  for (int r = 0; r < state.size(); ++r)
-    slot.merge(r, slot.contribs[r].data(), slot.contribs[r].size());
-  slot.action_done = true;
-}
-
-bool poll_mergev(CommState& state, std::uint64_t ticket, int rank) {
-  bool progress_pending = false;
-  {
-    std::lock_guard lock(state.mu);
-    Slot& slot = state.slots.at(ticket);
-    const auto now = Clock::now();
-    if (rank == slot.root) {
-      if (!slot.all_arrived || now < slot.ready_time) {
-        progress_pending = slot.nonblocking;
-      } else {
-        run_mergev_action(state, slot);
-        depart_slot(state, ticket, slot);
-        return true;
-      }
-    } else {
-      if (now >= slot.rank_ready[rank]) {
-        depart_slot(state, ticket, slot);
-        return true;
-      }
-    }
-  }
-  if (progress_pending && state.model.enabled &&
-      state.model.ireduce_poll_cost_s > 0) {
-    // Unsuccessful root polls of a non-blocking merge burn the same
-    // software-progression CPU time as Ireduce polls.
-    const auto until =
-        Clock::now() + std::chrono::nanoseconds(static_cast<std::int64_t>(
-                           state.model.ireduce_poll_cost_s * 1e9));
-    while (Clock::now() < until) {
-    }
-  }
-  return false;
-}
-
-void wait_mergev(CommState& state, std::uint64_t ticket, int rank) {
-  WaitCharge charge(state.stats.reduce_wait_ns);
-  std::unique_lock lock(state.mu);
-  Slot& slot = state.slots.at(ticket);
-  if (rank == slot.root) {
-    wait_predicate(state, lock, [&] { return slot.all_arrived; });
-    wait_deadline(state, lock, slot.ready_time);
-    run_mergev_action(state, slot);
-  } else {
-    // Tree participation, as in wait_reduce: released once everybody has
-    // arrived or after the own injection deadline, whichever is later.
-    wait_predicate(state, lock, [&] { return slot.all_arrived; });
-    wait_deadline(state, lock, slot.rank_ready[rank]);
-  }
-  depart_slot(state, ticket, slot);
+PostSpec mergev_spec(CommState& state, SlotKind kind,
+                     detail::MergeBytesFn merge, int root, bool nonblocking) {
+  PostSpec spec;
+  spec.kind = kind;
+  spec.root = root;
+  spec.nonblocking = nonblocking;
+  spec.merge = std::move(merge);
+  spec.byte_counter = kind == SlotKind::kGatherv
+                          ? &state.stats.gatherv_bytes
+                          : &state.stats.reduce_merge_bytes;
+  return spec;
 }
 
 }  // namespace
@@ -373,9 +412,10 @@ void Comm::mergev_bytes_impl(detail::SlotKind kind, const std::byte* send,
   auto& calls = kind == SlotKind::kGatherv ? state_->stats.gatherv_calls
                                            : state_->stats.reduce_merge_calls;
   calls.fetch_add(1, std::memory_order_relaxed);
-  post_mergev(*state_, ticket, kind, rank_, send, bytes, std::move(merge),
-              root, /*nonblocking=*/false);
-  wait_mergev(*state_, ticket, rank_);
+  post_collective(*state_, ticket, rank_, send, bytes,
+                  mergev_spec(*state_, kind, std::move(merge), root,
+                              /*nonblocking=*/false));
+  wait_collective(*state_, ticket, rank_);
 }
 
 Request Comm::imergev_bytes_impl(detail::SlotKind kind, const std::byte* send,
@@ -386,13 +426,56 @@ Request Comm::imergev_bytes_impl(detail::SlotKind kind, const std::byte* send,
   auto& calls = kind == SlotKind::kGatherv ? state_->stats.gatherv_calls
                                            : state_->stats.reduce_merge_calls;
   calls.fetch_add(1, std::memory_order_relaxed);
-  post_mergev(*state_, ticket, kind, rank_, send, bytes, std::move(merge),
-              root, /*nonblocking=*/true);
-  auto impl = std::make_shared<Request::Impl>();
-  impl->state = state_;
-  impl->ticket = ticket;
-  impl->rank = rank_;
-  return Request(std::move(impl));
+  post_collective(*state_, ticket, rank_, send, bytes,
+                  mergev_spec(*state_, kind, std::move(merge), root,
+                              /*nonblocking=*/true));
+  return make_request(ticket);
+}
+
+namespace {
+
+PostSpec tree_spec(detail::CombineImagesFn combine,
+                   detail::MergeBytesFn merge, int root, int radix,
+                   bool nonblocking) {
+  DISTBC_ASSERT_MSG(radix >= 2, "tree merge needs radix >= 2");
+  PostSpec spec;
+  spec.kind = SlotKind::kTreeMerge;
+  spec.root = root;
+  spec.nonblocking = nonblocking;
+  spec.merge = std::move(merge);
+  spec.combine_images = std::move(combine);
+  spec.radix = radix;
+  // Upward payloads are only known once the interior combines ran; bytes
+  // are accounted in finalize_tree, not at post time.
+  spec.byte_counter = nullptr;
+  return spec;
+}
+
+}  // namespace
+
+void Comm::tree_bytes_impl(const std::byte* send, std::size_t bytes,
+                           detail::CombineImagesFn combine,
+                           detail::MergeBytesFn merge, int root, int radix) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.tree_merge_calls.fetch_add(1, std::memory_order_relaxed);
+  post_collective(*state_, ticket, rank_, send, bytes,
+                  tree_spec(std::move(combine), std::move(merge), root, radix,
+                            /*nonblocking=*/false));
+  wait_collective(*state_, ticket, rank_);
+}
+
+Request Comm::itree_bytes_impl(const std::byte* send, std::size_t bytes,
+                               detail::CombineImagesFn combine,
+                               detail::MergeBytesFn merge, int root,
+                               int radix) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.tree_merge_calls.fetch_add(1, std::memory_order_relaxed);
+  post_collective(*state_, ticket, rank_, send, bytes,
+                  tree_spec(std::move(combine), std::move(merge), root, radix,
+                            /*nonblocking=*/true));
+  return make_request(ticket);
 }
 
 // --- Barrier ----------------------------------------------------------------
@@ -445,11 +528,7 @@ Request Comm::ibarrier() {
   const std::uint64_t ticket = next_ticket();
   state_->stats.ibarrier_calls.fetch_add(1, std::memory_order_relaxed);
   post_barrier(*state_, ticket, rank_);
-  auto impl = std::make_shared<Request::Impl>();
-  impl->state = state_;
-  impl->ticket = ticket;
-  impl->rank = rank_;
-  return Request(std::move(impl));
+  return make_request(ticket);
 }
 
 // --- Broadcast ---------------------------------------------------------------
@@ -540,6 +619,14 @@ bool poll_request(Request::Impl& impl, bool blocking);
 
 }  // namespace
 
+Request Comm::make_request(std::uint64_t ticket) {
+  auto impl = std::make_shared<Request::Impl>();
+  impl->state = state_;
+  impl->ticket = ticket;
+  impl->rank = rank_;
+  return Request(std::move(impl));
+}
+
 bool Request::test() {
   DISTBC_ASSERT_MSG(valid(), "test() on an empty request");
   if (impl_->done) return true;
@@ -572,18 +659,14 @@ bool poll_request(Request::Impl& impl, bool blocking) {
       }
       return poll_barrier(state, impl.ticket, impl.rank);
     case SlotKind::kReduce:
-      if (blocking) {
-        wait_reduce(state, impl.ticket, impl.rank);
-        return true;
-      }
-      return poll_reduce(state, impl.ticket, impl.rank);
     case SlotKind::kReduceMerge:
+    case SlotKind::kTreeMerge:
     case SlotKind::kGatherv:
       if (blocking) {
-        wait_mergev(state, impl.ticket, impl.rank);
+        wait_collective(state, impl.ticket, impl.rank);
         return true;
       }
-      return poll_mergev(state, impl.ticket, impl.rank);
+      return poll_collective(state, impl.ticket, impl.rank);
     case SlotKind::kBcast:
       if (blocking) {
         wait_bcast(state, impl.ticket, impl.rank, impl.recv);

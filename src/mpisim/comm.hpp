@@ -76,12 +76,20 @@ CombineFn combine_fn(ReduceOp op) {
 }
 
 enum class SlotKind : std::uint8_t { kBarrier, kReduce, kReduceMerge,
-                                     kGatherv, kBcast, kSplit, kWindow };
+                                     kTreeMerge, kGatherv, kBcast, kSplit,
+                                     kWindow };
 
 /// Root-side consumer of one variable-length contribution:
 /// (source rank, payload pointer, payload bytes).
 using MergeBytesFn =
     std::function<void(int, const std::byte*, std::size_t)>;
+
+/// Interior-hop combiner of a tree merge: additively folds one upward
+/// image into the accumulator, re-encoding in place (e.g. sparse merge
+/// join with mid-tree densification).
+using CombineImagesFn =
+    std::function<void(std::vector<std::byte>&, const std::byte*,
+                       std::size_t)>;
 
 struct Slot {
   SlotKind kind{};
@@ -104,9 +112,16 @@ struct Slot {
   // Bcast payload (copied from the root).
   std::vector<std::byte> payload;
 
-  // Variable-length merge state (kReduceMerge / kGatherv): the root's
-  // per-contribution consumer, run once per rank at completion.
+  // Variable-length merge state (kReduceMerge / kGatherv / kTreeMerge):
+  // the root's per-contribution consumer, run at completion.
   MergeBytesFn merge;
+
+  // Tree-merge state (kTreeMerge): fan-in, the interior-hop combiner
+  // (taken from the first posting rank; all ranks must pass equivalent
+  // callables), and the merged top-of-tree images awaiting the root.
+  int radix = 0;
+  CombineImagesFn combine_images;
+  std::vector<std::pair<int, std::vector<std::byte>>> root_inbox;
 
   // Split state.
   std::vector<std::pair<int, int>> color_key;  // per-rank (color, key)
@@ -126,6 +141,12 @@ struct P2pMessage {
 struct WindowState {
   std::mutex mu;
   std::vector<std::byte> data;
+  /// Touched-slot tracking for windowed sparse read-back (one bit per
+  /// element slot, maintained by Window<T>): scatter-accumulates set bits;
+  /// a full-span accumulate sets dense_touched instead (the union is the
+  /// whole window, so leaders fall back to the dense read).
+  std::vector<std::uint64_t> touched_bits;
+  bool dense_touched = false;
 };
 
 struct CommState {
@@ -284,6 +305,46 @@ class Comm {
                               root);
   }
 
+  /// Tree-merge reduction: contributions combine at interior ranks of a
+  /// radix-`radix` tree rooted at `root` instead of all landing at the
+  /// root. Every rank supplies the same image combiner
+  /// `combine(acc, contribution)` - an additive in-place re-encode (e.g.
+  /// epoch::merge_images, which densifies mid-tree once the merged image
+  /// stops paying). Each tree hop is charged a point-to-point alpha-beta
+  /// cost and the completion deadline follows the tree's critical path, so
+  /// latency grows with depth (log_radix P) while the root ingests only
+  /// its direct children's merged images (root_ingest_bytes) instead of
+  /// every per-rank payload. At completion the root's `merge` consumer
+  /// receives the root's own contribution (src = root) and one merged
+  /// image per direct child subtree (src = that child's rank). Both
+  /// callables run under the communicator lock and must not call back
+  /// into the communicator; decoding must be order-independent (additive).
+  /// Lifetime: the slot stores the FIRST poster's combiner and invokes it
+  /// at the last arrival - by which time a non-root's non-blocking form
+  /// may already have completed - so the combiner must own its state
+  /// (capture by value), never reference the caller's stack.
+  template <typename T, typename CombineFn, typename MergeFn>
+  void reduce_merge_tree(std::span<const T> send, CombineFn&& combine,
+                         MergeFn&& merge, int root, int radix) {
+    tree_bytes_impl(as_bytes_ptr(send.data()), send.size() * sizeof(T),
+                    erase_combine<T>(std::forward<CombineFn>(combine)),
+                    erase_merge<T>(std::forward<MergeFn>(merge), root), root,
+                    radix);
+  }
+
+  /// Non-blocking tree merge; progresses like Ireduce (§IV-F progression
+  /// penalty and poll tax apply).
+  template <typename T, typename CombineFn, typename MergeFn>
+  [[nodiscard]] Request ireduce_merge_tree(std::span<const T> send,
+                                           CombineFn&& combine,
+                                           MergeFn&& merge, int root,
+                                           int radix) {
+    return itree_bytes_impl(
+        as_bytes_ptr(send.data()), send.size() * sizeof(T),
+        erase_combine<T>(std::forward<CombineFn>(combine)),
+        erase_merge<T>(std::forward<MergeFn>(merge), root), root, radix);
+  }
+
   /// Variable-length gather: at the root, `recv` is resized to size() and
   /// recv[r] receives rank r's contribution; untouched at non-roots.
   template <typename T>
@@ -368,6 +429,9 @@ class Comm {
 
   std::uint64_t next_ticket() { return ticket_++; }
 
+  /// A Request handle for a freshly posted non-blocking slot.
+  [[nodiscard]] Request make_request(std::uint64_t ticket);
+
   /// Wraps a typed merge callable as the byte-level consumer stored in the
   /// slot; non-roots carry an empty function (their callable is ignored).
   template <typename T, typename MergeFn>
@@ -392,12 +456,35 @@ class Comm {
     };
   }
 
+  /// Wraps a typed in-place image combiner as the byte-level callable the
+  /// tree-merge slot stores (reused word scratch; images are word-typed at
+  /// the caller, byte-typed in slot storage).
+  template <typename T, typename CombineFn>
+  detail::CombineImagesFn erase_combine(CombineFn&& combine) {
+    return [c = std::forward<CombineFn>(combine), words = std::vector<T>()](
+               std::vector<std::byte>& acc, const std::byte* in,
+               std::size_t bytes) mutable {
+      const T* acc_typed = reinterpret_cast<const T*>(acc.data());
+      words.assign(acc_typed, acc_typed + acc.size() / sizeof(T));
+      c(words, std::span<const T>(reinterpret_cast<const T*>(in),
+                                  bytes / sizeof(T)));
+      const auto* out = reinterpret_cast<const std::byte*>(words.data());
+      acc.assign(out, out + words.size() * sizeof(T));
+    };
+  }
+
   void mergev_bytes_impl(detail::SlotKind kind, const std::byte* send,
                          std::size_t bytes, detail::MergeBytesFn merge,
                          int root);
   Request imergev_bytes_impl(detail::SlotKind kind, const std::byte* send,
                              std::size_t bytes, detail::MergeBytesFn merge,
                              int root);
+  void tree_bytes_impl(const std::byte* send, std::size_t bytes,
+                       detail::CombineImagesFn combine,
+                       detail::MergeBytesFn merge, int root, int radix);
+  Request itree_bytes_impl(const std::byte* send, std::size_t bytes,
+                           detail::CombineImagesFn combine,
+                           detail::MergeBytesFn merge, int root, int radix);
 
   void reduce_bytes_impl(const std::byte* send, std::size_t bytes,
                          std::size_t count, std::byte* recv,

@@ -17,6 +17,12 @@ struct CommVolume {
   std::uint64_t gatherv_bytes = 0;
   std::uint64_t bcast_bytes = 0;
   std::uint64_t p2p_bytes = 0;
+  /// Reduction payload arriving *directly at the root rank*: every non-root
+  /// contribution under a flat reduction, but only the top-of-tree merged
+  /// images under a tree merge - the metric tree-merge reductions exist to
+  /// shrink (ablation_tree_merge). A locality view of bytes already counted
+  /// above, so it is excluded from aggregation_bytes()/total().
+  std::uint64_t root_ingest_bytes = 0;
 
   /// Bytes moved by the epoch-aggregation paths (dense elementwise
   /// reductions, sparse merge reductions, and the window/p2p substrate the
@@ -35,6 +41,7 @@ struct CommVolume {
     gatherv_bytes += other.gatherv_bytes;
     bcast_bytes += other.bcast_bytes;
     p2p_bytes += other.p2p_bytes;
+    root_ingest_bytes += other.root_ingest_bytes;
     return *this;
   }
 };
@@ -44,6 +51,7 @@ struct CommStats {
   std::atomic<std::uint64_t> reduce_calls{0};
   std::atomic<std::uint64_t> ireduce_calls{0};
   std::atomic<std::uint64_t> reduce_merge_calls{0};
+  std::atomic<std::uint64_t> tree_merge_calls{0};
   std::atomic<std::uint64_t> gatherv_calls{0};
   std::atomic<std::uint64_t> barrier_calls{0};
   std::atomic<std::uint64_t> ibarrier_calls{0};
@@ -58,6 +66,8 @@ struct CommStats {
   std::atomic<std::uint64_t> gatherv_bytes{0};
   std::atomic<std::uint64_t> bcast_bytes{0};
   std::atomic<std::uint64_t> p2p_bytes{0};
+  /// Reduction payload arriving directly at the root (see CommVolume).
+  std::atomic<std::uint64_t> root_ingest_bytes{0};
   /// Wall time ranks spent blocked inside collectives - per-collective
   /// blocking-share telemetry for Figure 2b-style reporting and tooling.
   /// Only blocking calls (and blocking waits on requests) are charged;
@@ -74,6 +84,7 @@ struct CommStats {
     v.gatherv_bytes = gatherv_bytes.load(std::memory_order_relaxed);
     v.bcast_bytes = bcast_bytes.load(std::memory_order_relaxed);
     v.p2p_bytes = p2p_bytes.load(std::memory_order_relaxed);
+    v.root_ingest_bytes = root_ingest_bytes.load(std::memory_order_relaxed);
     return v;
   }
 
@@ -91,6 +102,7 @@ struct CommStats {
     reduce_calls = 0;
     ireduce_calls = 0;
     reduce_merge_calls = 0;
+    tree_merge_calls = 0;
     gatherv_calls = 0;
     barrier_calls = 0;
     ibarrier_calls = 0;
@@ -101,6 +113,7 @@ struct CommStats {
     gatherv_bytes = 0;
     bcast_bytes = 0;
     p2p_bytes = 0;
+    root_ingest_bytes = 0;
     reduce_wait_ns = 0;
     barrier_wait_ns = 0;
     bcast_wait_ns = 0;

@@ -4,7 +4,9 @@
 // before the global inter-node reduction.
 #pragma once
 
+#include <bit>
 #include <span>
+#include <vector>
 
 #include "mpisim/comm.hpp"
 
@@ -20,17 +22,23 @@ class Window {
   Window(Comm& comm, std::size_t count)
       : comm_(&comm),
         count_(count),
-        state_(comm.window_collective(count * sizeof(T))) {}
+        state_(comm.window_collective(count * sizeof(T))) {
+    // All ranks size the shared touched bitmap; idempotent under the lock.
+    std::lock_guard lock(state_->mu);
+    state_->touched_bits.resize((count + 63) / 64, 0);
+  }
 
   [[nodiscard]] std::size_t size() const { return count_; }
 
   /// Passive-target accumulate: atomically (under the window lock) adds
-  /// `values` elementwise into the window.
+  /// `values` elementwise into the window. The touched union becomes the
+  /// whole window (read_touched_pairs falls back to the dense read).
   void accumulate(std::span<const T> values) {
     DISTBC_ASSERT(values.size() == count_);
     std::lock_guard lock(state_->mu);
     T* data = reinterpret_cast<T*>(state_->data.data());
     for (std::size_t i = 0; i < count_; ++i) data[i] += values[i];
+    state_->dense_touched = true;
     comm_->stats().p2p_messages.fetch_add(1, std::memory_order_relaxed);
     comm_->stats().p2p_bytes.fetch_add(values.size_bytes(),
                                        std::memory_order_relaxed);
@@ -39,6 +47,7 @@ class Window {
   /// Passive-target scatter-accumulate: atomically (under the window lock)
   /// adds flat (index, delta) pairs into the window - the sparse-frame
   /// path of the §IV-E pre-reduction, moving O(nonzeros) instead of O(V).
+  /// Touched slots are tracked so the leader read-back stays O(union nnz).
   void accumulate_pairs(std::span<const T> pairs) {
     DISTBC_ASSERT(pairs.size() % 2 == 0);
     std::lock_guard lock(state_->mu);
@@ -47,10 +56,56 @@ class Window {
       const auto index = static_cast<std::size_t>(pairs[i]);
       DISTBC_ASSERT(index < count_);
       data[index] += pairs[i + 1];
+      state_->touched_bits[index / 64] |= std::uint64_t{1} << (index % 64);
     }
     comm_->stats().p2p_messages.fetch_add(1, std::memory_order_relaxed);
     comm_->stats().p2p_bytes.fetch_add(pairs.size_bytes(),
                                        std::memory_order_relaxed);
+  }
+
+  /// Windowed read-back: appends (index, value) pairs (ascending indices,
+  /// nonzero values only) for every slot touched since the last clear -
+  /// O(union of accumulated nonzeros), the leader's per-epoch cost under
+  /// sparse pre-reduction. Returns false without touching `pairs` when a
+  /// dense accumulate made the union the whole window; callers then pay
+  /// the O(V) read() instead. Only meaningful for integral T.
+  [[nodiscard]] bool read_touched_pairs(std::vector<T>& pairs) const {
+    std::lock_guard lock(state_->mu);
+    if (state_->dense_touched) return false;
+    const T* data = reinterpret_cast<const T*>(state_->data.data());
+    for (std::size_t w = 0; w < state_->touched_bits.size(); ++w) {
+      std::uint64_t bits = state_->touched_bits[w];
+      while (bits != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::size_t index = w * 64 + bit;
+        if (data[index] == 0) continue;  // deltas may cancel to zero
+        pairs.push_back(static_cast<T>(index));
+        pairs.push_back(data[index]);
+      }
+    }
+    return true;
+  }
+
+  /// Zeroes only the touched slots and resets the tracking (O(touched);
+  /// falls back to the full sweep after a dense accumulate).
+  void clear_touched() {
+    std::lock_guard lock(state_->mu);
+    if (state_->dense_touched) {
+      std::fill(state_->data.begin(), state_->data.end(), std::byte{0});
+      state_->dense_touched = false;
+    } else {
+      T* data = reinterpret_cast<T*>(state_->data.data());
+      for (std::size_t w = 0; w < state_->touched_bits.size(); ++w) {
+        std::uint64_t bits = state_->touched_bits[w];
+        while (bits != 0) {
+          const auto bit = static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          data[w * 64 + bit] = 0;
+        }
+      }
+    }
+    std::fill(state_->touched_bits.begin(), state_->touched_bits.end(), 0);
   }
 
   /// Copies the window contents into `out` under the window lock.
@@ -65,6 +120,8 @@ class Window {
   void clear() {
     std::lock_guard lock(state_->mu);
     std::fill(state_->data.begin(), state_->data.end(), std::byte{0});
+    std::fill(state_->touched_bits.begin(), state_->touched_bits.end(), 0);
+    state_->dense_touched = false;
   }
 
   /// Synchronization fence: a barrier over the owning communicator.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "epoch/sparse_frame.hpp"
 #include "mpisim/comm.hpp"
 #include "mpisim/runtime.hpp"
 #include "support/assert.hpp"
@@ -26,6 +27,8 @@ const char* pattern_name(Pattern pattern) {
       return "ibcast";
     case Pattern::kWindowPreReduce:
       return "window_pre_reduce";
+    case Pattern::kSparseMerge:
+      return "sparse_merge";
     case Pattern::kCount:
       break;
   }
@@ -101,30 +104,74 @@ class UnitFrame {
   std::vector<std::uint64_t> data_;
 };
 
-/// The synthetic sampler: one sample burns around work_unit_s of CPU, with
-/// a deterministic per-sample cost spread (the imbalance knob) so epochs
-/// end with the straggler skew that real variable-cost samplers (BFS on a
-/// power-law graph) produce - the skew §IV-F overlap exists to hide.
-class UnitSampler {
+/// Deterministic per-sample CPU cost with the imbalance spread - shared by
+/// both samplers so epochs end with the straggler skew that real
+/// variable-cost samplers (BFS on a power-law graph) produce - the skew
+/// §IV-F overlap exists to hide.
+class SpinCost {
  public:
-  UnitSampler(std::uint64_t stream, double unit_s, double imbalance)
+  SpinCost(std::uint64_t stream, double unit_s, double imbalance)
       : state_(static_cast<std::uint32_t>(stream * 2654435761u + 1u)),
         unit_s_(unit_s),
         spread_(std::clamp(imbalance, 0.0, 1.0)) {}
 
-  void sample(UnitFrame& frame) {
+  /// Burns around unit_s of CPU (deterministic per-call factor).
+  void burn() {
     state_ = state_ * 1664525u + 1013904223u;
     const double uniform =
         static_cast<double>(state_ >> 8) / static_cast<double>(1u << 24);
     const double factor = 1.0 - spread_ + 2.0 * spread_ * uniform;
     spin_for(unit_s_ * std::max(0.05, factor));
-    frame.add_unit();
   }
 
  private:
   std::uint32_t state_;
   double unit_s_;
   double spread_;
+};
+
+/// The synthetic sampler of the dense arms: one work unit per sample.
+class UnitSampler {
+ public:
+  UnitSampler(std::uint64_t stream, double unit_s, double imbalance)
+      : cost_(stream, unit_s, imbalance) {}
+
+  void sample(UnitFrame& frame) {
+    cost_.burn();
+    frame.add_unit();
+  }
+
+ private:
+  SpinCost cost_;
+};
+
+/// The sparse-arm sampler: one work unit, then a record touching `spread`
+/// rotating vertices, so one epoch's per-rank delta image grows to roughly
+/// the message size under test - the merge-reduction analogue of
+/// UnitFrame's dense payload, with the root paying a real image merge.
+class SparseUnitSampler {
+ public:
+  SparseUnitSampler(std::uint64_t stream, double unit_s, double imbalance,
+                    std::uint64_t spread, std::uint64_t vertices)
+      : cost_(stream, unit_s, imbalance),
+        cursor_(stream * 2654435761u),
+        spread_(spread),
+        vertices_(vertices) {}
+
+  void sample(epoch::SparseFrame& frame) {
+    cost_.burn();
+    touched_.clear();
+    for (std::uint64_t i = 0; i < spread_; ++i)
+      touched_.push_back(static_cast<std::uint32_t>(cursor_++ % vertices_));
+    frame.record(touched_);
+  }
+
+ private:
+  SpinCost cost_;
+  std::uint64_t cursor_;
+  std::uint64_t spread_;
+  std::uint64_t vertices_;
+  std::vector<std::uint32_t> touched_;
 };
 
 engine::Aggregation pattern_strategy(Pattern pattern) {
@@ -178,10 +225,12 @@ MicrobenchResult run_microbench(const MicrobenchConfig& config) {
     engine_options.threads_per_rank = threads;
     engine_options.epoch_base = n0_total;
     engine_options.epoch_exponent = 0.0;  // n0 fixed at epoch_base
+    const bool sparse = pattern && *pattern == Pattern::kSparseMerge;
     if (pattern) {
       engine_options.aggregation = pattern_strategy(*pattern);
       engine_options.hierarchical = *pattern == Pattern::kWindowPreReduce;
     }
+    if (sparse) engine_options.frame_rep = engine::FrameRep::kSparse;
 
     mpisim::RuntimeConfig runtime_config;
     runtime_config.num_ranks = config.num_ranks;
@@ -191,21 +240,41 @@ MicrobenchResult run_microbench(const MicrobenchConfig& config) {
 
     Measurement measurement;
     runtime.run([&](mpisim::Comm& world) {
-      const auto engine_result = engine::run_epochs(
-          &world, UnitFrame(words),
-          [&](std::uint64_t stream) {
-            return UnitSampler(stream, config.work_unit_s, config.imbalance);
-          },
-          [&](const UnitFrame& aggregate) {
-            return aggregate.units() >= target_units;
-          },
-          engine_options);
-      if (world.rank() == 0) {
+      const auto record = [&](const auto& engine_result) {
+        if (world.rank() != 0) return;
         measurement.wall_s = engine_result.total_seconds;
         measurement.epochs = engine_result.epochs;
         measurement.attempted = engine_result.samples_attempted;
         measurement.modeled_s = world.modeled_collective_seconds(
             words * sizeof(std::uint64_t));
+      };
+      if (sparse) {
+        // One epoch's per-rank delta image should fill roughly the
+        // message size under test (2 words per touched vertex).
+        const auto per_rank = std::max<std::uint64_t>(
+            1, n0_total / static_cast<std::uint64_t>(config.num_ranks));
+        const auto spread = std::max<std::uint64_t>(1, words / (2 * per_rank));
+        record(engine::run_epochs(
+            &world, epoch::SparseFrame(static_cast<std::uint32_t>(words)),
+            [&](std::uint64_t stream) {
+              return SparseUnitSampler(stream, config.work_unit_s,
+                                       config.imbalance, spread, words);
+            },
+            [&](const epoch::SparseFrame& aggregate) {
+              return aggregate.tau() >= target_units;
+            },
+            engine_options));
+      } else {
+        record(engine::run_epochs(
+            &world, UnitFrame(words),
+            [&](std::uint64_t stream) {
+              return UnitSampler(stream, config.work_unit_s,
+                                 config.imbalance);
+            },
+            [&](const UnitFrame& aggregate) {
+              return aggregate.units() >= target_units;
+            },
+            engine_options));
       }
     });
     return measurement;

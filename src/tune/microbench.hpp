@@ -41,6 +41,7 @@ enum class Pattern : std::uint8_t {
   kIbarrierReduce,   // §IV-F Ibarrier (polled) + blocking Reduce
   kIbcast,           // the overlapped termination broadcast (1 byte)
   kWindowPreReduce,  // §IV-E RMA-window pre-reduction + leader Ibarrier+Reduce
+  kSparseMerge,      // sparse-image merge reduction (SparseFrame delta wire)
   kCount
 };
 
@@ -74,6 +75,10 @@ struct MicrobenchConfig {
   /// anchors the alpha-beta line in the sparse-delta-image regime (a short
   /// epoch's image is tens of pairs), the large end in the dense-frame
   /// regime; the fitted per-byte beta then prices both representations.
+  /// The sparse-merge arm targets the same sizes with real delta images
+  /// (epoch::SparseFrame on the reduce_merge path), so its fitted alpha
+  /// separately prices the root-side image merge instead of assuming a
+  /// dense elementwise combine.
   std::vector<std::size_t> message_words = {64, 256, 4096, 32768};
   /// Epochs the engine race runs per (pattern, size); the per-epoch cost
   /// is the run's average, so the first-epoch transient is amortized over

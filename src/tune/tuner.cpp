@@ -149,6 +149,7 @@ engine::Aggregation pattern_aggregation(Pattern pattern) {
       return engine::Aggregation::kIreduce;
     case Pattern::kIbarrierReduce:
     case Pattern::kWindowPreReduce:  // leaders aggregate via Ibarrier+Reduce
+    case Pattern::kSparseMerge:      // image merges ride Ibarrier+Reduce too
       return engine::Aggregation::kIbarrierReduce;
     case Pattern::kIbcast:
     case Pattern::kCount:
@@ -258,6 +259,19 @@ TuneDecision tune_decision(const TuningProfile& profile,
                        static_cast<std::size_t>(std::ceil(pairs))));
       return static_cast<std::uint64_t>(words) * sizeof(std::uint64_t);
     };
+    // When the microbench fitted a sparse-merge line, the sparse payload
+    // is priced on it: the root of a merge reduction pays an image merge,
+    // not the dense elementwise combine the flat lines measured. Without
+    // one, fall back to pricing the flat lines at the smaller payload.
+    const bool merge_line = model.has(Pattern::kSparseMerge);
+    const auto sparse_path_at = [&](std::uint64_t bytes) {
+      if (!merge_line) return choose_path(bytes);
+      Path sparse_path;
+      sparse_path.pattern = Pattern::kSparseMerge;
+      sparse_path.overhead_s =
+          model.predict_epoch_overhead_bytes(Pattern::kSparseMerge, bytes);
+      return sparse_path;
+    };
     std::uint64_t candidate = sparse_bytes_at(n0_min);
     if (candidate < dense_bytes) {
       // Chase the fixed point payload -> strategy/overhead -> epoch ->
@@ -265,16 +279,23 @@ TuneDecision tune_decision(const TuningProfile& profile,
       // map is monotone, so it settles in a few rounds).
       for (int iteration = 0; iteration < 8; ++iteration) {
         const std::uint64_t next =
-            sparse_bytes_at(n0_for(choose_path(candidate)));
+            sparse_bytes_at(n0_for(sparse_path_at(candidate)));
         if (next == candidate) break;
         candidate = next;
       }
-      if (candidate < dense_bytes) {
+      // With a merge line the final call is time-based - a byte win is
+      // not a win if the root-side merge alpha eats it; otherwise the
+      // smaller payload decides.
+      const bool sparse_wins =
+          candidate < dense_bytes &&
+          (!merge_line ||
+           sparse_path_at(candidate).overhead_s <= path.overhead_s);
+      if (sparse_wins) {
         // Final pricing at the accepted payload, so the emitted strategy,
         // epoch sizing, and telemetry all refer to the same wire bytes.
         frame_rep = engine::FrameRep::kAuto;
         wire_bytes = candidate;
-        path = choose_path(wire_bytes);
+        path = sparse_path_at(wire_bytes);
         n0_min = n0_for(path);
       } else {
         frame_rep = engine::FrameRep::kDense;

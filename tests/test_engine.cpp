@@ -66,7 +66,9 @@ TEST(EngineCalibrate, DistributesBudgetExactlyAcrossRanks) {
     const CountFrame frame = engine::calibrate(
         &world, CountFrame{}, [](std::uint64_t) { return CountSampler{}; },
         /*total_budget=*/1001, options);
-    if (world.rank() == 0) EXPECT_EQ(frame.data[0], 1001u);
+    if (world.rank() == 0) {
+      EXPECT_EQ(frame.data[0], 1001u);
+    }
   });
 }
 
@@ -197,6 +199,70 @@ TEST(EngineEquivalence, SparseRepresentationShrinksAggregationBytes) {
   EXPECT_LE(sparse.comm_volume.reduce_bytes, 3 * sizeof(std::uint64_t));
   EXPECT_LT(sparse.comm_volume.aggregation_bytes(),
             dense.comm_volume.aggregation_bytes());
+}
+
+// Tree-merge aggregation: interior-rank image combining (any radix, with
+// or without the hierarchy on top) must be bitwise identical to the flat
+// merge - decoding is a commutative sum - while the root ingests strictly
+// fewer bytes than under the flat merge (every per-rank image shares at
+// least the tau pair, so unions shrink).
+TEST(EngineEquivalence, TreeMergeIsBitwiseIdenticalAndCutsRootIngest) {
+  const graph::Graph graph = equivalence_graph();
+  auto run = [&](engine::FrameRep rep, int radix, bool hierarchical) {
+    bc::KadabraOptions options = deterministic_options(1);
+    options.engine.virtual_streams = 8;
+    options.engine.frame_rep = rep;
+    options.engine.tree_radix = radix;
+    options.engine.hierarchical = hierarchical;
+    return bc::kadabra_mpi(graph, options, /*num_ranks=*/8,
+                           /*ranks_per_node=*/hierarchical ? 2 : 1,
+                           mpisim::NetworkModel::disabled());
+  };
+  const bc::BcResult flat =
+      run(engine::FrameRep::kSparse, /*radix=*/0, /*hierarchical=*/false);
+  ASSERT_GT(flat.samples, 0u);
+  ASSERT_GT(flat.comm_volume.root_ingest_bytes, 0u);
+  for (const engine::FrameRep rep :
+       {engine::FrameRep::kDense, engine::FrameRep::kSparse,
+        engine::FrameRep::kAuto}) {
+    for (const int radix : {2, 3, 4}) {
+      for (const bool hierarchical : {false, true}) {
+        const bc::BcResult result = run(rep, radix, hierarchical);
+        const std::string label = std::string(epoch::frame_rep_name(rep)) +
+                                  " / radix " + std::to_string(radix) +
+                                  (hierarchical ? " / hierarchical" : "");
+        expect_bitwise_equal(flat, result, label.c_str());
+        if (rep != engine::FrameRep::kDense && !hierarchical) {
+          EXPECT_LT(result.comm_volume.root_ingest_bytes,
+                    flat.comm_volume.root_ingest_bytes)
+              << label;
+        }
+      }
+    }
+  }
+}
+
+// Regression: with the non-blocking strategy, a fast non-root rank's
+// ireduce_merge_tree completes at its own injection deadline and leaves
+// the epoch's aggregation scope while stragglers are still posting; the
+// stored combiner then runs at the last arrival. It must own its captures
+// - a by-reference capture of the epoch-scope locals was a
+// use-after-scope here (the CI sanitize leg runs this under ASan).
+TEST(EngineEquivalence, TreeMergeSurvivesNonBlockingStragglers) {
+  const graph::Graph graph = equivalence_graph();
+  auto run = [&](engine::FrameRep rep) {
+    bc::KadabraOptions options = deterministic_options(1);
+    options.engine.aggregation = engine::Aggregation::kIreduce;
+    options.engine.tree_radix = 2;
+    options.engine.frame_rep = rep;
+    return bc::kadabra_mpi(graph, options, /*num_ranks=*/4,
+                           /*ranks_per_node=*/1,
+                           mpisim::NetworkModel::disabled());
+  };
+  const bc::BcResult sparse = run(engine::FrameRep::kSparse);
+  ASSERT_GT(sparse.samples, 0u);
+  expect_bitwise_equal(sparse, run(engine::FrameRep::kAuto),
+                       "ireduce tree sparse vs auto");
 }
 
 TEST(EngineEquivalence, HierarchicalReductionMatchesFlat) {

@@ -107,7 +107,7 @@ TEST(Reduce, RootCanDifferFromZero) {
     const std::vector<std::uint64_t> send{1};
     std::vector<std::uint64_t> recv{0};
     comm.reduce(std::span<const std::uint64_t>(send), std::span(recv), 2);
-    if (comm.rank() == 2) EXPECT_EQ(recv[0], 3u);
+    if (comm.rank() == 2) { EXPECT_EQ(recv[0], 3u); }
   });
 }
 
@@ -139,7 +139,7 @@ TEST(Ireduce, TestIsIdempotentAfterCompletion) {
     request.wait();
     EXPECT_TRUE(request.test());
     EXPECT_TRUE(request.test());
-    if (comm.rank() == 0) EXPECT_EQ(recv[0], 10u);
+    if (comm.rank() == 0) { EXPECT_EQ(recv[0], 10u); }
   });
 }
 
@@ -261,8 +261,8 @@ TEST(Split, GroupsByColorOrderedByKey) {
     ASSERT_TRUE(child.valid());
     EXPECT_EQ(child.size(), 3);
     // Highest old rank gets child rank 0 due to the negative key.
-    if (comm.rank() == 4) EXPECT_EQ(child.rank(), 0);
-    if (comm.rank() == 0) EXPECT_EQ(child.rank(), 2);
+    if (comm.rank() == 4) { EXPECT_EQ(child.rank(), 0); }
+    if (comm.rank() == 0) { EXPECT_EQ(child.rank(), 2); }
   });
 }
 
@@ -272,7 +272,7 @@ TEST(Split, UndefinedColorYieldsInvalidComm) {
     Comm child =
         comm.split(comm.rank() == 0 ? 0 : kUndefinedColor, comm.rank());
     EXPECT_EQ(child.valid(), comm.rank() == 0);
-    if (child.valid()) EXPECT_EQ(child.size(), 1);
+    if (child.valid()) { EXPECT_EQ(child.size(), 1); }
   });
 }
 
@@ -302,7 +302,7 @@ TEST(Split, ChildCollectivesWork) {
     const std::vector<std::uint64_t> send{1};
     std::vector<std::uint64_t> recv{0};
     local.reduce(std::span<const std::uint64_t>(send), std::span(recv), 0);
-    if (local.rank() == 0) EXPECT_EQ(recv[0], 2u);
+    if (local.rank() == 0) { EXPECT_EQ(recv[0], 2u); }
   });
 }
 

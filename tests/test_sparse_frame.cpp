@@ -94,7 +94,7 @@ TEST(SparseFrame, SparseImagePairsAreSortedByIndex) {
   std::uint64_t previous = 0;
   for (std::uint64_t p = 0; p < image[1]; ++p) {
     const std::uint64_t index = image[2 + 2 * p];
-    if (p > 0) EXPECT_GT(index, previous);
+    if (p > 0) { EXPECT_GT(index, previous); }
     previous = index;
   }
   EXPECT_EQ(image[2 + 2 * 3], 50u);  // tau pair last (largest index)
@@ -222,6 +222,79 @@ TEST(StateFrame, EncodePrefersSmallerImageUnderAuto) {
   full.record(std::vector<std::uint32_t>{0, 1, 2, 3});
   image.clear();
   EXPECT_EQ(full.encode(image, FrameRep::kAuto), FrameRep::kDense);
+}
+
+// --- merge_images: the interior-hop combiner of tree-merge reductions -------
+
+/// Decodes an image into a dense vector of `words` slots.
+std::vector<std::uint64_t> decoded(std::span<const std::uint64_t> image,
+                                   std::size_t words) {
+  std::vector<std::uint64_t> dense(words, 0);
+  decode_add_image(std::span<std::uint64_t>(dense), image);
+  return dense;
+}
+
+TEST(MergeImages, SparseSparseMergeJoin) {
+  // Disjoint and overlapping indices, ascending order preserved.
+  std::vector<std::uint64_t> acc{kSparseTag, 2, 1, 10, 5, 20};
+  const std::vector<std::uint64_t> in{kSparseTag, 3, 0, 1, 5, 2, 7, 3};
+  merge_images(acc, in, /*dense_words=*/16, /*densify_threshold=*/1.0);
+  const std::vector<std::uint64_t> expected{kSparseTag, 4, 0, 1,
+                                            1,          10, 5, 22,
+                                            7,          3};
+  EXPECT_EQ(acc, expected);
+}
+
+TEST(MergeImages, EqualsDecodingBothInputs) {
+  std::vector<std::uint64_t> acc{kSparseTag, 2, 3, 4, 9, 1};
+  const std::vector<std::uint64_t> in{kSparseTag, 2, 3, 6, 12, 2};
+  std::vector<std::uint64_t> want = decoded(acc, 16);
+  const std::vector<std::uint64_t> other = decoded(in, 16);
+  for (std::size_t i = 0; i < want.size(); ++i) want[i] += other[i];
+  merge_images(acc, in, 16, 1.0);
+  EXPECT_EQ(decoded(acc, 16), want);
+}
+
+TEST(MergeImages, DensifiesAtTheCrossover) {
+  // 16-slot space: sparse pays while 2 + 2 * npairs < 1 + 16. Merging two
+  // 4-pair images with disjoint indices gives 8 pairs -> 18 words >= 17,
+  // so the result must densify (mid-tree densification).
+  std::vector<std::uint64_t> acc{kSparseTag, 4, 0, 1, 2, 1, 4, 1, 6, 1};
+  const std::vector<std::uint64_t> in{kSparseTag, 4, 1, 2, 3, 2, 5, 2, 7, 2};
+  const std::vector<std::uint64_t> want = [&] {
+    std::vector<std::uint64_t> dense = decoded(acc, 16);
+    const std::vector<std::uint64_t> other = decoded(in, 16);
+    for (std::size_t i = 0; i < dense.size(); ++i) dense[i] += other[i];
+    return dense;
+  }();
+  merge_images(acc, in, 16, 1.0);
+  ASSERT_EQ(image_rep(acc), FrameRep::kDense);
+  EXPECT_EQ(decoded(acc, 16), want);
+
+  // A lower threshold densifies earlier: a single-pair merge (4 image
+  // words) stops paying under 0.2 x the 17-word dense image.
+  std::vector<std::uint64_t> small{kSparseTag, 1, 0, 1};
+  const std::vector<std::uint64_t> same = small;
+  merge_images(small, same, 16, 0.2);
+  EXPECT_EQ(image_rep(small), FrameRep::kDense);
+  EXPECT_EQ(decoded(small, 16)[0], 2u);
+}
+
+TEST(MergeImages, DenseOperandsDensifyTheResult) {
+  // dense += sparse.
+  std::vector<std::uint64_t> acc{kDenseTag, 1, 2, 3, 0};
+  merge_images(acc, std::vector<std::uint64_t>{kSparseTag, 1, 3, 5}, 4, 1.0);
+  EXPECT_EQ(acc, (std::vector<std::uint64_t>{kDenseTag, 1, 2, 3, 5}));
+  // sparse += dense: the accumulator densifies.
+  std::vector<std::uint64_t> sparse{kSparseTag, 1, 0, 7};
+  merge_images(sparse, std::vector<std::uint64_t>{kDenseTag, 1, 1, 1, 1}, 4,
+               1.0);
+  EXPECT_EQ(sparse, (std::vector<std::uint64_t>{kDenseTag, 8, 1, 1, 1}));
+  // dense += dense.
+  std::vector<std::uint64_t> both{kDenseTag, 1, 1, 1, 1};
+  merge_images(both, std::vector<std::uint64_t>{kDenseTag, 1, 0, 0, 2}, 4,
+               1.0);
+  EXPECT_EQ(both, (std::vector<std::uint64_t>{kDenseTag, 2, 1, 1, 3}));
 }
 
 TEST(FrameRepNames, RoundTrip) {

@@ -244,6 +244,47 @@ TEST(Tuner, SparseWirePayloadShrinksTheSizedEpoch) {
 
 // --- Profile serialization ---------------------------------------------------
 
+// The sparse-merge line prices the root-side image merge separately: a
+// cheap merge line keeps the sparse representation; a merge alpha that
+// eats the byte win must flip the decision back to dense even though the
+// sparse image is smaller.
+TEST(Tuner, MergeLineGatesTheSparseDecision) {
+  tune::TuneRequest request;
+  request.frame_words = 1u << 20;
+  request.sample_seconds = 50e-6;
+  request.touched_words_per_sample = 10.0;
+  request.base.frame_rep = engine::FrameRep::kDense;  // env-override-proof
+
+  tune::TuningProfile cheap_merge = oversubscribed_profile();
+  {
+    tune::AlphaBeta& line =
+        cheap_merge.model.line(tune::Pattern::kSparseMerge);
+    line.alpha_s = 250e-6;  // cheaper than the 300us Ibarrier+Reduce alpha
+    line.beta_s_per_byte = 2e-9;
+    line.valid = true;
+  }
+  const tune::TuneDecision sparse =
+      tune::tune_decision(cheap_merge, request);
+  EXPECT_EQ(sparse.frame_rep, engine::FrameRep::kAuto);
+  EXPECT_EQ(sparse.pattern, tune::Pattern::kSparseMerge);
+  EXPECT_EQ(sparse.options.aggregation,
+            engine::Aggregation::kIbarrierReduce);
+
+  tune::TuningProfile costly_merge = oversubscribed_profile();
+  {
+    // Root-side image merging so expensive that no byte saving pays.
+    tune::AlphaBeta& line =
+        costly_merge.model.line(tune::Pattern::kSparseMerge);
+    line.alpha_s = 50e-3;
+    line.beta_s_per_byte = 2e-9;
+    line.valid = true;
+  }
+  const tune::TuneDecision dense =
+      tune::tune_decision(costly_merge, request);
+  EXPECT_EQ(dense.frame_rep, engine::FrameRep::kDense);
+  EXPECT_NE(dense.pattern, tune::Pattern::kSparseMerge);
+}
+
 TEST(TuningProfile, RoundTripsThroughTextAndKeepsDecisions) {
   const tune::TuningProfile original = oversubscribed_profile();
   const std::string text = original.serialize();
@@ -336,7 +377,8 @@ TEST(Microbench, MeasuresAllPatternsOnTinyCluster) {
   EXPECT_GT(result.baseline_epoch_s, 0.0);
   for (const auto pattern :
        {tune::Pattern::kReduce, tune::Pattern::kIreduce,
-        tune::Pattern::kIbarrierReduce, tune::Pattern::kWindowPreReduce}) {
+        tune::Pattern::kIbarrierReduce, tune::Pattern::kWindowPreReduce,
+        tune::Pattern::kSparseMerge}) {
     const auto samples = result.of(pattern);
     ASSERT_EQ(samples.size(), 2u) << tune::pattern_name(pattern);
     for (const auto& sample : samples) {
