@@ -1,12 +1,13 @@
-// Quickstart: approximate betweenness centrality on a synthetic social
-// network with the epoch-based MPI algorithm, and sanity-check the result
-// against exact Brandes.
+// Quickstart: approximate betweenness centrality through the Session API -
+// one distbc::api::Session binds the graph to a simulated cluster, typed
+// queries run on it, and the exact-Brandes oracle is just another query on
+// the same session.
 //
 //   ./quickstart [eps=0.05] [ranks=4] [threads=2] [scale=12]
+#include <cmath>
 #include <cstdio>
 
-#include "bc/brandes_parallel.hpp"
-#include "bc/kadabra.hpp"
+#include "api/session.hpp"
 #include "gen/rmat.hpp"
 #include "graph/components.hpp"
 #include "support/options.hpp"
@@ -31,31 +32,43 @@ int main(int argc, char** argv) {
   std::printf("graph: %u vertices, %llu edges\n", graph.num_vertices(),
               static_cast<unsigned long long>(graph.num_edges()));
 
-  // 2. Approximate betweenness on a simulated cluster.
-  bc::KadabraOptions bc_options;
-  bc_options.params.epsilon = options.get_double("eps", 0.05);
-  bc_options.params.delta = 0.1;
-  bc_options.engine.threads_per_rank =
-      static_cast<int>(options.get_u64("threads", 2));
-  const int ranks = static_cast<int>(options.get_u64("ranks", 4));
-  const bc::BcResult approx = bc::kadabra_mpi(graph, bc_options, ranks);
+  // 2. One session = graph x cluster shape. Config resolves defaults, the
+  //    DISTBC_* environment, and these programmatic writes in that order.
+  api::Config config = api::Config::from_env();
+  config.ranks = static_cast<int>(options.get_u64("ranks", 4));
+  config.threads = static_cast<int>(options.get_u64("threads", 2));
+  api::Session session(graph, config);
 
-  std::printf("KADABRA: %llu samples in %llu epochs (budget omega = %llu), "
-              "%.3f s total\n",
+  // 3. Approximate betweenness, top-10 included in the same query.
+  api::BetweennessQuery query;
+  query.epsilon = options.get_double("eps", 0.05);
+  query.delta = 0.1;
+  query.top_k = 10;
+  const api::Result approx = session.run(query);
+  if (!approx.status.ok) {
+    std::fprintf(stderr, "query failed: %s\n", approx.status.message.c_str());
+    return 1;
+  }
+  std::printf("KADABRA: %llu samples in %llu epochs, %.3f s total\n",
               static_cast<unsigned long long>(approx.samples),
               static_cast<unsigned long long>(approx.epochs),
-              static_cast<unsigned long long>(approx.omega),
               approx.total_seconds);
 
-  // 3. Show the top-10 central vertices.
   std::printf("\ntop 10 vertices by approximate betweenness:\n");
-  for (const graph::Vertex v : approx.top_k(10))
-    std::printf("  vertex %8u  b~ = %.5f\n", v, approx.scores[v]);
+  for (const auto& [vertex, score] : approx.top_k)
+    std::printf("  vertex %8u  b~ = %.5f\n", vertex, score);
 
-  // 4. Verify the (eps, delta) guarantee against the exact oracle.
-  const bc::BcResult exact = bc::brandes_parallel(graph, 8);
+  // 4. Verify the (eps, delta) guarantee against the exact oracle - the
+  //    Brandes fallback is one more query on the same session.
+  api::BetweennessQuery exact_query;
+  exact_query.exact = true;
+  const api::Result exact = session.run(exact_query);
+  double max_diff = 0.0;
+  for (std::size_t v = 0; v < exact.scores.size(); ++v)
+    max_diff = std::max(max_diff,
+                        std::fabs(approx.scores[v] - exact.scores[v]));
   std::printf("\nmax |b~ - b| = %.5f (guaranteed <= %.3f with probability "
               "0.9)\n",
-              approx.max_abs_difference(exact), bc_options.params.epsilon);
+              max_diff, query.epsilon);
   return 0;
 }

@@ -3,17 +3,17 @@
 // the top-k requires a small epsilon - which is exactly what the MPI
 // parallelization makes affordable.
 //
-// This example runs the same social-network proxy at eps = 0.01 and
-// eps = 0.001-scaled-equivalents and reports how many of the true top-k the
-// approximation recovers at each accuracy.
+// Session-API version: one api::Session serves the whole approximate
+// epsilon sweep (the diameter estimate inside each calibration never
+// leaves it); the exact ground truth runs as an exact-Brandes query on a
+// second session configured with more threads.
 //
 //   ./social_topk [k=20] [scale=12]
 #include <algorithm>
 #include <cstdio>
 #include <set>
 
-#include "bc/brandes_parallel.hpp"
-#include "bc/kadabra.hpp"
+#include "api/session.hpp"
 #include "gen/rmat.hpp"
 #include "graph/components.hpp"
 #include "support/options.hpp"
@@ -36,11 +36,30 @@ int main(int argc, char** argv) {
               graph.num_vertices(),
               static_cast<unsigned long long>(graph.num_edges()));
 
-  const bc::BcResult exact = bc::brandes_parallel(graph, 8);
-  const auto true_top = exact.top_k(k);
-  const std::set<graph::Vertex> truth(true_top.begin(), true_top.end());
+  api::Config config = api::Config::from_env();
+  config.ranks = 8;
+  config.threads = 1;
+  config.seed = 99;
+  api::Session session(graph, config);
+
+  // Ground truth: the exact-Brandes path of the same session (config
+  // threads drive the Brandes parallelism too).
+  api::Config exact_config = config;
+  exact_config.threads = 8;
+  api::Session exact_session(graph, exact_config);
+  api::BetweennessQuery exact_query;
+  exact_query.exact = true;
+  exact_query.top_k = k;
+  const api::Result exact = exact_session.run(exact_query);
+  if (!exact.status.ok) {
+    std::fprintf(stderr, "exact query failed: %s\n",
+                 exact.status.message.c_str());
+    return 1;
+  }
+  std::set<graph::Vertex> truth;
+  for (const auto& [vertex, score] : exact.top_k) truth.insert(vertex);
   std::printf("ground truth: top-%zu scores range %.5f .. %.5f\n", k,
-              exact.scores[true_top.back()], exact.scores[true_top.front()]);
+              exact.top_k.back().second, exact.top_k.front().second);
   std::size_t above_001 = 0;
   for (const double score : exact.scores) above_001 += score > 0.01;
   std::printf("vertices with b > 0.01: %zu of %u (the paper's point: very "
@@ -48,14 +67,18 @@ int main(int argc, char** argv) {
               above_001, graph.num_vertices());
 
   for (const double eps : {0.05, 0.02, 0.008}) {
-    bc::KadabraOptions bc_options;
-    bc_options.params.epsilon = eps;
-    bc_options.params.seed = 99;
-    const bc::BcResult approx =
-        bc::kadabra_mpi(graph, bc_options, /*num_ranks=*/8);
-    const auto found = approx.top_k(k);
+    api::BetweennessQuery query;
+    query.epsilon = eps;
+    query.top_k = k;
+    const api::Result approx = session.run(query);
+    if (!approx.status.ok) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   approx.status.message.c_str());
+      return 1;
+    }
     std::size_t hits = 0;
-    for (const graph::Vertex v : found) hits += truth.contains(v);
+    for (const auto& [vertex, score] : approx.top_k)
+      hits += truth.contains(vertex);
     std::printf("eps = %.3f: %llu samples, %.2f s, recovered %zu/%zu of the "
                 "true top-%zu\n",
                 eps, static_cast<unsigned long long>(approx.samples),

@@ -1,8 +1,8 @@
 #include "adaptive/closeness.hpp"
 
 #include <cmath>
-#include <mutex>
 
+#include "api/session.hpp"
 #include "engine/engine.hpp"
 #include "graph/bfs.hpp"
 #include "graph/components.hpp"
@@ -68,7 +68,7 @@ ClosenessResult closeness_rank(const graph::Graph& graph,
   const graph::Vertex n = graph.num_vertices();
   DISTBC_ASSERT(n >= 2);
   const bool is_root = world.rank() == 0;
-  if (is_root) {
+  if (is_root && !params.assume_connected) {
     DISTBC_ASSERT_MSG(graph::is_connected(graph),
                       "closeness_mpi requires a connected graph");
   }
@@ -115,12 +115,10 @@ ClosenessResult closeness_rank(const graph::Graph& graph,
     request.base = options;
     options = tune::tuned_options(*params.auto_tune, request);
   }
-  const std::uint64_t bound_clamp = std::max<std::uint64_t>(
-      1, closeness_sample_bound(n, params.epsilon, params.delta) / 8);
-  options.max_epoch_length = options.max_epoch_length != 0
-                                 ? std::min(options.max_epoch_length,
-                                            bound_clamp)
-                                 : bound_clamp;
+  options.max_epoch_length = engine::paced_epoch_cap(
+      closeness_sample_bound(n, params.epsilon, params.delta),
+      /*budget_fraction=*/8, /*min_epoch_length=*/1,
+      options.max_epoch_length);
 
   auto driver_result = engine::run_epochs(&world, ClosenessFrame(n),
                                           make_sampler, should_stop, options);
@@ -128,7 +126,10 @@ ClosenessResult closeness_rank(const graph::Graph& graph,
   ClosenessResult result;
   result.epochs = driver_result.epochs;
   result.total_seconds = driver_result.total_seconds;
+  result.engine_used = options;
   if (is_root) {
+    result.phases = driver_result.phases;
+    result.comm_volume = driver_result.comm_volume;
     const ClosenessFrame& frame = driver_result.aggregate;
     result.samples = frame.sources();
     result.scores.resize(n);
@@ -146,22 +147,16 @@ ClosenessResult closeness_mpi(const graph::Graph& graph,
                               const ClosenessParams& params, int num_ranks,
                               int ranks_per_node,
                               mpisim::NetworkModel network) {
-  mpisim::RuntimeConfig config;
-  config.num_ranks = num_ranks;
+  // Compatibility layer: one-shot api::Session owning the cluster
+  // lifecycle; the session binds the caller's graph without copying it.
+  api::Config config;
+  config.ranks = num_ranks;
   config.ranks_per_node = ranks_per_node;
   config.network = network;
-  mpisim::Runtime runtime(config);
-
-  ClosenessResult root_result;
-  std::mutex mu;
-  runtime.run([&](mpisim::Comm& world) {
-    ClosenessResult local = closeness_rank(graph, params, world);
-    if (world.rank() == 0) {
-      std::lock_guard lock(mu);
-      root_result = std::move(local);
-    }
-  });
-  return root_result;
+  api::Session session(
+      std::shared_ptr<const graph::Graph>(&graph, [](const graph::Graph*) {}),
+      std::move(config));
+  return session.closeness(params);
 }
 
 }  // namespace distbc::adaptive

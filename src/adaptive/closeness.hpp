@@ -123,6 +123,10 @@ struct ClosenessParams {
   /// hierarchical reduction, threads per rank, and epoch sizing (against a
   /// quick per-sample BFS cost probe) instead of the fields in `engine`.
   std::shared_ptr<const tune::TuningProfile> auto_tune;
+  /// Skip the rank-0 connectivity assertion: the caller (api::Session)
+  /// already validated it and turned failure into a status instead of an
+  /// abort.
+  bool assume_connected = false;
 };
 
 struct ClosenessResult {
@@ -130,6 +134,13 @@ struct ClosenessResult {
   std::uint64_t samples = 0;   // BFS sources taken
   std::uint64_t epochs = 0;
   double total_seconds = 0.0;
+  /// Engine phase windows and per-collective bytes moved (valid at world
+  /// rank 0, like scores) - the same observability surface BcResult has,
+  /// feeding the unified api::Result.
+  PhaseTimer phases;
+  mpisim::CommVolume comm_volume;
+  /// Engine configuration the run actually used (after autotuning).
+  engine::EngineOptions engine_used;
 
   [[nodiscard]] std::vector<graph::Vertex> top_k(std::size_t k) const;
 };

@@ -1,8 +1,8 @@
 #include "adaptive/mean_distance.hpp"
 
 #include <cmath>
-#include <mutex>
 
+#include "api/session.hpp"
 #include "engine/engine.hpp"
 #include "graph/bidirectional_bfs.hpp"
 #include "graph/components.hpp"
@@ -63,14 +63,18 @@ MeanDistanceResult mean_distance_rank(const graph::Graph& graph,
   const bool is_root = world.rank() == 0;
 
   // Range bound for the Bernstein term: cheap 2-approximate diameter,
-  // computed once at rank 0 and broadcast (mirrors KADABRA's phase 1).
-  std::uint32_t range = 0;
-  if (is_root) {
-    DISTBC_ASSERT_MSG(graph::is_connected(graph),
-                      "mean_distance requires a connected graph");
-    range = graph::vertex_diameter(graph, /*exact=*/false);
+  // computed once at rank 0 and broadcast (mirrors KADABRA's phase 1) -
+  // or reused from a previous run via params.known_range.
+  std::uint32_t range = params.known_range;
+  if (range == 0) {
+    if (is_root) {
+      DISTBC_ASSERT_MSG(params.assume_connected ||
+                            graph::is_connected(graph),
+                        "mean_distance requires a connected graph");
+      range = graph::vertex_diameter(graph, /*exact=*/false);
+    }
+    world.bcast(std::span{&range, 1}, 0);
   }
-  world.bcast(std::span{&range, 1}, 0);
 
   auto make_sampler = [&](std::uint64_t stream) {
     return DistanceSampler(graph, Rng(params.seed).split(stream));
@@ -101,8 +105,12 @@ MeanDistanceResult mean_distance_rank(const graph::Graph& graph,
 
   MeanDistanceResult result;
   result.epochs = driver_result.epochs;
+  result.range = range;
   result.total_seconds = driver_result.total_seconds;
+  result.engine_used = engine_options;
   if (is_root) {
+    result.phases = driver_result.phases;
+    result.comm_volume = driver_result.comm_volume;
     const MomentFrame& frame = driver_result.aggregate;
     result.mean = frame.mean();
     result.stddev = std::sqrt(frame.variance());
@@ -117,22 +125,16 @@ MeanDistanceResult mean_distance_mpi(const graph::Graph& graph,
                                      const MeanDistanceParams& params,
                                      int num_ranks, int ranks_per_node,
                                      mpisim::NetworkModel network) {
-  mpisim::RuntimeConfig config;
-  config.num_ranks = num_ranks;
+  // Compatibility layer: one-shot api::Session owning the cluster
+  // lifecycle; the session binds the caller's graph without copying it.
+  api::Config config;
+  config.ranks = num_ranks;
   config.ranks_per_node = ranks_per_node;
   config.network = network;
-  mpisim::Runtime runtime(config);
-
-  MeanDistanceResult root_result;
-  std::mutex mu;
-  runtime.run([&](mpisim::Comm& world) {
-    MeanDistanceResult local = mean_distance_rank(graph, params, world);
-    if (world.rank() == 0) {
-      std::lock_guard lock(mu);
-      root_result = local;
-    }
-  });
-  return root_result;
+  api::Session session(
+      std::shared_ptr<const graph::Graph>(&graph, [](const graph::Graph*) {}),
+      std::move(config));
+  return session.mean_distance(params);
 }
 
 }  // namespace distbc::adaptive

@@ -96,6 +96,15 @@ struct MeanDistanceParams {
   /// hierarchical reduction, threads per rank, and epoch sizing (against a
   /// quick per-sample probe) instead of the fields in `engine`.
   std::shared_ptr<const tune::TuningProfile> auto_tune;
+  /// Distance-range upper bound for the Bernstein term; 0 = compute the
+  /// 2-approximate diameter at rank 0 (and report it in
+  /// MeanDistanceResult::range). api::Session feeds the reported value
+  /// back so repeated queries skip the diameter probe.
+  std::uint32_t known_range = 0;
+  /// Skip the rank-0 connectivity assertion: the caller (api::Session)
+  /// already validated it and turned failure into a status instead of an
+  /// abort.
+  bool assume_connected = false;
 };
 
 struct MeanDistanceResult {
@@ -104,7 +113,15 @@ struct MeanDistanceResult {
   double half_width = 0.0;   // final confidence half-width
   std::uint64_t samples = 0;
   std::uint64_t epochs = 0;
+  std::uint32_t range = 0;   // the distance-range bound the run used
   double total_seconds = 0.0;
+  /// Engine phase windows and per-collective bytes moved (valid at world
+  /// rank 0) - the same observability surface BcResult has, feeding the
+  /// unified api::Result.
+  PhaseTimer phases;
+  mpisim::CommVolume comm_volume;
+  /// Engine configuration the run actually used (after autotuning).
+  engine::EngineOptions engine_used;
 };
 
 /// Empirical-Bernstein half-width; exposed for tests.

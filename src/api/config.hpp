@@ -1,0 +1,133 @@
+// api::Config - the one typed configuration surface of the library.
+//
+// Every engine/driver knob that used to be scattered over KadabraOptions,
+// ClosenessParams, MeanDistanceParams, EngineOptions defaults, and
+// DISTBC_* environment peeking inside epoch/engine headers resolves here,
+// in ONE documented precedence order (lowest to highest):
+//
+//   1. built-in defaults        - the field initializers below;
+//   2. environment              - load_env(): DISTBC_<KEY> for every key
+//                                 in the table (e.g. DISTBC_FRAME_REP,
+//                                 DISTBC_TREE_RADIX - the names the old
+//                                 scattered overrides used);
+//   3. key=value text           - load_text(): one `key = value` per line,
+//                                 '#' comments, same format as tuning
+//                                 profiles;
+//   4. programmatic             - set(key, value) or direct field writes.
+//
+// Precedence is realized by application order: each layer overwrites the
+// ones below, so `Config::from_env()` then `load_text(...)` then `set(...)`
+// is the canonical build sequence. Unknown keys and malformed values are
+// rejected with a Status (nothing exits or aborts at this layer).
+//
+// This file (api/) is the ONLY place in src/ that reads DISTBC_*
+// environment variables; the engine, epoch, and driver layers take their
+// knobs as plain values.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/status.hpp"
+#include "engine/engine.hpp"
+#include "mpisim/network.hpp"
+
+namespace distbc::tune {
+struct TuningProfile;  // tune/tuner.hpp
+}
+
+namespace distbc::api {
+
+/// One entry of the key table: the settable name, the environment variable
+/// load_env() reads for it, and one-line help.
+struct ConfigKey {
+  const char* key;
+  const char* env;
+  const char* help;
+};
+
+struct Config {
+  // --- Cluster shape (what a Session binds the graph to) ------------------
+  int ranks = 1;            // simulated MPI ranks
+  int ranks_per_node = 1;   // processes per node (paper: one per socket)
+  int threads = 1;          // sampling threads per rank
+
+  // --- Engine knobs (see engine::EngineOptions for semantics) -------------
+  engine::Aggregation aggregation = engine::Aggregation::kIbarrierReduce;
+  bool hierarchical = false;
+  std::uint64_t epoch_base = 1000;
+  double epoch_exponent = 1.33;
+  std::uint64_t max_epoch_length = 0;
+  std::uint64_t max_epochs = 1u << 20;
+  bool deterministic = false;
+  std::uint64_t virtual_streams = 0;
+  engine::FrameRep frame_rep = engine::FrameRep::kDense;
+  int tree_radix = 0;
+  bool local_aggregates = false;
+
+  // --- Sampling / statistics knobs ----------------------------------------
+  std::uint64_t seed = 0x5eed;
+  bool exact_diameter = true;     // iFUB vs 2-approximation in phase 1
+  std::uint64_t initial_samples = 0;  // 0 = automatic (scales with omega)
+  double balancing = 0.01;        // calibration failure-budget floor
+  /// First-stop-check pacing (the deduplicated clamp: the Session passes
+  /// these to engine::paced_epoch_cap, engine/streams.hpp).
+  std::uint64_t omega_fraction = 2;
+  std::uint64_t min_epoch_length = 1;
+
+  // --- Facade behavior ----------------------------------------------------
+  /// Betweenness queries on graphs with |V| <= this run exact Brandes
+  /// instead of sampling (0 = never fall back).
+  std::uint64_t exact_threshold = 0;
+  /// Path of a tune::TuningProfile text file to load at Session
+  /// construction; empty = none.
+  std::string tune_profile;
+  /// Capture a tuning profile (tune::capture_profile) for this cluster
+  /// shape lazily at the first query, then reuse it for every later query.
+  /// Ignored when a profile is already provided via `tune_profile`/
+  /// `profile`.
+  bool auto_tune = false;
+
+  // --- Typed-only fields (programmatic, not in the key table) -------------
+  mpisim::NetworkModel network{};
+  /// A pre-captured tuning profile; takes precedence over `tune_profile`.
+  std::shared_ptr<const tune::TuningProfile> profile;
+
+  /// The settable keys, their environment names, and help text.
+  [[nodiscard]] static const std::vector<ConfigKey>& keys();
+
+  /// Layer 4: one programmatic assignment. Unknown key or malformed value
+  /// -> error Status, config unchanged.
+  [[nodiscard]] Status set(std::string_view key, std::string_view value);
+
+  /// Layer 3: `key = value` lines ('#' comments, blank lines ok). Applies
+  /// assignments in order; stops at the first bad key/value.
+  [[nodiscard]] Status load_text(std::string_view text);
+
+  /// Layer 2: reads DISTBC_<KEY> for every key in the table. A set but
+  /// malformed variable is an error (loud beats silently running
+  /// defaults); unset variables are skipped.
+  [[nodiscard]] Status load_env();
+
+  /// defaults() is layer 1 alone; from_env() is the service default
+  /// (defaults + environment). from_env() asserts the environment is
+  /// well-formed - use load_env() directly to handle errors.
+  [[nodiscard]] static Config defaults() { return {}; }
+  [[nodiscard]] static Config from_env();
+
+  /// Cross-field validation (ranks >= 1, tree_radix != 1, virtual streams
+  /// require deterministic mode, ...). Session construction runs this.
+  [[nodiscard]] Status validate() const;
+
+  /// The engine configuration these knobs resolve to.
+  [[nodiscard]] engine::EngineOptions engine_options() const;
+
+  /// Serializes the key-table fields as `key = value` lines (the
+  /// load_text format; typed-only fields are not included).
+  [[nodiscard]] std::string serialize() const;
+};
+
+}  // namespace distbc::api

@@ -1,0 +1,296 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "bc/brandes.hpp"
+#include "bc/brandes_parallel.hpp"
+#include "graph/components.hpp"
+#include "tune/microbench.hpp"
+#include "tune/tuner.hpp"
+
+namespace distbc::api {
+
+namespace {
+
+/// (vertex, score) pairs for an already-ranked vertex order.
+std::vector<std::pair<graph::Vertex, double>> pairs_from_order(
+    const std::vector<double>& scores,
+    const std::vector<graph::Vertex>& order) {
+  std::vector<std::pair<graph::Vertex, double>> pairs;
+  pairs.reserve(order.size());
+  for (const graph::Vertex v : order) pairs.emplace_back(v, scores[v]);
+  return pairs;
+}
+
+}  // namespace
+
+Session::Session(graph::Graph graph, Config config)
+    : Session(std::make_shared<const graph::Graph>(std::move(graph)),
+              std::move(config)) {}
+
+Session::Session(std::shared_ptr<const graph::Graph> graph, Config config)
+    : graph_(std::move(graph)), config_(std::move(config)) {
+  DISTBC_ASSERT(graph_ != nullptr);
+  status_ = config_.validate();
+  if (!status_.ok) return;
+  profile_ = config_.profile;
+  if (profile_ == nullptr && !config_.tune_profile.empty()) {
+    auto loaded = tune::TuningProfile::load(config_.tune_profile);
+    if (!loaded.has_value()) {
+      status_ = Status::error("cannot load tuning profile '" +
+                              config_.tune_profile + "'");
+      return;
+    }
+    profile_ = std::make_shared<const tune::TuningProfile>(*loaded);
+  }
+  mpisim::RuntimeConfig runtime_config;
+  runtime_config.num_ranks = config_.ranks;
+  runtime_config.ranks_per_node = config_.ranks_per_node;
+  runtime_config.network = config_.network;
+  runtime_ = std::make_unique<mpisim::Runtime>(runtime_config);
+}
+
+bool Session::connected() {
+  if (!connected_.has_value()) connected_ = graph::is_connected(*graph_);
+  return *connected_;
+}
+
+Status Session::validate_query(double epsilon, double delta,
+                               std::size_t top_k, bool needs_connected) {
+  if (!status_.ok) return status_;
+  if (graph_->num_vertices() < 2)
+    return Status::error("graph has fewer than 2 vertices");
+  if (!(epsilon > 0.0)) return Status::error("epsilon must be > 0");
+  if (!(delta > 0.0) || !(delta < 1.0))
+    return Status::error("delta must be in (0, 1)");
+  if (top_k > graph_->num_vertices())
+    return Status::error("top_k exceeds the number of vertices");
+  if (needs_connected && !connected())
+    return Status::error(
+        "graph is not connected; the sampling estimators require a "
+        "connected graph (run on its largest component)");
+  return Status::success();
+}
+
+std::shared_ptr<const tune::TuningProfile> Session::active_profile(
+    bool& reused) {
+  reused = profile_ != nullptr && profile_used_;
+  if (profile_ == nullptr && config_.auto_tune) {
+    // Lazy capture: one microbench run on this session's cluster shape,
+    // amortized over every subsequent query.
+    tune::MicrobenchConfig micro;
+    micro.num_ranks = config_.ranks;
+    micro.ranks_per_node = config_.ranks_per_node;
+    micro.threads_per_rank = config_.threads;
+    micro.network = config_.network;
+    profile_ =
+        std::make_shared<const tune::TuningProfile>(capture_profile(micro));
+  }
+  if (profile_ != nullptr) profile_used_ = true;
+  return profile_;
+}
+
+Session::CalibrationKey Session::calibration_key(
+    const bc::KadabraParams& params, int threads_per_rank, bool deterministic,
+    std::uint64_t virtual_streams) const {
+  return {params.epsilon,    params.delta,     params.seed,
+          params.exact_diameter, params.initial_samples, params.balancing,
+          threads_per_rank,  deterministic,    virtual_streams};
+}
+
+void Session::preload_calibration(
+    const bc::KadabraParams& params,
+    std::shared_ptr<const bc::KadabraWarmState> warm) {
+  // Match the key run() will look up: with a profile bound to the session,
+  // the autotune path runs at the profile's thread count, not config's.
+  const int threads = profile_ != nullptr ? profile_->shape.threads_per_rank
+                                          : config_.threads;
+  calibrations_[calibration_key(params, threads, config_.deterministic,
+                                config_.virtual_streams)] = std::move(warm);
+}
+
+// --- Native entry points ----------------------------------------------------
+
+bc::BcResult Session::kadabra(const bc::KadabraOptions& options) {
+  DISTBC_ASSERT_MSG(status_.ok, status_.message.c_str());
+  bc::KadabraOptions run_options = options;
+  // The autotune path overrides the thread count, and with it the stream
+  // layout the calibration aggregate depends on - key on the effective
+  // value.
+  const int threads = options.auto_tune != nullptr
+                          ? options.auto_tune->shape.threads_per_rank
+                          : options.engine.threads_per_rank;
+  const CalibrationKey key =
+      calibration_key(options.params, threads, options.engine.deterministic,
+                      options.engine.virtual_streams);
+  if (run_options.warm_start == nullptr) {
+    if (const auto it = calibrations_.find(key); it != calibrations_.end())
+      run_options.warm_start = it->second;
+  }
+  bc::BcResult result;
+  runtime_->run([&](mpisim::Comm& world) {
+    bc::BcResult local = bc::kadabra_run(*graph_, run_options, &world);
+    if (world.rank() == 0) result = std::move(local);
+  });
+  if (result.warm != nullptr) calibrations_[key] = result.warm;
+  return result;
+}
+
+adaptive::ClosenessResult Session::closeness(
+    const adaptive::ClosenessParams& params) {
+  DISTBC_ASSERT_MSG(status_.ok, status_.message.c_str());
+  adaptive::ClosenessResult result;
+  runtime_->run([&](mpisim::Comm& world) {
+    adaptive::ClosenessResult local =
+        adaptive::closeness_rank(*graph_, params, world);
+    if (world.rank() == 0) result = std::move(local);
+  });
+  return result;
+}
+
+adaptive::MeanDistanceResult Session::mean_distance(
+    const adaptive::MeanDistanceParams& params) {
+  DISTBC_ASSERT_MSG(status_.ok, status_.message.c_str());
+  adaptive::MeanDistanceResult result;
+  runtime_->run([&](mpisim::Comm& world) {
+    adaptive::MeanDistanceResult local =
+        adaptive::mean_distance_rank(*graph_, params, world);
+    if (world.rank() == 0) result = local;
+  });
+  if (result.range > 0) mean_distance_range_ = result.range;
+  return result;
+}
+
+// --- Typed dispatch ---------------------------------------------------------
+
+Result Session::run(const BetweennessQuery& query) {
+  Result result;
+  const bool exact =
+      query.exact || graph_->num_vertices() <= config_.exact_threshold;
+  result.status = validate_query(query.epsilon, query.delta, query.top_k,
+                                 /*needs_connected=*/!exact);
+  // Betweenness scores lie in [0, 1]: KADABRA's budget math requires
+  // epsilon < 1 (the driver asserts it).
+  if (result.status.ok && !exact && query.epsilon >= 1.0)
+    result.status = Status::error("epsilon must be in (0, 1)");
+  if (!result.status.ok) return result;
+
+  if (exact) {
+    bc::BcResult brandes = config_.threads > 1
+                               ? bc::brandes_parallel(*graph_, config_.threads)
+                               : bc::brandes(*graph_);
+    result.algorithm = "brandes";
+    result.samples = brandes.samples;
+    result.total_seconds = brandes.total_seconds;
+    result.phases = brandes.phases;
+    if (query.top_k > 0)
+      result.top_k =
+          pairs_from_order(brandes.scores, brandes.top_k(query.top_k));
+    result.scores = std::move(brandes.scores);
+    return result;
+  }
+
+  bc::KadabraOptions options;
+  options.params.epsilon = query.epsilon;
+  options.params.delta = query.delta;
+  options.params.exact_diameter = config_.exact_diameter;
+  options.params.seed = config_.seed;
+  options.params.initial_samples = config_.initial_samples;
+  options.params.balancing = config_.balancing;
+  options.engine = config_.engine_options();
+  options.omega_fraction = config_.omega_fraction;
+  options.min_epoch_length = config_.min_epoch_length;
+  options.top_k = query.top_k;
+  options.auto_tune = active_profile(result.profile_reused);
+
+  const int threads = options.auto_tune != nullptr
+                          ? options.auto_tune->shape.threads_per_rank
+                          : options.engine.threads_per_rank;
+  result.calibration_reused = calibrations_.contains(
+      calibration_key(options.params, threads, options.engine.deterministic,
+                      options.engine.virtual_streams));
+
+  bc::BcResult bc_result = kadabra(options);
+  result.algorithm = "kadabra";
+  result.samples = bc_result.samples;
+  result.epochs = bc_result.epochs;
+  result.total_seconds = bc_result.total_seconds;
+  result.phases = bc_result.phases;
+  result.comm_volume = bc_result.comm_volume;
+  result.engine_used = bc_result.engine_used;
+  result.top_k = std::move(bc_result.top_k_pairs);
+  result.scores = std::move(bc_result.scores);
+  return result;
+}
+
+Result Session::run(const ClosenessRankQuery& query) {
+  Result result;
+  result.status = validate_query(query.epsilon, query.delta, query.top_k,
+                                 /*needs_connected=*/true);
+  if (!result.status.ok) return result;
+
+  adaptive::ClosenessParams params;
+  params.epsilon = query.epsilon;
+  params.delta = query.delta;
+  params.seed = config_.seed;
+  params.engine = config_.engine_options();
+  params.auto_tune = active_profile(result.profile_reused);
+  params.assume_connected = true;  // the session just validated it
+
+  adaptive::ClosenessResult closeness_result = closeness(params);
+  result.algorithm = "closeness";
+  result.samples = closeness_result.samples;
+  result.epochs = closeness_result.epochs;
+  result.total_seconds = closeness_result.total_seconds;
+  result.phases = closeness_result.phases;
+  result.comm_volume = closeness_result.comm_volume;
+  result.engine_used = closeness_result.engine_used;
+  if (query.top_k > 0)
+    result.top_k = pairs_from_order(closeness_result.scores,
+                                    closeness_result.top_k(query.top_k));
+  result.scores = std::move(closeness_result.scores);
+  return result;
+}
+
+Result Session::run(const MeanDistanceQuery& query) {
+  Result result;
+  result.status = validate_query(query.epsilon, query.delta, /*top_k=*/0,
+                                 /*needs_connected=*/true);
+  if (!result.status.ok) return result;
+
+  adaptive::MeanDistanceParams params;
+  params.epsilon = query.epsilon;
+  params.delta = query.delta;
+  params.seed = config_.seed;
+  params.engine = config_.engine_options();
+  params.auto_tune = active_profile(result.profile_reused);
+  params.known_range = mean_distance_range_;  // 0 until a first query ran
+  params.assume_connected = true;
+
+  adaptive::MeanDistanceResult mean_result = mean_distance(params);
+  result.algorithm = "mean_distance";
+  result.mean = mean_result.mean;
+  result.stddev = mean_result.stddev;
+  result.half_width = mean_result.half_width;
+  result.samples = mean_result.samples;
+  result.epochs = mean_result.epochs;
+  result.total_seconds = mean_result.total_seconds;
+  result.phases = mean_result.phases;
+  result.comm_volume = mean_result.comm_volume;
+  result.engine_used = mean_result.engine_used;
+  return result;
+}
+
+Result Session::run(const Query& query) {
+  return std::visit([&](const auto& typed) { return run(typed); }, query);
+}
+
+std::vector<Result> Session::run_batch(std::span<const Query> queries) {
+  std::vector<Result> results;
+  results.reserve(queries.size());
+  for (const Query& query : queries) results.push_back(run(query));
+  return results;
+}
+
+}  // namespace distbc::api

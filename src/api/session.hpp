@@ -1,0 +1,193 @@
+// distbc::api::Session - one job-submission facade over every driver.
+//
+// A Session binds a graph to a runtime/cluster shape (an owned
+// mpisim::Runtime built from Config::ranks / ranks_per_node / network) and
+// owns the reusable per-(graph, cluster-shape) state that the free
+// functions recompute on every call:
+//   * the KADABRA phases-1-2 warm state (diameter estimate + calibration
+//     + per-sample cost), cached per statistical key, so repeated
+//     betweenness queries skip both phases (bc::KadabraWarmState);
+//   * the mean-distance range bound (2-approximate diameter);
+//   * the connectivity check;
+//   * an optional tune::TuningProfile (loaded from Config::tune_profile,
+//     handed in via Config::profile, or captured lazily when
+//     Config::auto_tune is set) reused by every query.
+//
+// session.run(query) dispatches the typed queries to the existing drivers
+// and returns one unified Result: a Status instead of deep asserts for
+// invalid submissions, the score view, top-k pairs, phase timings, the
+// per-collective communication volume, and the engine configuration the
+// run actually used. In the engine's deterministic mode, session.run is
+// bitwise identical to calling the drivers directly with the same knobs
+// (tests/test_api.cpp).
+//
+// The legacy free functions (bc::kadabra_mpi, adaptive::closeness_mpi,
+// adaptive::mean_distance_mpi) are thin wrappers over the native
+// entry points below - one facade, one cluster lifecycle.
+//
+// Sessions are not thread-safe: queries run one at a time (each query
+// already fans out over the session's ranks and threads).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <tuple>
+#include <variant>
+#include <vector>
+
+#include "adaptive/closeness.hpp"
+#include "adaptive/mean_distance.hpp"
+#include "api/config.hpp"
+#include "api/status.hpp"
+#include "bc/kadabra.hpp"
+#include "graph/graph.hpp"
+#include "mpisim/runtime.hpp"
+#include "support/timer.hpp"
+
+namespace distbc::api {
+
+// --- Typed queries ----------------------------------------------------------
+
+/// Approximate betweenness (KADABRA) with optional exact top-k extraction;
+/// runs exact Brandes instead when `exact` is set or |V| is at or below
+/// Config::exact_threshold.
+struct BetweennessQuery {
+  double epsilon = 0.05;
+  double delta = 0.1;
+  std::size_t top_k = 0;  // 0 = score vector only
+  bool exact = false;     // force the exact-Brandes path
+};
+
+/// Adaptive harmonic-closeness estimation for all vertices.
+struct ClosenessRankQuery {
+  double epsilon = 0.05;
+  double delta = 0.1;
+  std::size_t top_k = 0;  // 0 = score vector only
+};
+
+/// Adaptive mean shortest-path distance estimation.
+struct MeanDistanceQuery {
+  double epsilon = 0.1;
+  double delta = 0.1;
+};
+
+using Query = std::variant<BetweennessQuery, ClosenessRankQuery,
+                           MeanDistanceQuery>;
+
+// --- Unified result ---------------------------------------------------------
+
+struct Result {
+  /// Validation / execution status; every other field is meaningful only
+  /// when status.ok.
+  Status status;
+  /// "kadabra" | "brandes" | "closeness" | "mean_distance".
+  std::string algorithm;
+
+  /// Per-vertex scores (betweenness / closeness queries).
+  std::vector<double> scores;
+  /// The k highest (vertex, score) pairs, descending (top_k > 0 queries).
+  std::vector<std::pair<graph::Vertex, double>> top_k;
+  /// Mean-distance queries only.
+  double mean = 0.0;
+  double stddev = 0.0;
+  double half_width = 0.0;
+
+  std::uint64_t samples = 0;
+  std::uint64_t epochs = 0;
+  double total_seconds = 0.0;
+  /// Phase windows of this query only: a query that reused the session's
+  /// cached calibration reports zero kDiameter/kCalibration seconds.
+  PhaseTimer phases;
+  /// Per-collective bytes moved by this query (MPI shapes only).
+  mpisim::CommVolume comm_volume;
+  /// The engine configuration the adaptive phase actually ran with.
+  engine::EngineOptions engine_used;
+
+  /// Reuse accounting: what session state this query skipped recomputing.
+  bool calibration_reused = false;
+  bool profile_reused = false;
+};
+
+// --- Session ----------------------------------------------------------------
+
+class Session {
+ public:
+  /// Binds an owned copy/moved graph to the cluster shape in `config`.
+  /// Construction never aborts: configuration problems (validate(),
+  /// unloadable tune_profile) surface through status() and fail every
+  /// subsequent run() with the same message.
+  Session(graph::Graph graph, Config config);
+
+  /// Non-owning binding for callers whose graph outlives the session (the
+  /// compatibility wrappers).
+  Session(std::shared_ptr<const graph::Graph> graph, Config config);
+
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const graph::Graph& graph() const { return *graph_; }
+
+  /// Typed dispatch. Invalid submissions (bad epsilon/delta/k, graphs with
+  /// fewer than two vertices, disconnected input for the sampling
+  /// estimators, mismatched runtime configuration) return an error Result
+  /// instead of tripping driver asserts.
+  [[nodiscard]] Result run(const BetweennessQuery& query);
+  [[nodiscard]] Result run(const ClosenessRankQuery& query);
+  [[nodiscard]] Result run(const MeanDistanceQuery& query);
+  [[nodiscard]] Result run(const Query& query);
+  [[nodiscard]] std::vector<Result> run_batch(std::span<const Query> queries);
+
+  /// Seeds the calibration cache from a previous run's BcResult::warm
+  /// (e.g. persisted across processes by a service), keyed like the
+  /// session's own cache entries.
+  void preload_calibration(const bc::KadabraParams& params,
+                           std::shared_ptr<const bc::KadabraWarmState> warm);
+
+  // --- Native entry points (the compatibility wrappers delegate here) ----
+  // Same cluster lifecycle and caching as run(), legacy option/result
+  // types, legacy misuse semantics (driver asserts, no Status).
+
+  [[nodiscard]] bc::BcResult kadabra(const bc::KadabraOptions& options);
+  [[nodiscard]] adaptive::ClosenessResult closeness(
+      const adaptive::ClosenessParams& params);
+  [[nodiscard]] adaptive::MeanDistanceResult mean_distance(
+      const adaptive::MeanDistanceParams& params);
+
+ private:
+  /// Everything the calibration outcome depends on besides the graph and
+  /// the rank count (fixed per session): the statistical parameters and
+  /// the stream layout.
+  using CalibrationKey =
+      std::tuple<double, double, std::uint64_t, bool, std::uint64_t, double,
+                 int, bool, std::uint64_t>;
+  [[nodiscard]] CalibrationKey calibration_key(
+      const bc::KadabraParams& params, int threads_per_rank,
+      bool deterministic, std::uint64_t virtual_streams) const;
+
+  [[nodiscard]] Status validate_query(double epsilon, double delta,
+                                      std::size_t top_k,
+                                      bool needs_connected);
+  [[nodiscard]] bool connected();
+  /// The profile queries should use (loads/captures per Config); `reused`
+  /// reports whether an already-used profile served this query.
+  [[nodiscard]] std::shared_ptr<const tune::TuningProfile> active_profile(
+      bool& reused);
+
+  std::shared_ptr<const graph::Graph> graph_;
+  Config config_;
+  Status status_;
+  std::unique_ptr<mpisim::Runtime> runtime_;
+
+  // Cached per-(graph, cluster-shape) state.
+  std::optional<bool> connected_;
+  std::map<CalibrationKey, std::shared_ptr<const bc::KadabraWarmState>>
+      calibrations_;
+  std::uint32_t mean_distance_range_ = 0;
+  std::shared_ptr<const tune::TuningProfile> profile_;
+  bool profile_used_ = false;
+};
+
+}  // namespace distbc::api

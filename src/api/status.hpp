@@ -1,0 +1,24 @@
+// The facade's error channel: api-layer validation returns a Status (and
+// api::Result carries one) instead of tripping support/assert aborts deep
+// inside the drivers. The driver layer keeps its asserts - misuse of the
+// low-level API is still a programming error - but everything reachable
+// from Session::run is validated up front and reported as a message.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace distbc::api {
+
+struct Status {
+  bool ok = true;
+  std::string message;
+
+  [[nodiscard]] static Status success() { return {}; }
+  [[nodiscard]] static Status error(std::string msg) {
+    return {false, std::move(msg)};
+  }
+  explicit operator bool() const { return ok; }
+};
+
+}  // namespace distbc::api

@@ -1,8 +1,8 @@
 #include "bc/kadabra.hpp"
 
 #include <algorithm>
-#include <mutex>
 
+#include "api/session.hpp"
 #include "bc/sampler.hpp"
 #include "bc/topk.hpp"
 #include "epoch/sparse_frame.hpp"
@@ -36,61 +36,71 @@ BcResult kadabra_run_frames(const graph::Graph& graph,
     return result;
   }
 
-  // --- Phase 1: diameter at rank zero (sequential, §IV-F), broadcast. ----
-  std::uint32_t vd = 0;
-  if (is_root) {
-    vd = phases.timed(Phase::kDiameter,
-                      [&] { return kadabra_vertex_diameter(graph, params); });
-  }
-  if (world != nullptr) world->bcast(std::span{&vd, 1}, 0);
-  KadabraContext context = begin_context(params, vd);
-
   // The autotune path decides the thread count up front (calibration and
   // the adaptive phase must agree on the stream layout).
   engine::EngineOptions engine_options = options.engine;
   if (options.auto_tune != nullptr)
     engine_options.threads_per_rank =
         options.auto_tune->shape.threads_per_rank;
-
-  // --- Phase 2: parallel calibration through the engine's hook. ----------
   // Calibration streams occupy stream indices [0, V); the adaptive phase
   // continues with fresh streams [V, 2V) so the adaptive guarantee is only
-  // over fresh samples, as in KADABRA.
+  // over fresh samples, as in KADABRA. The split holds whether or not a
+  // warm start skips the calibration sampling itself.
   const std::uint64_t streams = engine::num_streams(engine_options, num_ranks);
-  WallTimer calibration_timer;
-  double touched_words_per_sample = 0.0;
-  phases.timed(Phase::kCalibration, [&] {
-    const Frame initial = engine::calibrate(
-        world, Frame(n),
-        [&](std::uint64_t v) {
-          return PathSampler(graph, Rng(params.seed).split(v));
-        },
-        context.initial_samples, engine_options);
+
+  std::shared_ptr<const KadabraWarmState> warm = options.warm_start;
+  if (warm == nullptr) {
+    auto state = std::make_shared<KadabraWarmState>();
+
+    // --- Phase 1: diameter at rank zero (sequential, §IV-F), broadcast. --
+    std::uint32_t vd = 0;
     if (is_root) {
-      finish_calibration(context, initial);
-      // Average dense slots one sample writes (internal path vertices plus
-      // the tau slot) - the wire-payload predictor the tuner prices the
-      // frame_rep axis with. Only tuned runs consume it.
-      if (options.auto_tune != nullptr)
-        touched_words_per_sample =
+      vd = phases.timed(Phase::kDiameter, [&] {
+        return kadabra_vertex_diameter(graph, params);
+      });
+    }
+    if (world != nullptr) world->bcast(std::span{&vd, 1}, 0);
+    state->vertex_diameter = vd;
+    state->context = begin_context(params, vd);
+
+    // --- Phase 2: parallel calibration through the engine's hook. --------
+    WallTimer calibration_timer;
+    phases.timed(Phase::kCalibration, [&] {
+      const Frame initial = engine::calibrate(
+          world, Frame(n),
+          [&](std::uint64_t v) {
+            return PathSampler(graph, Rng(params.seed).split(v));
+          },
+          state->context.initial_samples, engine_options);
+      if (is_root) {
+        finish_calibration(state->context, initial);
+        // Average dense slots one sample writes (internal path vertices
+        // plus the tau slot) - the wire-payload predictor the tuner prices
+        // the frame_rep axis with.
+        state->touched_words_per_sample =
             1.0 + static_cast<double>(initial.count_sum()) /
                       static_cast<double>(initial.tau());
+      }
+    });
+    // Per-sample cost in cluster CPU-seconds, measured on the calibration
+    // phase this run just paid for anyway.
+    if (state->context.initial_samples > 0) {
+      state->sample_seconds =
+          calibration_timer.elapsed_s() *
+          static_cast<double>(num_ranks) * engine_options.threads_per_rank /
+          static_cast<double>(state->context.initial_samples);
     }
-  });
-  const double calibration_seconds = calibration_timer.elapsed_s();
+    warm = std::move(state);
+  }
+  const KadabraContext& context = warm->context;
+  result.warm = warm;
 
   // --- Phase 3: epoch-based adaptive sampling (Algorithm 2). -------------
   if (options.auto_tune != nullptr) {
-    // Per-sample cost in cluster CPU-seconds, measured on the calibration
-    // phase this run just paid for anyway.
-    const auto total_threads =
-        static_cast<double>(num_ranks) * engine_options.threads_per_rank;
     tune::TuneRequest request;
     request.frame_words = static_cast<std::size_t>(n) + 1;
-    if (context.initial_samples > 0)
-      request.sample_seconds = calibration_seconds * total_threads /
-                               static_cast<double>(context.initial_samples);
-    request.touched_words_per_sample = touched_words_per_sample;
+    request.sample_seconds = warm->sample_seconds;
+    request.touched_words_per_sample = warm->touched_words_per_sample;
     // Every rank must tune the same epoch schedule: use rank zero's
     // measurements everywhere.
     if (world != nullptr) {
@@ -105,13 +115,10 @@ BcResult kadabra_run_frames(const graph::Graph& graph,
   if (options.top_k > 0 && world != nullptr && num_ranks > 1)
     engine_options.local_aggregates = true;
   WallTimer adaptive_timer;
-  const std::uint64_t omega_clamp = std::max(
-      options.min_epoch_length,
-      std::max<std::uint64_t>(1, context.omega / options.omega_fraction));
-  engine_options.max_epoch_length =
-      engine_options.max_epoch_length != 0
-          ? std::min(engine_options.max_epoch_length, omega_clamp)
-          : omega_clamp;
+  // First-stop-check pacing: the one shared clamp (engine/streams.hpp).
+  engine_options.max_epoch_length = engine::paced_epoch_cap(
+      context.omega, options.omega_fraction, options.min_epoch_length,
+      engine_options.max_epoch_length);
   auto driver = engine::run_epochs(
       world, Frame(n),
       [&](std::uint64_t v) {
@@ -167,7 +174,7 @@ BcResult kadabra_run_frames(const graph::Graph& graph,
     result.comm_bytes = driver.comm_bytes;
     result.comm_volume = driver.comm_volume;
     result.omega = context.omega;
-    result.vertex_diameter = vd;
+    result.vertex_diameter = warm->vertex_diameter;
     result.phases = phases;
   }
   result.total_seconds = total_timer.elapsed_s();
@@ -220,22 +227,16 @@ BcResult kadabra_mpi_rank(const graph::Graph& graph,
 BcResult kadabra_mpi(const graph::Graph& graph, const KadabraOptions& options,
                      int num_ranks, int ranks_per_node,
                      mpisim::NetworkModel network) {
-  mpisim::RuntimeConfig config;
-  config.num_ranks = num_ranks;
+  // Compatibility layer: one-shot api::Session owning the cluster
+  // lifecycle; the session binds the caller's graph without copying it.
+  api::Config config;
+  config.ranks = num_ranks;
   config.ranks_per_node = ranks_per_node;
   config.network = network;
-  mpisim::Runtime runtime(config);
-
-  BcResult root_result;
-  std::mutex result_mu;
-  runtime.run([&](mpisim::Comm& world) {
-    BcResult local = kadabra_run(graph, options, &world);
-    if (world.rank() == 0) {
-      std::lock_guard lock(result_mu);
-      root_result = std::move(local);
-    }
-  });
-  return root_result;
+  api::Session session(
+      std::shared_ptr<const graph::Graph>(&graph, [](const graph::Graph*) {}),
+      std::move(config));
+  return session.kadabra(options);
 }
 
 }  // namespace distbc::bc

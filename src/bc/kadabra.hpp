@@ -41,6 +41,25 @@ using engine::Aggregation;
 /// Frame-representation vocabulary, re-exported from the engine.
 using engine::FrameRep;
 
+/// Everything KADABRA's phases 1-2 produce that phase 3 consumes: the
+/// diameter estimate, the calibrated context (omega; delta_l/delta_u valid
+/// at world rank 0), and the calibration-time measurements the autotune
+/// path prices epochs with. A fresh kadabra_run computes one and reports
+/// it in BcResult::warm; handing it back through KadabraOptions::warm_start
+/// skips phases 1-2 entirely (zero diameter/calibration work - the
+/// kDiameter/kCalibration phase stats stay 0). Valid only for the same
+/// (graph, params, engine shape) it was computed on: api::Session owns
+/// that keying and is the intended consumer.
+struct KadabraWarmState {
+  std::uint32_t vertex_diameter = 0;
+  KadabraContext context;
+  /// Measured per-sample cost in cluster CPU-seconds (rank 0's value).
+  double sample_seconds = 0.0;
+  /// Average dense frame words one sample writes - the tuner's
+  /// wire-payload predictor for the frame_rep decision (rank 0's value).
+  double touched_words_per_sample = 0.0;
+};
+
 struct KadabraOptions {
   KadabraParams params;
   /// Engine configuration: threads per rank, aggregation strategy,
@@ -53,11 +72,16 @@ struct KadabraOptions {
   /// always use SparseFrame, since the tuner may upgrade frame_rep to
   /// auto after calibration and only SparseFrame encodes in O(nonzeros).
   engine::EngineOptions engine;
-  /// First-stop-check clamp: the total epoch length is capped at
-  /// max(min_epoch_length, omega / omega_fraction) so easy instances do
-  /// not sample far past termination before the first check.
+  /// First-stop-check pacing knobs, applied through the one shared clamp
+  /// implementation (engine::paced_epoch_cap in engine/streams.hpp): the
+  /// total epoch length is capped at max(min_epoch_length,
+  /// omega / omega_fraction) so easy instances do not sample far past
+  /// termination before the first check.
   std::uint64_t omega_fraction = 2;
   std::uint64_t min_epoch_length = 1;
+  /// Skip phases 1-2 using a previously computed state (see
+  /// KadabraWarmState above). nullptr = compute them in this run.
+  std::shared_ptr<const KadabraWarmState> warm_start;
   /// When > 0, the run additionally extracts the k highest betweenness
   /// scores and delivers them to *every* rank (BcResult::top_k_pairs):
   /// multi-rank runs keep per-rank local aggregates and run the TPUT-style

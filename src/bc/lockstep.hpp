@@ -24,7 +24,8 @@ struct LockstepOptions {
   /// Frame representation of the per-round reduction (the lockstep
   /// baseline aggregates with blocking collectives either way): dense
   /// elementwise reduce, or sparse/auto delta images via reduce_merge.
-  epoch::FrameRep frame_rep = epoch::default_frame_rep();
+  /// Env defaulting (DISTBC_FRAME_REP) is resolved by api::Config.
+  epoch::FrameRep frame_rep = epoch::FrameRep::kDense;
 };
 
 [[nodiscard]] BcResult lockstep_mpi_rank(const graph::Graph& graph,

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -10,6 +11,8 @@
 #include "support/timer.hpp"
 
 namespace distbc::bc {
+
+struct KadabraWarmState;  // bc/kadabra.hpp
 
 struct BcResult {
   /// Normalized betweenness per vertex: exact values or estimates b~.
@@ -43,6 +46,11 @@ struct BcResult {
   /// vertex id) - filled on *every* rank when KadabraOptions::top_k > 0,
   /// delivered without moving any full |V| frame (bc/topk.hpp).
   std::vector<std::pair<graph::Vertex, double>> top_k_pairs;
+
+  /// The phases-1-2 state this KADABRA run used (computed or passed in);
+  /// feed it back through KadabraOptions::warm_start to skip diameter and
+  /// calibration on a repeat run. Null for non-KADABRA algorithms.
+  std::shared_ptr<const KadabraWarmState> warm;
 
   /// Indices of the k highest-scoring vertices, descending by score.
   [[nodiscard]] std::vector<graph::Vertex> top_k(std::size_t k) const;

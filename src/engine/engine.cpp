@@ -1,18 +1,6 @@
 #include "engine/engine.hpp"
 
-#include <cstdlib>
-
 namespace distbc::engine {
-
-int default_tree_radix() {
-  static const int radix = [] {
-    const char* env = std::getenv("DISTBC_TREE_RADIX");
-    if (env == nullptr) return 0;
-    const int parsed = std::atoi(env);
-    return parsed >= 2 ? parsed : 0;
-  }();
-  return radix;
-}
 
 const char* aggregation_name(Aggregation aggregation) {
   switch (aggregation) {
@@ -24,6 +12,15 @@ const char* aggregation_name(Aggregation aggregation) {
       return "blocking";
   }
   return "?";
+}
+
+std::optional<Aggregation> aggregation_from_name(std::string_view name) {
+  for (const Aggregation aggregation :
+       {Aggregation::kIbarrierReduce, Aggregation::kIreduce,
+        Aggregation::kBlocking}) {
+    if (name == aggregation_name(aggregation)) return aggregation;
+  }
+  return std::nullopt;
 }
 
 }  // namespace distbc::engine

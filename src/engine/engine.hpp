@@ -42,6 +42,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -65,11 +67,8 @@ enum class Aggregation : std::uint8_t {
 
 [[nodiscard]] const char* aggregation_name(Aggregation aggregation);
 
-/// Engine-wide default tree-merge radix: the DISTBC_TREE_RADIX environment
-/// variable (an integer >= 2; anything else means flat, read once) or 0.
-/// Lets a CI leg or an operator force tree aggregation without touching
-/// call sites, like DISTBC_FRAME_REP does for the representation.
-[[nodiscard]] int default_tree_radix();
+[[nodiscard]] std::optional<Aggregation> aggregation_from_name(
+    std::string_view name);
 
 /// Wire representation of epoch state frames (epoch/frame_codec.hpp):
 /// dense flat vectors, sparse index/count deltas, or per-payload choice.
@@ -106,17 +105,20 @@ struct EngineOptions {
   /// smaller image per payload (never loses to the worse fixed choice).
   /// Only effective for frames implementing the serialization interface;
   /// drivers choose the matching frame type (StateFrame vs SparseFrame).
-  /// Defaults to the DISTBC_FRAME_REP environment override, else dense.
-  FrameRep frame_rep = epoch::default_frame_rep();
+  /// Process-wide defaulting (the DISTBC_FRAME_REP environment variable)
+  /// lives exclusively in api::Config; the engine itself never peeks at
+  /// the environment.
+  FrameRep frame_rep = epoch::FrameRep::kDense;
   /// Tree-merge aggregation of wire images (mpisim reduce_merge_tree):
   /// 0 = flat (the root ingests every per-rank image); >= 2 = images
   /// combine at interior ranks of a radix-k tree with mid-tree
   /// densification, charging alpha-beta per hop, so root ingest shrinks
   /// from O(P x nnz) to the top-of-tree merged images and latency grows
   /// with depth instead of P. Only affects the wire-image path; the final
-  /// aggregate is bitwise identical in deterministic mode. Defaults to
-  /// the DISTBC_TREE_RADIX environment override, else 0.
-  int tree_radix = default_tree_radix();
+  /// aggregate is bitwise identical in deterministic mode. Environment
+  /// defaulting (DISTBC_TREE_RADIX) is api::Config's job, not the
+  /// engine's.
+  int tree_radix = 0;
   /// Keep per-rank local aggregates: every rank (the root included) also
   /// accumulates its own epoch snapshots into
   /// EngineResult::local_aggregate, feeding collectives that operate on

@@ -17,6 +17,7 @@
 // amortizing the growing aggregation cost.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 
@@ -56,6 +57,29 @@ namespace distbc::engine {
 [[nodiscard]] inline std::uint64_t stream_owner(std::uint64_t v,
                                                 std::uint64_t total_threads) {
   return v % total_threads;
+}
+
+/// First-stop-check pacing: THE one implementation of the epoch-length
+/// clamp every adaptive driver applies before calling run_epochs.
+///
+/// An adaptive rule gets no stopping check until the first epoch ends, so
+/// the total epoch length must stay a fraction of the workload's
+/// worst-case useful-sample budget (KADABRA's omega, closeness's Hoeffding
+/// bound) or easy instances sample far past termination before the first
+/// check. The cap is max(min_epoch_length, budget / budget_fraction),
+/// combined with any cap already present (0 = none; the smaller wins).
+/// api::Session computes this from Config::omega_fraction /
+/// Config::min_epoch_length and the cached per-workload budget; the
+/// drivers call it with their own knobs so the wrapper layer stays
+/// bitwise-identical to Session runs.
+[[nodiscard]] inline std::uint64_t paced_epoch_cap(
+    std::uint64_t budget, std::uint64_t budget_fraction,
+    std::uint64_t min_epoch_length, std::uint64_t existing_cap) {
+  DISTBC_ASSERT(budget_fraction > 0);
+  const std::uint64_t clamp =
+      std::max(min_epoch_length,
+               std::max<std::uint64_t>(1, budget / budget_fraction));
+  return existing_cap != 0 ? std::min(existing_cap, clamp) : clamp;
 }
 
 }  // namespace distbc::engine

@@ -1,7 +1,5 @@
 #include "epoch/frame_codec.hpp"
 
-#include <cstdlib>
-
 namespace distbc::epoch {
 
 const char* frame_rep_name(FrameRep rep) {
@@ -22,15 +20,6 @@ std::optional<FrameRep> frame_rep_from_name(std::string_view name) {
     if (name == frame_rep_name(rep)) return rep;
   }
   return std::nullopt;
-}
-
-FrameRep default_frame_rep() {
-  static const FrameRep rep = [] {
-    const char* env = std::getenv("DISTBC_FRAME_REP");
-    if (env == nullptr) return FrameRep::kDense;
-    return frame_rep_from_name(env).value_or(FrameRep::kDense);
-  }();
-  return rep;
 }
 
 void append_dense_image(std::span<const std::uint64_t> dense,

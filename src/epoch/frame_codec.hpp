@@ -39,11 +39,6 @@ enum class FrameRep : std::uint8_t { kDense, kSparse, kAuto };
 [[nodiscard]] std::optional<FrameRep> frame_rep_from_name(
     std::string_view name);
 
-/// Engine-wide default representation: the DISTBC_FRAME_REP environment
-/// variable ("dense" | "sparse" | "auto", read once) or kDense. Lets a CI
-/// leg or an operator force a representation without touching call sites.
-[[nodiscard]] FrameRep default_frame_rep();
-
 inline constexpr std::uint64_t kDenseTag = 0;
 inline constexpr std::uint64_t kSparseTag = 1;
 
