@@ -13,8 +13,9 @@ object:
   * byte/count fields (*_bytes, epochs, samples, ratios) must stay within
     the relative tolerance of the baseline - deterministic-mode benches
     make these machine-independent;
-  * wall-time fields (names containing "seconds", "wall" or "time") are
-    skipped: they are not comparable across runners. Modeled costs are
+  * wall-time fields (names containing "seconds", "wall" or "time") and
+    throughput fields (names containing "rate", "per_sec" or "speedup")
+    are skipped: they are not comparable across runners. Modeled costs are
     analytic and named *modeled*, so they ARE compared.
 
 Exits nonzero with a per-field report on any regression, so the CI job
@@ -27,7 +28,7 @@ import math
 import sys
 
 BOOL_MARKERS = ("identical", "never", "wins", "bounded", "cuts")
-SKIP_MARKERS = ("seconds", "wall", "time")
+SKIP_MARKERS = ("seconds", "wall", "time", "rate", "per_sec", "speedup")
 
 
 def classify(name: str, baseline_value: float) -> str:

@@ -6,6 +6,7 @@
 //
 //   ./cluster_scaling [scale=13] [eps=0.005] [latency_us=2]
 //                     [frame_rep=dense|sparse|auto] [tree_radix=0|2|...]
+//                     [sample_batch=1|8|...|0=auto]
 #include <cstdio>
 #include <mutex>
 
@@ -25,6 +26,8 @@ int main(int argc, char** argv) {
                    "wire representation of epoch frames (dense|sparse|auto)");
   options.describe("tree_radix",
                    "tree-merge fan-in for sparse images (0 = flat)");
+  options.describe("sample_batch",
+                   "samples per traversal batch (1 = scalar, 0 = auto)");
   options.finish("Rank-scaling sweep on a simulated cluster.");
 
   gen::HyperbolicParams gen_params;
@@ -44,11 +47,13 @@ int main(int argc, char** argv) {
   const epoch::FrameRep frame_rep = *parsed_rep;
   const auto tree_radix =
       static_cast<int>(options.get_u64("tree_radix", 0));
+  const auto sample_batch =
+      static_cast<int>(options.get_u64("sample_batch", 1));
   std::printf("web proxy: %u vertices, %llu edges, frame_rep=%s, "
-              "tree_radix=%d\n\n",
+              "tree_radix=%d, sample_batch=%d\n\n",
               graph.num_vertices(),
               static_cast<unsigned long long>(graph.num_edges()),
-              epoch::frame_rep_name(frame_rep), tree_radix);
+              epoch::frame_rep_name(frame_rep), tree_radix, sample_batch);
 
   mpisim::NetworkModel network;
   network.remote_latency_s = options.get_double("latency_us", 2.0) * 1e-6;
@@ -69,6 +74,7 @@ int main(int argc, char** argv) {
     bc_options.params.seed = 5;
     bc_options.engine.frame_rep = frame_rep;
     bc_options.engine.tree_radix = tree_radix;
+    bc_options.engine.sample_batch = sample_batch;
 
     // The explicit form of bc::kadabra_mpi(): our own rank main.
     bc::BcResult root_result;

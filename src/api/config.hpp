@@ -67,6 +67,11 @@ struct Config {
   engine::FrameRep frame_rep = engine::FrameRep::kDense;
   int tree_radix = 0;
   bool local_aggregates = false;
+  /// Samples per traversal batch (graph::BatchedBidirectionalBfs lanes):
+  /// 1 = the scalar sampler, > 1 = batched, 0 = auto (drivers probe
+  /// candidate widths on calibration). Deterministic-mode results are
+  /// bitwise identical for every value.
+  int sample_batch = 1;
 
   // --- Sampling / statistics knobs ----------------------------------------
   std::uint64_t seed = 0x5eed;

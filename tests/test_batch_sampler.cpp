@@ -1,0 +1,211 @@
+// Tests for the batched sampling path: bc::BatchSampler over
+// graph::BatchedBidirectionalBfs.
+//
+// The contract under test is the tentpole of the batched kernel: every
+// lane runs the scalar BidirectionalBfs algorithm with the scalar RNG
+// draw order, so batch width 1 is bitwise identical to PathSampler, the
+// cross-stream protocol preserves each stream's sequence at any width,
+// and path draws stay uniform over the shortest-path set.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "bc/batch_sampler.hpp"
+#include "bc/sampler.hpp"
+#include "epoch/state_frame.hpp"
+#include "gen/barabasi_albert.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+
+namespace distbc::bc {
+namespace {
+
+using graph::Vertex;
+
+void expect_frames_equal(const epoch::StateFrame& a,
+                         const epoch::StateFrame& b, const char* label) {
+  ASSERT_EQ(a.raw().size(), b.raw().size()) << label;
+  for (std::size_t i = 0; i < a.raw().size(); ++i)
+    ASSERT_EQ(a.raw()[i], b.raw()[i]) << label << " slot " << i;
+}
+
+TEST(BatchSampler, WidthOneIsBitwiseIdenticalToPathSampler) {
+  const graph::Graph graph = gen::barabasi_albert(4000, 4, 7);
+  const Vertex n = graph.num_vertices();
+  PathSampler scalar(graph, Rng(99).split(3));
+  BatchSampler batched(graph, Rng(99).split(3), /*batch=*/1);
+  epoch::StateFrame scalar_frame(n);
+  epoch::StateFrame batched_frame(n);
+  for (int i = 0; i < 2000; ++i) {
+    scalar.sample(scalar_frame);
+    batched.sample(batched_frame);
+  }
+  EXPECT_EQ(scalar.samples_taken(), batched.samples_taken());
+  expect_frames_equal(scalar_frame, batched_frame, "B=1 vs scalar");
+}
+
+TEST(BatchSampler, CrossStreamProtocolPreservesEveryStreamSequence) {
+  // Four streams share one width-8 kernel, driven the way the engine's
+  // deterministic mode does: post one pair per stream, flush, finish in
+  // stream order. Each stream's merged output must be bitwise identical
+  // to four independent scalar samplers on the same streams.
+  const graph::Graph graph =
+      graph::largest_component(gen::erdos_renyi(600, 1500, 21));
+  const Vertex n = graph.num_vertices();
+  constexpr int kStreams = 4;
+  constexpr std::uint64_t kPerStream = 300;
+
+  epoch::StateFrame scalar_frame(n);
+  for (int v = 0; v < kStreams; ++v) {
+    PathSampler scalar(graph, Rng(5).split(static_cast<std::uint64_t>(v)));
+    for (std::uint64_t i = 0; i < kPerStream; ++i)
+      scalar.sample(scalar_frame);
+  }
+
+  auto kernel =
+      std::make_shared<graph::BatchedBidirectionalBfs>(graph, /*batch=*/8);
+  std::vector<BatchSampler> samplers;
+  for (int v = 0; v < kStreams; ++v)
+    samplers.emplace_back(graph, Rng(5).split(static_cast<std::uint64_t>(v)),
+                          kernel);
+  epoch::StateFrame batched_frame(n);
+  std::uint64_t remaining[kStreams];
+  for (auto& r : remaining) r = kPerStream;
+  while (true) {
+    std::vector<int> posted;
+    for (int v = 0; v < kStreams; ++v) {
+      if (remaining[v] == 0) continue;
+      if (!samplers[static_cast<std::size_t>(v)].post_sample()) break;
+      posted.push_back(v);
+      --remaining[v];
+    }
+    if (posted.empty()) break;
+    samplers[static_cast<std::size_t>(posted.front())].flush_staged();
+    for (const int v : posted)
+      samplers[static_cast<std::size_t>(v)].finish_sample(batched_frame);
+  }
+  EXPECT_EQ(batched_frame.tau(), kStreams * kPerStream);
+  expect_frames_equal(scalar_frame, batched_frame, "cross-stream B=8");
+}
+
+TEST(BatchSampler, HandlesDisconnectedPairs) {
+  // Two separate chains: roughly half the uniform pairs cross components
+  // and must record_empty, the rest record real internal vertices. Width 1
+  // preserves the scalar draw order, so the frames must be bitwise equal
+  // even through the disconnected branch.
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex i = 0; i + 1 < 10; ++i) {
+    edges.push_back({i, i + 1});
+    edges.push_back({10 + i, 10 + i + 1});
+  }
+  const graph::Graph graph = graph::from_edges(20, edges);
+  PathSampler scalar(graph, Rng(11).split(0));
+  BatchSampler batched(graph, Rng(11).split(0), /*batch=*/1);
+  epoch::StateFrame scalar_frame(20);
+  epoch::StateFrame batched_frame(20);
+  for (int i = 0; i < 512; ++i) {
+    scalar.sample(scalar_frame);
+    batched.sample(batched_frame);
+  }
+  EXPECT_EQ(batched_frame.tau(), 512u);
+  // Both connected (counts recorded) and disconnected (tau-only) samples
+  // must have occurred for the comparison to mean anything.
+  EXPECT_GT(batched_frame.count_sum(), 0u);
+  EXPECT_LT(batched_frame.count_sum(), 512u * 20u);
+  expect_frames_equal(scalar_frame, batched_frame, "disconnected B=1");
+
+  // And the wide kernel must account every sample on the same graph.
+  BatchSampler wide(graph, Rng(12).split(0), /*batch=*/8);
+  epoch::StateFrame wide_frame(20);
+  wide.sample_batch(wide_frame, 512);
+  EXPECT_EQ(wide_frame.tau(), 512u);
+  EXPECT_GT(wide_frame.count_sum(), 0u);
+}
+
+TEST(BatchSampler, BatchTailSmallerThanWidth) {
+  // Counts that are not multiples of the kernel width exercise the tail
+  // chunk; totals must be exact.
+  const graph::Graph graph =
+      graph::largest_component(gen::erdos_renyi(300, 900, 33));
+  BatchSampler batched(graph, Rng(2).split(1), /*batch=*/8);
+  epoch::StateFrame frame(graph.num_vertices());
+  batched.sample_batch(frame, 13);
+  EXPECT_EQ(frame.tau(), 13u);
+  EXPECT_EQ(batched.samples_taken(), 13u);
+  batched.sample_batch(frame, 3);
+  EXPECT_EQ(frame.tau(), 16u);
+  EXPECT_EQ(batched.samples_taken(), 16u);
+}
+
+TEST(BatchSampler, PathSamplingStaysUniformAcrossLanes) {
+  // Ladder with two independent 2-choice stages: 4 equally likely paths
+  // 0 -> {1|2} -> 3 -> {4|5} -> 6 (the scalar kernel's uniformity
+  // fixture), drawn through all four lanes of a batch. Chi-square over the
+  // 4 path bins, df = 3: reject above 16.27 (p = 0.001).
+  const graph::Graph graph = graph::from_edges(
+      7, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {3, 5}, {4, 6}, {5, 6}});
+  graph::BatchedBidirectionalBfs kernel(graph, /*batch=*/4);
+  Rng rng(123);
+  std::map<std::vector<Vertex>, int> histogram;
+  constexpr int kRounds = 10000;  // 4 draws per round
+  std::vector<Vertex> path;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int lane = 0; lane < 4; ++lane) ASSERT_EQ(kernel.stage(0, 6), lane);
+    kernel.run_staged();
+    for (int lane = 0; lane < 4; ++lane) {
+      ASSERT_TRUE(kernel.result(lane).connected);
+      ASSERT_EQ(kernel.result(lane).distance, 4u);
+      ASSERT_DOUBLE_EQ(kernel.result(lane).num_paths, 4.0);
+      path.clear();
+      kernel.sample_path(lane, rng, path);
+      ++histogram[path];
+    }
+  }
+  ASSERT_EQ(histogram.size(), 4u);
+  const double expected = 4.0 * kRounds / 4.0;
+  double chi_square = 0.0;
+  for (const auto& [p, count] : histogram) {
+    const double delta = count - expected;
+    chi_square += delta * delta / expected;
+  }
+  EXPECT_LT(chi_square, 16.27);
+}
+
+TEST(BatchSampler, LaneResultsMatchScalarKernel) {
+  // Per-lane results and touched counts equal the scalar kernel's on the
+  // same pairs, across a full batch.
+  const graph::Graph graph =
+      graph::largest_component(gen::erdos_renyi(500, 1200, 44));
+  const Vertex n = graph.num_vertices();
+  graph::BidirectionalBfs scalar(n);
+  graph::BatchedBidirectionalBfs batched(graph, /*batch=*/8);
+  Rng rng(6);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::pair<Vertex, Vertex>> pairs;
+    for (int lane = 0; lane < 8; ++lane) {
+      const auto [s64, t64] = rng.next_distinct_pair(n);
+      pairs.push_back(
+          {static_cast<Vertex>(s64), static_cast<Vertex>(t64)});
+    }
+    batched.run(pairs);
+    for (int lane = 0; lane < 8; ++lane) {
+      const auto reference = scalar.run(graph, pairs[static_cast<std::size_t>(
+                                                   lane)].first,
+                                        pairs[static_cast<std::size_t>(lane)]
+                                            .second);
+      const auto& result = batched.result(lane);
+      ASSERT_EQ(result.connected, reference.connected) << "lane " << lane;
+      if (reference.connected) {
+        EXPECT_EQ(result.distance, reference.distance) << "lane " << lane;
+        EXPECT_EQ(result.num_paths, reference.num_paths) << "lane " << lane;
+      }
+      EXPECT_EQ(batched.lane_touched(lane), scalar.last_touched())
+          << "lane " << lane;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace distbc::bc

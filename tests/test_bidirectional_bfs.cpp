@@ -206,6 +206,34 @@ TEST(BidirectionalBfs, TouchedWorkIsBounded) {
   EXPECT_LE(bfs.last_touched(), graph.num_arcs() + graph.num_vertices());
 }
 
+TEST(BidirectionalBfs, SideSelectionBalancesVolumeNotCount) {
+  // Hub-vs-chain: the s-frontier is ONE huge-degree hub, the t-frontier a
+  // chain of degree-2 vertices. Counting frontier vertices would call the
+  // hub side "smaller" (1 vertex vs 1 vertex, ties prefer s) and scan all
+  // D hub edges; volume balancing (degree sums) must walk the cheap chain
+  // instead, keeping touched work near the chain length and far below D.
+  constexpr Vertex kLeaves = 2000;
+  constexpr Vertex kChain = 20;
+  const Vertex hub = 0;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex leaf = 1; leaf <= kLeaves; ++leaf) edges.push_back({hub, leaf});
+  const Vertex chain_base = kLeaves + 1;
+  edges.push_back({hub, chain_base});
+  for (Vertex i = 1; i < kChain; ++i)
+    edges.push_back({chain_base + i - 1, chain_base + i});
+  const Graph graph = from_edges(chain_base + kChain, edges);
+  const Vertex tail = chain_base + kChain - 1;
+
+  BidirectionalBfs bfs(graph.num_vertices());
+  const auto result = bfs.run(graph, hub, tail);
+  ASSERT_TRUE(result.connected);
+  EXPECT_EQ(result.distance, kChain);
+  EXPECT_DOUBLE_EQ(result.num_paths, 1.0);
+  // Chain-side work only: ~2 arcs per chain vertex. A count-based pick
+  // would touch all kLeaves hub arcs.
+  EXPECT_LE(bfs.last_touched(), static_cast<std::uint64_t>(4 * kChain + 4));
+}
+
 TEST(BidirectionalBfs, StarGraphHubPair) {
   // Star: leaves at distance 2 via the hub; hub must be the internal vertex.
   const Graph graph = from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
