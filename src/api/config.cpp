@@ -80,7 +80,7 @@ Status bad_value(std::string_view key, std::string_view value,
   return Status::error(std::move(message));
 }
 
-// One macro per field family keeps the 23-row table honest: every key gets
+// One macro per field family keeps the 26-row table honest: every key gets
 // a parser, a range check, and a serializer from the same three tokens.
 #define DISTBC_U64_KEY(key_name, env_name, field, help_text)               \
   Entry{{key_name, env_name, help_text},                                   \
@@ -236,6 +236,19 @@ const std::vector<Entry>& entries() {
             [](const Config& config) { return config.tune_profile; }},
       DISTBC_BOOL_KEY("auto_tune", "DISTBC_AUTO_TUNE", auto_tune,
                       "capture a tuning profile at the first query"),
+      DISTBC_POSITIVE_INT_KEY("service_pool_size", "DISTBC_SERVICE_POOL_SIZE",
+                              service_pool_size,
+                              "session replicas per pooled graph"),
+      DISTBC_U64_KEY("service_queue_capacity", "DISTBC_SERVICE_QUEUE_CAPACITY",
+                     service_queue_capacity,
+                     "pending-query cap before typed rejection"),
+      Entry{{"service_warm_store", "DISTBC_SERVICE_WARM_STORE",
+             "warm-state store directory (empty = no persistence)"},
+            [](Config& config, std::string_view value) {
+              config.service_warm_store = std::string(value);
+              return Status::success();
+            },
+            [](const Config& config) { return config.service_warm_store; }},
   };
   return table;
 }
@@ -350,6 +363,10 @@ Status Config::validate() const {
   if (sample_batch < 0 || sample_batch > 64)
     return Status::error(
         "sample_batch must be in [0, 64] (0 = auto, 1 = scalar)");
+  if (service_pool_size < 1)
+    return Status::error("service_pool_size must be >= 1");
+  if (service_queue_capacity == 0)
+    return Status::error("service_queue_capacity must be >= 1");
   return Status::success();
 }
 

@@ -96,6 +96,16 @@ struct Config {
   /// `profile`.
   bool auto_tune = false;
 
+  // --- Service tier (src/service/; ignored by plain Sessions) -------------
+  /// Session replicas a service::SessionPool holds per bound graph.
+  int service_pool_size = 2;
+  /// Bounded admission queue: submissions beyond this many pending
+  /// queries are rejected with a typed Status ("service queue full").
+  std::uint64_t service_queue_capacity = 256;
+  /// Directory of the persistent warm-state store (service::WarmStore);
+  /// empty = no persistence (calibrations live only for the pool's life).
+  std::string service_warm_store;
+
   // --- Typed-only fields (programmatic, not in the key table) -------------
   mpisim::NetworkModel network{};
   /// A pre-captured tuning profile; takes precedence over `tune_profile`.

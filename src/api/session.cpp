@@ -6,6 +6,7 @@
 #include "bc/brandes.hpp"
 #include "bc/brandes_parallel.hpp"
 #include "graph/components.hpp"
+#include "graph/stats.hpp"
 #include "tune/microbench.hpp"
 #include "tune/tuner.hpp"
 
@@ -23,7 +24,54 @@ std::vector<std::pair<graph::Vertex, double>> pairs_from_order(
   return pairs;
 }
 
+/// Validates and applies a query's EngineOverrides onto the engine options
+/// built from the session Config. The three overridable knobs mirror the
+/// Config table's ranges.
+Status apply_overrides(const EngineOverrides& overrides,
+                       engine::EngineOptions& options) {
+  if (overrides.tree_radix.has_value() &&
+      (*overrides.tree_radix < 0 || *overrides.tree_radix == 1)) {
+    return Status::error(
+        "query override tree_radix must be 0 (flat) or >= 2");
+  }
+  if (overrides.sample_batch.has_value() &&
+      (*overrides.sample_batch < 0 || *overrides.sample_batch > 64)) {
+    return Status::error(
+        "query override sample_batch must be in [0, 64] (0 = auto)");
+  }
+  if (overrides.frame_rep.has_value())
+    options.frame_rep = *overrides.frame_rep;
+  if (overrides.tree_radix.has_value())
+    options.tree_radix = *overrides.tree_radix;
+  if (overrides.sample_batch.has_value())
+    options.sample_batch = *overrides.sample_batch;
+  return Status::success();
+}
+
 }  // namespace
+
+// --- Thread-safety tripwire -------------------------------------------------
+
+Session::ThreadGuard::ThreadGuard(const Session& session)
+    : session_(session) {
+  const std::thread::id self = std::this_thread::get_id();
+  if (session_.active_thread_.load(std::memory_order_acquire) == self)
+    return;  // same-thread nesting: run() delegating to a native entry
+  std::thread::id unowned{};
+  owner_ = session_.active_thread_.compare_exchange_strong(
+      unowned, self, std::memory_order_acq_rel);
+  DISTBC_ASSERT_MSG(owner_,
+                    "api::Session is not thread-safe: overlapping queries "
+                    "from two threads detected - every entry point mutates "
+                    "the session's caches. Use one session per thread or "
+                    "service::SessionPool for concurrency.");
+}
+
+Session::ThreadGuard::~ThreadGuard() {
+  if (owner_)
+    session_.active_thread_.store(std::thread::id{},
+                                  std::memory_order_release);
+}
 
 Session::Session(graph::Graph graph, Config config)
     : Session(std::make_shared<const graph::Graph>(std::move(graph)),
@@ -54,6 +102,18 @@ Session::Session(std::shared_ptr<const graph::Graph> graph, Config config)
 bool Session::connected() {
   if (!connected_.has_value()) connected_ = graph::is_connected(*graph_);
   return *connected_;
+}
+
+std::uint64_t Session::graph_fingerprint() {
+  if (!fingerprint_.has_value()) fingerprint_ = graph::fingerprint(*graph_);
+  return *fingerprint_;
+}
+
+int Session::effective_threads() const {
+  // With a profile bound to the session, the autotune path runs at the
+  // profile's thread count, not config's.
+  return profile_ != nullptr ? profile_->shape.threads_per_rank
+                             : config_.threads;
 }
 
 Status Session::validate_query(double epsilon, double delta,
@@ -99,20 +159,62 @@ Session::CalibrationKey Session::calibration_key(
           threads_per_rank,  deterministic,    virtual_streams};
 }
 
-void Session::preload_calibration(
+Status Session::preload_calibration(
     const bc::KadabraParams& params,
     std::shared_ptr<const bc::KadabraWarmState> warm) {
-  // Match the key run() will look up: with a profile bound to the session,
-  // the autotune path runs at the profile's thread count, not config's.
-  const int threads = profile_ != nullptr ? profile_->shape.threads_per_rank
-                                          : config_.threads;
+  const ThreadGuard guard(*this);
+  if (!status_.ok) return status_;
+  if (warm == nullptr)
+    return Status::error("preload_calibration: null warm state");
+
+  // The state must have been calibrated with the parameters it is being
+  // keyed under - KadabraContext carries them.
+  const bc::KadabraParams& wp = warm->context.params;
+  if (wp.epsilon != params.epsilon || wp.delta != params.delta ||
+      wp.seed != params.seed || wp.exact_diameter != params.exact_diameter ||
+      wp.initial_samples != params.initial_samples ||
+      wp.balancing != params.balancing) {
+    return Status::error(
+        "preload_calibration: warm state was calibrated with different "
+        "KadabraParams than the key it is being preloaded under");
+  }
+  // Provenance validation (states from before the accounting carry zero
+  // fingerprint/ranks and are accepted as-is).
+  if (warm->graph_fingerprint != 0 &&
+      warm->graph_fingerprint != graph_fingerprint()) {
+    return Status::error(
+        "preload_calibration: warm state was computed on a different graph "
+        "(fingerprint mismatch)");
+  }
+  const int threads = effective_threads();
+  if (warm->ranks != 0 &&
+      (warm->ranks != config_.ranks || warm->threads_per_rank != threads ||
+       warm->deterministic != config_.deterministic ||
+       warm->virtual_streams != config_.virtual_streams)) {
+    return Status::error(
+        "preload_calibration: warm state was calibrated on a different "
+        "cluster shape (ranks x threads / deterministic stream layout "
+        "changed) - recalibrate instead of reusing it");
+  }
+  // Match the key run() will look up.
   calibrations_[calibration_key(params, threads, config_.deterministic,
                                 config_.virtual_streams)] = std::move(warm);
+  return Status::success();
+}
+
+std::vector<std::shared_ptr<const bc::KadabraWarmState>>
+Session::calibrations() const {
+  const ThreadGuard guard(*this);
+  std::vector<std::shared_ptr<const bc::KadabraWarmState>> out;
+  out.reserve(calibrations_.size());
+  for (const auto& [key, warm] : calibrations_) out.push_back(warm);
+  return out;
 }
 
 // --- Native entry points ----------------------------------------------------
 
 bc::BcResult Session::kadabra(const bc::KadabraOptions& options) {
+  const ThreadGuard guard(*this);
   DISTBC_ASSERT_MSG(status_.ok, status_.message.c_str());
   bc::KadabraOptions run_options = options;
   // The autotune path overrides the thread count, and with it the stream
@@ -139,6 +241,7 @@ bc::BcResult Session::kadabra(const bc::KadabraOptions& options) {
 
 adaptive::ClosenessResult Session::closeness(
     const adaptive::ClosenessParams& params) {
+  const ThreadGuard guard(*this);
   DISTBC_ASSERT_MSG(status_.ok, status_.message.c_str());
   adaptive::ClosenessResult result;
   runtime_->run([&](mpisim::Comm& world) {
@@ -151,6 +254,7 @@ adaptive::ClosenessResult Session::closeness(
 
 adaptive::MeanDistanceResult Session::mean_distance(
     const adaptive::MeanDistanceParams& params) {
+  const ThreadGuard guard(*this);
   DISTBC_ASSERT_MSG(status_.ok, status_.message.c_str());
   adaptive::MeanDistanceResult result;
   runtime_->run([&](mpisim::Comm& world) {
@@ -165,6 +269,7 @@ adaptive::MeanDistanceResult Session::mean_distance(
 // --- Typed dispatch ---------------------------------------------------------
 
 Result Session::run(const BetweennessQuery& query) {
+  const ThreadGuard guard(*this);
   Result result;
   const bool exact =
       query.exact || graph_->num_vertices() <= config_.exact_threshold;
@@ -199,6 +304,8 @@ Result Session::run(const BetweennessQuery& query) {
   options.params.initial_samples = config_.initial_samples;
   options.params.balancing = config_.balancing;
   options.engine = config_.engine_options();
+  result.status = apply_overrides(query.engine, options.engine);
+  if (!result.status.ok) return result;
   options.omega_fraction = config_.omega_fraction;
   options.min_epoch_length = config_.min_epoch_length;
   options.top_k = query.top_k;
@@ -225,6 +332,7 @@ Result Session::run(const BetweennessQuery& query) {
 }
 
 Result Session::run(const ClosenessRankQuery& query) {
+  const ThreadGuard guard(*this);
   Result result;
   result.status = validate_query(query.epsilon, query.delta, query.top_k,
                                  /*needs_connected=*/true);
@@ -235,6 +343,8 @@ Result Session::run(const ClosenessRankQuery& query) {
   params.delta = query.delta;
   params.seed = config_.seed;
   params.engine = config_.engine_options();
+  result.status = apply_overrides(query.engine, params.engine);
+  if (!result.status.ok) return result;
   params.auto_tune = active_profile(result.profile_reused);
   params.assume_connected = true;  // the session just validated it
 
@@ -254,6 +364,7 @@ Result Session::run(const ClosenessRankQuery& query) {
 }
 
 Result Session::run(const MeanDistanceQuery& query) {
+  const ThreadGuard guard(*this);
   Result result;
   result.status = validate_query(query.epsilon, query.delta, /*top_k=*/0,
                                  /*needs_connected=*/true);
@@ -264,6 +375,8 @@ Result Session::run(const MeanDistanceQuery& query) {
   params.delta = query.delta;
   params.seed = config_.seed;
   params.engine = config_.engine_options();
+  result.status = apply_overrides(query.engine, params.engine);
+  if (!result.status.ok) return result;
   params.auto_tune = active_profile(result.profile_reused);
   params.known_range = mean_distance_range_;  // 0 until a first query ran
   params.assume_connected = true;

@@ -25,16 +25,26 @@
 // adaptive::mean_distance_mpi) are thin wrappers over the native
 // entry points below - one facade, one cluster lifecycle.
 //
-// Sessions are not thread-safe: queries run one at a time (each query
-// already fans out over the session's ranks and threads).
+// Sessions are NOT thread-safe - this is a contract, not an accident.
+// Every run()/native entry mutates the session's caches (calibrations,
+// connectivity, tune profile, mean-distance range), so queries run one at
+// a time on one thread (each query already fans out over the session's
+// ranks and threads). Concurrent submission from two threads corrupts the
+// caches silently; the session therefore carries a re-entrancy tripwire
+// (active in every build type - one atomic exchange per query) that aborts
+// loudly on overlapping cross-thread calls. Concurrency belongs one layer
+// up: service::SessionPool holds N replicas bound to the same graph and
+// shares their warm state instead of sharing a session.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <variant>
 #include <vector>
@@ -52,6 +62,25 @@ namespace distbc::api {
 
 // --- Typed queries ----------------------------------------------------------
 
+/// Per-query engine overrides: exactly the knobs that do NOT change
+/// deterministic-mode results (bitwise invariant across representations,
+/// tree radixes, and traversal-batch widths) and do NOT enter the
+/// calibration cache key - so a service can run mixed configurations on
+/// one session or pool without splitting the cached warm state. Unset
+/// fields keep the session Config's value. On autotuned queries the tuner
+/// may still re-decide frame_rep/tree_radix; sample_batch is honored as
+/// the starting width (0 = auto probe).
+struct EngineOverrides {
+  std::optional<engine::FrameRep> frame_rep;
+  std::optional<int> tree_radix;    // 0 = flat, else >= 2
+  std::optional<int> sample_batch;  // [0, 64]; 0 = auto
+
+  [[nodiscard]] bool any() const {
+    return frame_rep.has_value() || tree_radix.has_value() ||
+           sample_batch.has_value();
+  }
+};
+
 /// Approximate betweenness (KADABRA) with optional exact top-k extraction;
 /// runs exact Brandes instead when `exact` is set or |V| is at or below
 /// Config::exact_threshold.
@@ -60,6 +89,7 @@ struct BetweennessQuery {
   double delta = 0.1;
   std::size_t top_k = 0;  // 0 = score vector only
   bool exact = false;     // force the exact-Brandes path
+  EngineOverrides engine{};
 };
 
 /// Adaptive harmonic-closeness estimation for all vertices.
@@ -67,12 +97,14 @@ struct ClosenessRankQuery {
   double epsilon = 0.05;
   double delta = 0.1;
   std::size_t top_k = 0;  // 0 = score vector only
+  EngineOverrides engine{};
 };
 
 /// Adaptive mean shortest-path distance estimation.
 struct MeanDistanceQuery {
   double epsilon = 0.1;
   double delta = 0.1;
+  EngineOverrides engine{};
 };
 
 using Query = std::variant<BetweennessQuery, ClosenessRankQuery,
@@ -142,9 +174,32 @@ class Session {
 
   /// Seeds the calibration cache from a previous run's BcResult::warm
   /// (e.g. persisted across processes by a service), keyed like the
-  /// session's own cache entries.
-  void preload_calibration(const bc::KadabraParams& params,
-                           std::shared_ptr<const bc::KadabraWarmState> warm);
+  /// session's own cache entries. The warm state's provenance is validated
+  /// against this session - same graph fingerprint, same statistical
+  /// parameters, same cluster shape (ranks, effective threads,
+  /// deterministic mode, virtual streams) - and a mismatch returns an
+  /// error Status with the cache untouched, instead of silently
+  /// mis-caching a state the stopping rule was never calibrated for.
+  /// States without provenance (fingerprint/ranks zero, from before the
+  /// accounting) are accepted as-is.
+  [[nodiscard]] Status preload_calibration(
+      const bc::KadabraParams& params,
+      std::shared_ptr<const bc::KadabraWarmState> warm);
+
+  /// The cached phases-1-2 warm states of this session, exportable to
+  /// other sessions bound to the same (graph, cluster shape) via
+  /// preload_calibration (each state's KadabraParams travel inside
+  /// context.params) - the service tier's cross-replica sharing and
+  /// persistence hook.
+  [[nodiscard]] std::vector<std::shared_ptr<const bc::KadabraWarmState>>
+  calibrations() const;
+
+  /// The tuning profile bound to or captured by this session (null until
+  /// one exists). Exposed so a pool can persist and share one capture.
+  [[nodiscard]] std::shared_ptr<const tune::TuningProfile> tuning_profile()
+      const {
+    return profile_;
+  }
 
   // --- Native entry points (the compatibility wrappers delegate here) ----
   // Same cluster lifecycle and caching as run(), legacy option/result
@@ -157,6 +212,22 @@ class Session {
       const adaptive::MeanDistanceParams& params);
 
  private:
+  /// RAII tripwire enforcing the "Sessions are not thread-safe" contract:
+  /// entry points claim the session for their thread and abort (loudly,
+  /// in every build type) when another thread already holds it. Same-
+  /// thread nesting (run() -> native entry) is fine.
+  class [[nodiscard]] ThreadGuard {
+   public:
+    explicit ThreadGuard(const Session& session);
+    ~ThreadGuard();
+    ThreadGuard(const ThreadGuard&) = delete;
+    ThreadGuard& operator=(const ThreadGuard&) = delete;
+
+   private:
+    const Session& session_;
+    bool owner_ = false;
+  };
+
   /// Everything the calibration outcome depends on besides the graph and
   /// the rank count (fixed per session): the statistical parameters and
   /// the stream layout.
@@ -171,6 +242,12 @@ class Session {
                                       std::size_t top_k,
                                       bool needs_connected);
   [[nodiscard]] bool connected();
+  /// Lazily computed graph::fingerprint of the bound graph (cached; used
+  /// by preload_calibration validation).
+  [[nodiscard]] std::uint64_t graph_fingerprint();
+  /// The thread count queries effectively run at (the bound profile's
+  /// shape overrides Config::threads).
+  [[nodiscard]] int effective_threads() const;
   /// The profile queries should use (loads/captures per Config); `reused`
   /// reports whether an already-used profile served this query.
   [[nodiscard]] std::shared_ptr<const tune::TuningProfile> active_profile(
@@ -183,11 +260,15 @@ class Session {
 
   // Cached per-(graph, cluster-shape) state.
   std::optional<bool> connected_;
+  std::optional<std::uint64_t> fingerprint_;
   std::map<CalibrationKey, std::shared_ptr<const bc::KadabraWarmState>>
       calibrations_;
   std::uint32_t mean_distance_range_ = 0;
   std::shared_ptr<const tune::TuningProfile> profile_;
   bool profile_used_ = false;
+
+  /// Thread currently inside an entry point (default id = none).
+  mutable std::atomic<std::thread::id> active_thread_{};
 };
 
 }  // namespace distbc::api

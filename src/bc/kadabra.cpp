@@ -10,6 +10,7 @@
 #include "bc/topk.hpp"
 #include "epoch/sparse_frame.hpp"
 #include "epoch/state_frame.hpp"
+#include "graph/stats.hpp"
 #include "support/timer.hpp"
 #include "tune/tuner.hpp"
 
@@ -112,6 +113,13 @@ BcResult kadabra_run_frames(const graph::Graph& graph,
   std::shared_ptr<const KadabraWarmState> warm = options.warm_start;
   if (warm == nullptr) {
     auto state = std::make_shared<KadabraWarmState>();
+    // Provenance for reuse-time validation (the fingerprint pass is one
+    // linear CSR scan at rank 0 - noise next to the diameter phase).
+    if (is_root) state->graph_fingerprint = graph::fingerprint(graph);
+    state->ranks = num_ranks;
+    state->threads_per_rank = engine_options.threads_per_rank;
+    state->deterministic = engine_options.deterministic;
+    state->virtual_streams = engine_options.virtual_streams;
 
     // --- Phase 1: diameter at rank zero (sequential, §IV-F), broadcast. --
     std::uint32_t vd = 0;

@@ -58,6 +58,19 @@ struct KadabraWarmState {
   /// Average dense frame words one sample writes - the tuner's
   /// wire-payload predictor for the frame_rep decision (rank 0's value).
   double touched_words_per_sample = 0.0;
+
+  // --- Provenance (filled at rank 0 on a fresh calibration) --------------
+  // What the state was computed on, so consumers (Session::
+  // preload_calibration, service::WarmStore) can validate a reuse instead
+  // of silently mis-caching: the calibration content depends on the graph,
+  // the statistical parameters (in context.params), and the stream layout
+  // of the cluster shape below. Zero ranks / fingerprint mark a state from
+  // before this accounting ("unknown", accepted as-is).
+  std::uint64_t graph_fingerprint = 0;  // graph::fingerprint of the input
+  int ranks = 0;
+  int threads_per_rank = 0;
+  bool deterministic = false;
+  std::uint64_t virtual_streams = 0;
 };
 
 struct KadabraOptions {

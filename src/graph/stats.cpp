@@ -59,4 +59,21 @@ double sampled_clustering_coefficient(const Graph& graph,
   return static_cast<double>(closed) / static_cast<double>(samples);
 }
 
+std::uint64_t fingerprint(const Graph& graph) {
+  // FNV-1a 64-bit over the CSR content. The arrays are canonical (sorted
+  // adjacency, fixed offset layout), so equal graphs hash equal regardless
+  // of construction order.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  const auto mix = [&hash](std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (8 * byte)) & 0xffu;
+      hash *= 0x100000001b3ull;
+    }
+  };
+  mix(graph.num_vertices());
+  for (const EdgeId offset : graph.offsets()) mix(offset);
+  for (const Vertex v : graph.adjacency()) mix(v);
+  return hash == 0 ? 1 : hash;  // reserve 0 for "unknown"
+}
+
 }  // namespace distbc::graph

@@ -29,4 +29,11 @@ struct DegreeStats {
                                                     std::uint64_t samples,
                                                     std::uint64_t seed);
 
+/// Content fingerprint of the CSR arrays (FNV-1a over vertex count,
+/// offsets, and adjacency). Two graphs with the same fingerprint are the
+/// same graph for cache-keying purposes: cached per-graph state
+/// (bc::KadabraWarmState, service::WarmStore entries) is validated against
+/// it before reuse. Never 0 - 0 means "unknown" in provenance fields.
+[[nodiscard]] std::uint64_t fingerprint(const Graph& graph);
+
 }  // namespace distbc::graph

@@ -1,0 +1,123 @@
+// service::Dispatcher - one entry point over many bound graphs, with
+// admission control and weighted fair scheduling across tenants.
+//
+// The dispatcher shards queries by graph_id to per-graph SessionPools and
+// decides WHO runs next; the pools decide nothing (plain FIFO workers).
+// To keep the fairness decision authoritative, the dispatcher forwards at
+// most pool-size queries per pool at a time (one per replica): the pool's
+// internal queue then never holds a backlog that could reorder what the
+// scheduler decided. Everything else waits in the FairScheduler under the
+// dispatcher's admission cap.
+//
+// Admission is typed, not exceptional: an unknown graph_id or a full
+// queue (Config of the target pool is irrelevant - the dispatcher's
+// `queue_capacity` bounds TOTAL pending queries) fulfills the ticket
+// immediately with an error Status, so callers distinguish overload from
+// failure without string matching... the two canonical messages are
+// "unknown graph id '...'" and "service queue full".
+//
+// pause()/resume() gate forwarding only - submissions still enqueue - so
+// tests and the bench can build a deterministic backlog and release it at
+// once (under backlog, dispatch order is a pure function of the
+// submission history; see scheduler.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/session.hpp"
+#include "service/scheduler.hpp"
+#include "service/session_pool.hpp"
+#include "service/ticket.hpp"
+
+namespace distbc::service {
+
+/// One query addressed to one bound graph on behalf of one tenant.
+struct Request {
+  std::string tenant;
+  std::string graph_id;
+  api::Query query;
+};
+
+struct DispatcherStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_unknown_graph = 0;
+  std::uint64_t rejected_queue_full = 0;
+  /// Queries currently forwarded to pools (at most pool-size per graph).
+  std::uint64_t in_flight = 0;
+  /// Queries waiting in the fair scheduler.
+  std::uint64_t scheduled = 0;
+};
+
+class Dispatcher {
+ public:
+  /// `queue_capacity` bounds the TOTAL scheduled-but-not-forwarded
+  /// queries across all graphs and tenants (0 = use the first bound
+  /// config's service_queue_capacity).
+  explicit Dispatcher(std::uint64_t queue_capacity = 0);
+
+  /// Resumes, drains, and tears the pools down.
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Binds `graph_id` to a new SessionPool over `graph` with `config`.
+  /// Rebinding an existing id or a pool that fails construction is an
+  /// error.
+  [[nodiscard]] api::Status bind(const std::string& graph_id,
+                                 std::shared_ptr<const graph::Graph> graph,
+                                 const api::Config& config);
+
+  /// Weighted fair share under backlog (default 1; must be positive).
+  void set_tenant_weight(const std::string& tenant, double weight);
+
+  /// Asynchronous submission; the ticket resolves with the result or a
+  /// typed admission rejection.
+  [[nodiscard]] Ticket submit(Request request);
+
+  /// Gates forwarding to the pools (submissions still enqueue).
+  void pause();
+  void resume();
+
+  /// Blocks until every admitted query has completed.
+  void drain();
+
+  [[nodiscard]] DispatcherStats stats() const;
+  [[nodiscard]] const SessionPool* pool(const std::string& graph_id) const;
+
+ private:
+  struct Pending {
+    Request request;
+    Ticket ticket;
+    WallTimer queued;
+  };
+  struct Shard {
+    std::unique_ptr<SessionPool> pool;
+    int in_flight = 0;
+  };
+
+  /// Forwards scheduler picks into pools with free replica slots. Caller
+  /// holds mutex_.
+  void pump();
+  void on_complete(const std::string& graph_id, Response response,
+                   const Ticket& ticket, double scheduler_seconds);
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::map<std::string, Shard> shards_;
+  FairScheduler scheduler_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_handle_ = 1;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t queue_capacity_ = 0;
+  bool paused_ = false;
+  DispatcherStats stats_;
+};
+
+}  // namespace distbc::service

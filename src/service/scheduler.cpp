@@ -1,0 +1,55 @@
+#include "service/scheduler.hpp"
+
+#include "support/assert.hpp"
+
+namespace distbc::service {
+
+void FairScheduler::set_weight(const std::string& tenant, double weight) {
+  DISTBC_ASSERT_MSG(weight > 0.0, "tenant weight must be positive");
+  tenants_[tenant].weight = weight;
+}
+
+void FairScheduler::push(const std::string& tenant,
+                         const std::string& graph_id, std::uint64_t handle) {
+  Tenant& state = tenants_[tenant];
+  if (state.queued == 0) {
+    // Waking from idle: re-base onto the global pass so the time spent
+    // idle earns no retroactive credit.
+    if (global_pass_ > state.pass) state.pass = global_pass_;
+  }
+  state.queues[graph_id].push_back(handle);
+  ++state.queued;
+  ++pending_;
+}
+
+std::optional<std::uint64_t> FairScheduler::pop(const std::string& graph_id) {
+  Tenant* best = nullptr;
+  for (auto& [name, tenant] : tenants_) {
+    const auto queue = tenant.queues.find(graph_id);
+    if (queue == tenant.queues.end() || queue->second.empty()) continue;
+    // Smallest (pass, name); map iteration is name-ordered, so strict <
+    // on pass keeps the earlier name on ties.
+    if (best == nullptr || tenant.pass < best->pass) best = &tenant;
+  }
+  if (best == nullptr) return std::nullopt;
+
+  std::deque<std::uint64_t>& queue = best->queues[graph_id];
+  const std::uint64_t handle = queue.front();
+  queue.pop_front();
+  --best->queued;
+  --pending_;
+  global_pass_ = best->pass;
+  best->pass += 1.0 / best->weight;
+  return handle;
+}
+
+std::size_t FairScheduler::pending(const std::string& graph_id) const {
+  std::size_t count = 0;
+  for (const auto& [name, tenant] : tenants_) {
+    const auto queue = tenant.queues.find(graph_id);
+    if (queue != tenant.queues.end()) count += queue->second.size();
+  }
+  return count;
+}
+
+}  // namespace distbc::service

@@ -1,0 +1,65 @@
+// service::FairScheduler - deterministic weighted fair queueing over
+// tenants (stride scheduling).
+//
+// Each tenant carries a virtual "pass"; dispatching a tenant's query
+// advances its pass by 1/weight, and the scheduler always serves the
+// eligible tenant with the smallest (pass, name) - name as the
+// deterministic tie-break. A tenant with weight w therefore receives a
+// w-proportional share of dispatch slots under backlog, regardless of
+// submission order, and the dispatch order is a pure function of the
+// submission history (no clocks, no randomness - replayable in tests and
+// the bench).
+//
+// A tenant that goes idle and returns is re-based onto the current global
+// pass (max of its own and the last dispatched pass), so sleeping never
+// banks credit that would later starve active tenants.
+//
+// The scheduler is externally synchronized: the Dispatcher calls it under
+// its own mutex; tests drive it single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace distbc::service {
+
+class FairScheduler {
+ public:
+  /// Sets a tenant's weight (share of dispatch slots under backlog).
+  /// Weights must be positive; unknown tenants default to 1.
+  void set_weight(const std::string& tenant, double weight);
+
+  /// Enqueues one work handle for (tenant, graph_id). FIFO per
+  /// (tenant, graph) - fairness reorders across tenants, never within.
+  void push(const std::string& tenant, const std::string& graph_id,
+            std::uint64_t handle);
+
+  /// Dispatches the next handle destined for `graph_id`: the eligible
+  /// tenant with the smallest (pass, name). std::nullopt when no tenant
+  /// has pending work for that graph.
+  [[nodiscard]] std::optional<std::uint64_t> pop(const std::string& graph_id);
+
+  /// Pending handles, total and per graph.
+  [[nodiscard]] std::size_t pending() const { return pending_; }
+  [[nodiscard]] std::size_t pending(const std::string& graph_id) const;
+
+ private:
+  struct Tenant {
+    double weight = 1.0;
+    double pass = 0.0;
+    /// Per-graph FIFO queues; total queued across graphs.
+    std::map<std::string, std::deque<std::uint64_t>> queues;
+    std::size_t queued = 0;
+  };
+
+  std::map<std::string, Tenant> tenants_;
+  /// Pass of the most recent dispatch - the re-basing floor for tenants
+  /// waking from idle.
+  double global_pass_ = 0.0;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace distbc::service

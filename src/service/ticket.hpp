@@ -1,0 +1,84 @@
+// service::Ticket - the future-style handle a query submission returns.
+//
+// Submission (Dispatcher::submit / SessionPool::submit) is asynchronous:
+// the caller gets a Ticket immediately and the Response is delivered when
+// a pool worker finishes the query (or immediately, for typed admission
+// rejections). Tickets are cheap shared handles - copy them freely; every
+// copy observes the same Response exactly once it is fulfilled.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "api/session.hpp"
+#include "api/status.hpp"
+
+namespace distbc::service {
+
+/// What one query submission came back with.
+struct Response {
+  /// Admission + execution status. Typed rejections ("service queue
+  /// full", "unknown graph id ...") arrive here with an empty result;
+  /// accepted queries carry the api::Result (whose own status covers
+  /// query validation).
+  api::Status status;
+  api::Result result;
+
+  /// Echo of the request routing.
+  std::string tenant;
+  std::string graph_id;
+
+  /// Seconds spent queued before a session replica picked the query up.
+  double queue_seconds = 0.0;
+  /// Seconds inside Session::run.
+  double run_seconds = 0.0;
+  /// Global dispatch order (what the fair scheduler decided); rejected
+  /// submissions keep 0.
+  std::uint64_t dispatch_sequence = 0;
+};
+
+class Ticket {
+ public:
+  Ticket() : state_(std::make_shared<State>()) {}
+
+  /// Blocks until the response is available, then returns it (stable
+  /// reference for the ticket's lifetime).
+  [[nodiscard]] const Response& wait() const {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [this] { return state_->done; });
+    return state_->response;
+  }
+
+  [[nodiscard]] bool done() const {
+    const std::scoped_lock lock(state_->mutex);
+    return state_->done;
+  }
+
+  /// Delivery side (SessionPool / Dispatcher internals). Fulfilling a
+  /// ticket twice is a programming error; the second response is dropped.
+  void fulfill(Response response) const {
+    {
+      const std::scoped_lock lock(state_->mutex);
+      if (state_->done) return;
+      state_->response = std::move(response);
+      state_->done = true;
+    }
+    state_->cv.notify_all();
+  }
+
+ private:
+  struct State {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Response response;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace distbc::service

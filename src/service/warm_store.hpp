@@ -1,0 +1,82 @@
+// service::WarmStore - persistent on-disk store of KADABRA warm state and
+// tuning profiles, so a service restart pays zero recalibration.
+//
+// Layout (everything under one root directory, versioned so a format
+// change never misreads old files - unknown versions are skipped, not
+// errors):
+//
+//   <root>/v1/bc_<graph_fp>_<key_hash>.warm     one KadabraWarmState
+//   <root>/v1/profile_<R>x<N>x<T>.tune          one tune::TuningProfile
+//
+// <graph_fp> is graph::fingerprint (16 hex digits); <key_hash> hashes the
+// statistical parameters AND the cluster shape the state was calibrated
+// on, so the same graph stores one file per (params, shape) combination
+// and a shape change naturally misses instead of loading a stale state.
+// Profile files are keyed by shape alone (ranks x ranks_per_node x
+// threads_per_rank) - tuning is graph-independent.
+//
+// Files are plain "key = value" text; doubles are written as C hexfloats
+// ("%a") so every bit round-trips and a reloaded calibration is the
+// calibration that was saved - bitwise, which is what lets a warm-started
+// deterministic run reproduce the original run exactly.
+//
+// Saving requires provenance (KadabraWarmState::graph_fingerprint and
+// ranks populated by a fresh calibration); states without it are refused
+// rather than stored unverifiable. Loading validates internal consistency
+// (vector sizes, fingerprint match with the file name) and skips - never
+// aborts on - damaged or foreign files. WarmStore itself is stateless
+// between calls and safe to share across threads for reads; concurrent
+// saves of the same key last-write-win (the content is identical by
+// construction).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bc/kadabra.hpp"
+#include "tune/tuner.hpp"
+
+namespace distbc::service {
+
+class WarmStore {
+ public:
+  /// Binds the store to `root` (created on first save). An empty root
+  /// disables the store: saves report false, loads report nothing.
+  explicit WarmStore(std::string root);
+
+  [[nodiscard]] bool enabled() const { return !root_.empty(); }
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+  /// Persists one warm state. Returns false when the store is disabled,
+  /// the state lacks provenance, or the write fails.
+  [[nodiscard]] bool save(const bc::KadabraWarmState& state) const;
+
+  /// Loads every stored state of `graph_fingerprint`, any shape and any
+  /// parameters - the caller (SessionPool via Session::preload_calibration)
+  /// validates shape compatibility per state. Damaged files are skipped.
+  [[nodiscard]] std::vector<std::shared_ptr<const bc::KadabraWarmState>>
+  load_all(std::uint64_t graph_fingerprint) const;
+
+  /// Persists / loads the tuning profile of one cluster shape.
+  [[nodiscard]] bool save_profile(const tune::TuningProfile& profile) const;
+  [[nodiscard]] std::optional<tune::TuningProfile> load_profile(
+      const tune::ClusterShape& shape) const;
+
+  /// The hash the .warm file name carries: statistical parameters + the
+  /// calibrated cluster shape. Exposed for tests.
+  [[nodiscard]] static std::uint64_t key_hash(const bc::KadabraWarmState& state);
+
+  /// Full path a state would be stored at (empty when disabled/no
+  /// provenance). Exposed for tests.
+  [[nodiscard]] std::string state_path(const bc::KadabraWarmState& state) const;
+
+ private:
+  [[nodiscard]] std::string version_dir() const;
+
+  std::string root_;
+};
+
+}  // namespace distbc::service

@@ -231,7 +231,8 @@ TEST(SessionReuse, WarmStateRoundTripsThroughPreload) {
   ASSERT_NE(seeded_direct.warm, nullptr);
 
   api::Session third_session(graph, config);
-  third_session.preload_calibration(params, seeded_direct.warm);
+  ASSERT_TRUE(
+      third_session.preload_calibration(params, seeded_direct.warm).ok);
   const api::Result warm = third_session.run(query);
   ASSERT_TRUE(warm.status.ok);
   EXPECT_TRUE(warm.calibration_reused);

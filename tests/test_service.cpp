@@ -1,0 +1,506 @@
+// Tests for the service tier (src/service/): a concurrent SessionPool must
+// be bitwise identical to a serial Session on the same query list (the
+// pool changes throughput, never answers), admission control must reject
+// with typed Statuses, the fair scheduler's dispatch order must be an
+// exact function of weights and submission history, and warm-state
+// persistence must survive a simulated restart with zero recalibration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/config.hpp"
+#include "api/session.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "graph/components.hpp"
+#include "graph/stats.hpp"
+#include "mpisim/network.hpp"
+#include "service/dispatcher.hpp"
+#include "service/scheduler.hpp"
+#include "service/session_pool.hpp"
+#include "service/ticket.hpp"
+#include "service/warm_store.hpp"
+
+namespace distbc {
+namespace {
+
+graph::Graph service_graph(std::uint64_t seed = 777) {
+  return graph::largest_component(gen::erdos_renyi(140, 420, seed));
+}
+
+/// The deterministic shape every identity test runs on: results must be
+/// bitwise independent of which replica (thread) serves a query.
+api::Config service_config(epoch::FrameRep rep = epoch::FrameRep::kDense) {
+  api::Config config;
+  config.ranks = 2;
+  config.threads = 1;
+  config.deterministic = true;
+  config.virtual_streams = 4;
+  config.epoch_base = 64;
+  config.epoch_exponent = 0.0;
+  config.frame_rep = rep;
+  config.seed = 4321;
+  config.network = mpisim::NetworkModel::disabled();
+  config.service_pool_size = 2;
+  return config;
+}
+
+/// A mixed trace: two betweenness queries (distinct statistical keys), one
+/// closeness, one mean distance.
+std::vector<api::Query> mixed_queries() {
+  std::vector<api::Query> queries;
+  api::BetweennessQuery bc1;
+  bc1.epsilon = 0.05;
+  queries.emplace_back(bc1);
+  api::BetweennessQuery bc2;
+  bc2.epsilon = 0.08;
+  bc2.top_k = 5;
+  queries.emplace_back(bc2);
+  api::ClosenessRankQuery closeness;
+  closeness.epsilon = 0.1;
+  queries.emplace_back(closeness);
+  api::MeanDistanceQuery mean;
+  mean.epsilon = 0.2;
+  queries.emplace_back(mean);
+  return queries;
+}
+
+/// RAII scratch directory for warm-store tests.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() /
+              ("distbc_test_service_" + name))
+                 .string()) {
+    std::filesystem::remove_all(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+// --- Pool vs serial session: bitwise identity --------------------------------
+
+TEST(SessionPool, ConcurrentPoolMatchesSerialSessionBitwise) {
+  const auto graph =
+      std::make_shared<const graph::Graph>(service_graph());
+  const std::vector<api::Query> queries = mixed_queries();
+
+  for (const epoch::FrameRep rep :
+       {epoch::FrameRep::kDense, epoch::FrameRep::kSparse,
+        epoch::FrameRep::kAuto}) {
+    const api::Config config = service_config(rep);
+
+    // Serial reference: one session, in submission order.
+    api::Session session(graph, config);
+    std::vector<api::Result> serial;
+    for (const api::Query& query : queries)
+      serial.push_back(session.run(query));
+
+    // Pool: all queries in flight at once over 2 replicas.
+    service::SessionPool pool(graph, config);
+    ASSERT_TRUE(pool.status().ok);
+    std::vector<service::Ticket> tickets;
+    for (const api::Query& query : queries)
+      tickets.push_back(pool.submit(query, "tenant", "g"));
+    pool.drain();
+
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const service::Response& response = tickets[i].wait();
+      ASSERT_TRUE(response.status.ok) << response.status.message;
+      ASSERT_TRUE(serial[i].status.ok);
+      EXPECT_EQ(response.result.algorithm, serial[i].algorithm);
+      ASSERT_EQ(response.result.scores.size(), serial[i].scores.size());
+      for (std::size_t v = 0; v < serial[i].scores.size(); ++v)
+        EXPECT_EQ(response.result.scores[v], serial[i].scores[v])
+            << "rep=" << static_cast<int>(rep) << " query=" << i
+            << " vertex=" << v;
+      EXPECT_EQ(response.result.top_k, serial[i].top_k);
+      EXPECT_EQ(response.result.mean, serial[i].mean);
+      EXPECT_EQ(response.result.samples, serial[i].samples);
+    }
+    const service::PoolStats stats = pool.stats();
+    EXPECT_EQ(stats.submitted, queries.size());
+    EXPECT_EQ(stats.completed, queries.size());
+    EXPECT_EQ(stats.rejected, 0u);
+  }
+}
+
+TEST(SessionPool, SharesCalibrationsAcrossReplicas) {
+  const auto graph = std::make_shared<const graph::Graph>(service_graph());
+  service::SessionPool pool(graph, service_config());
+  ASSERT_TRUE(pool.status().ok);
+
+  // Same statistical key submitted more times than there are replicas:
+  // once any replica has calibrated, the others must reuse, not recompute.
+  api::BetweennessQuery query;
+  query.epsilon = 0.05;
+  std::vector<service::Ticket> tickets;
+  for (int i = 0; i < 6; ++i)
+    tickets.push_back(pool.submit(api::Query(query), "t", "g"));
+  pool.drain();
+
+  std::uint64_t reused = 0;
+  for (const service::Ticket& ticket : tickets) {
+    const service::Response& response = ticket.wait();
+    ASSERT_TRUE(response.status.ok);
+    if (response.result.calibration_reused) ++reused;
+  }
+  // At most one cold calibration per replica (2), and reuse accounting
+  // must agree with the pool's counters.
+  EXPECT_GE(reused, 4u);
+  EXPECT_EQ(pool.stats().calibration_reuses, reused);
+}
+
+// --- Typed admission control -------------------------------------------------
+
+TEST(Dispatcher, RejectsUnknownGraphAndOverflowWithTypedStatus) {
+  const auto graph = std::make_shared<const graph::Graph>(service_graph());
+  api::Config config = service_config();
+  config.service_pool_size = 1;
+  config.service_queue_capacity = 2;
+
+  service::Dispatcher dispatcher;
+  ASSERT_TRUE(dispatcher.bind("g", graph, config).ok);
+
+  // Unknown graph: immediate typed rejection.
+  api::BetweennessQuery query;
+  query.epsilon = 0.05;
+  const service::Ticket unknown =
+      dispatcher.submit({"tenant", "nope", api::Query(query)});
+  ASSERT_TRUE(unknown.done());
+  EXPECT_FALSE(unknown.wait().status.ok);
+  EXPECT_NE(unknown.wait().status.message.find("unknown graph id"),
+            std::string::npos);
+
+  // Paused, the scheduler accumulates; capacity 2 admits exactly 2.
+  dispatcher.pause();
+  std::vector<service::Ticket> tickets;
+  for (int i = 0; i < 4; ++i)
+    tickets.push_back(dispatcher.submit({"tenant", "g", api::Query(query)}));
+  int rejected = 0;
+  for (const service::Ticket& ticket : tickets) {
+    if (ticket.done() && !ticket.wait().status.ok) {
+      EXPECT_NE(ticket.wait().status.message.find("service queue full"),
+                std::string::npos);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, 2);
+
+  dispatcher.resume();
+  dispatcher.drain();
+  for (const service::Ticket& ticket : tickets) {
+    const service::Response& response = ticket.wait();
+    if (response.status.ok) {
+      EXPECT_TRUE(response.result.status.ok);
+    }
+  }
+  const service::DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.rejected_queue_full, 2u);
+  EXPECT_EQ(stats.rejected_unknown_graph, 1u);
+}
+
+// --- Fair scheduling ---------------------------------------------------------
+
+TEST(FairScheduler, EqualWeightsInterleaveDeterministically) {
+  service::FairScheduler scheduler;
+  for (std::uint64_t h : {1, 2, 3}) scheduler.push("alice", "g", h);
+  for (std::uint64_t h : {4, 5, 6}) scheduler.push("bob", "g", h);
+  EXPECT_EQ(scheduler.pending(), 6u);
+
+  std::vector<std::uint64_t> order;
+  while (auto handle = scheduler.pop("g")) order.push_back(*handle);
+  // Ties on pass break by name: alice first, then strict alternation.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 4, 2, 5, 3, 6}));
+  EXPECT_EQ(scheduler.pending(), 0u);
+  EXPECT_FALSE(scheduler.pop("g").has_value());
+  EXPECT_FALSE(scheduler.pop("other").has_value());
+}
+
+TEST(FairScheduler, WeightsControlTheDispatchShare) {
+  service::FairScheduler scheduler;
+  scheduler.set_weight("alice", 3.0);
+  for (std::uint64_t h : {10, 11, 12, 13}) scheduler.push("alice", "g", h);
+  for (std::uint64_t h : {20, 21, 22, 23}) scheduler.push("bob", "g", h);
+
+  std::vector<std::uint64_t> order;
+  while (auto handle = scheduler.pop("g")) order.push_back(*handle);
+  // Stride scheduling at weights 3:1 - alice takes 3 of the first 4 slots.
+  EXPECT_EQ(order,
+            (std::vector<std::uint64_t>{10, 20, 11, 12, 13, 21, 22, 23}));
+}
+
+TEST(FairScheduler, IdleTenantsRebaseInsteadOfBankingCredit) {
+  service::FairScheduler scheduler;
+  scheduler.push("alice", "g", 1);
+  scheduler.push("alice", "g", 2);
+  EXPECT_EQ(scheduler.pop("g"), 1u);
+  EXPECT_EQ(scheduler.pop("g"), 2u);
+
+  // bob was idle while alice dispatched twice; joining now must not grant
+  // bob the whole backlog - he re-bases onto the global pass.
+  for (std::uint64_t h : {20, 21, 22}) scheduler.push("bob", "g", h);
+  scheduler.push("alice", "g", 3);
+  std::vector<std::uint64_t> order;
+  while (auto handle = scheduler.pop("g")) order.push_back(*handle);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{20, 3, 21, 22}));
+}
+
+TEST(FairScheduler, QueuesAreIndependentPerGraph) {
+  service::FairScheduler scheduler;
+  scheduler.push("alice", "g1", 1);
+  scheduler.push("alice", "g2", 2);
+  EXPECT_EQ(scheduler.pending("g1"), 1u);
+  EXPECT_EQ(scheduler.pending("g2"), 1u);
+  EXPECT_EQ(scheduler.pop("g2"), 2u);
+  EXPECT_EQ(scheduler.pop("g2"), std::nullopt);
+  EXPECT_EQ(scheduler.pop("g1"), 1u);
+}
+
+TEST(Dispatcher, BacklogDispatchOrderFollowsTheScheduler) {
+  const auto graph = std::make_shared<const graph::Graph>(service_graph());
+  api::Config config = service_config();
+  config.service_pool_size = 1;  // one slot: dispatch order == run order
+
+  service::Dispatcher dispatcher(/*queue_capacity=*/16);
+  ASSERT_TRUE(dispatcher.bind("g", graph, config).ok);
+  dispatcher.set_tenant_weight("hot", 2.0);
+
+  api::BetweennessQuery query;
+  query.epsilon = 0.05;
+  dispatcher.pause();
+  std::vector<service::Ticket> hot;
+  std::vector<service::Ticket> cold;
+  for (int i = 0; i < 4; ++i)
+    hot.push_back(dispatcher.submit({"hot", "g", api::Query(query)}));
+  for (int i = 0; i < 2; ++i)
+    cold.push_back(dispatcher.submit({"cold", "g", api::Query(query)}));
+  dispatcher.resume();
+  dispatcher.drain();
+
+  // Weight 2 vs 1: passes hot {0,.5,1,1.5} / cold {0,1}; smallest
+  // (pass, name) each slot gives cold, hot, hot, cold, hot, hot.
+  std::vector<std::uint64_t> hot_sequences;
+  std::vector<std::uint64_t> cold_sequences;
+  for (const service::Ticket& ticket : hot) {
+    ASSERT_TRUE(ticket.wait().status.ok);
+    hot_sequences.push_back(ticket.wait().dispatch_sequence);
+  }
+  for (const service::Ticket& ticket : cold) {
+    ASSERT_TRUE(ticket.wait().status.ok);
+    cold_sequences.push_back(ticket.wait().dispatch_sequence);
+  }
+  std::sort(hot_sequences.begin(), hot_sequences.end());
+  std::sort(cold_sequences.begin(), cold_sequences.end());
+  EXPECT_EQ(hot_sequences, (std::vector<std::uint64_t>{2, 3, 5, 6}));
+  EXPECT_EQ(cold_sequences, (std::vector<std::uint64_t>{1, 4}));
+}
+
+// --- Warm-state persistence --------------------------------------------------
+
+/// A fresh calibration exported from a direct session (with provenance).
+std::shared_ptr<const bc::KadabraWarmState> make_warm_state(
+    const std::shared_ptr<const graph::Graph>& graph,
+    const api::Config& config) {
+  api::Session session(graph, config);
+  api::BetweennessQuery query;
+  query.epsilon = 0.05;
+  const api::Result result = session.run(query);
+  EXPECT_TRUE(result.status.ok);
+  const auto states = session.calibrations();
+  EXPECT_EQ(states.size(), 1u);
+  return states.empty() ? nullptr : states.front();
+}
+
+TEST(WarmStore, RoundTripsBitExactAndKeysByFingerprint) {
+  const ScratchDir dir("roundtrip");
+  const auto graph = std::make_shared<const graph::Graph>(service_graph());
+  const api::Config config = service_config();
+  const auto state = make_warm_state(graph, config);
+  ASSERT_NE(state, nullptr);
+  ASSERT_NE(state->graph_fingerprint, 0u);  // provenance was recorded
+  EXPECT_EQ(state->graph_fingerprint, graph::fingerprint(*graph));
+  EXPECT_EQ(state->ranks, 2);
+  EXPECT_TRUE(state->deterministic);
+  EXPECT_EQ(state->virtual_streams, 4u);
+
+  const service::WarmStore store(dir.path);
+  ASSERT_TRUE(store.save(*state));
+
+  const auto loaded = store.load_all(state->graph_fingerprint);
+  ASSERT_EQ(loaded.size(), 1u);
+  const bc::KadabraWarmState& restored = *loaded.front();
+
+  // Bit-exact round trip: the restored calibration IS the saved one.
+  EXPECT_EQ(restored.graph_fingerprint, state->graph_fingerprint);
+  EXPECT_EQ(restored.ranks, state->ranks);
+  EXPECT_EQ(restored.threads_per_rank, state->threads_per_rank);
+  EXPECT_EQ(restored.deterministic, state->deterministic);
+  EXPECT_EQ(restored.virtual_streams, state->virtual_streams);
+  EXPECT_EQ(restored.vertex_diameter, state->vertex_diameter);
+  EXPECT_EQ(restored.context.omega, state->context.omega);
+  EXPECT_EQ(restored.context.initial_samples, state->context.initial_samples);
+  EXPECT_EQ(restored.context.params.epsilon, state->context.params.epsilon);
+  EXPECT_EQ(restored.context.params.seed, state->context.params.seed);
+  EXPECT_EQ(restored.context.params.balancing,
+            state->context.params.balancing);
+  EXPECT_EQ(restored.sample_seconds, state->sample_seconds);
+  EXPECT_EQ(restored.touched_words_per_sample,
+            state->touched_words_per_sample);
+  EXPECT_EQ(restored.context.calibration.predicted_tau,
+            state->context.calibration.predicted_tau);
+  ASSERT_EQ(restored.context.calibration.delta_l.size(),
+            state->context.calibration.delta_l.size());
+  for (std::size_t v = 0; v < state->context.calibration.delta_l.size();
+       ++v) {
+    EXPECT_EQ(restored.context.calibration.delta_l[v],
+              state->context.calibration.delta_l[v]);
+    EXPECT_EQ(restored.context.calibration.delta_u[v],
+              state->context.calibration.delta_u[v]);
+  }
+
+  // Fingerprint keying: a different graph's fingerprint finds nothing.
+  EXPECT_TRUE(store.load_all(state->graph_fingerprint ^ 1).empty());
+
+  // No provenance, no persistence.
+  const bc::KadabraWarmState unprovenanced;
+  EXPECT_FALSE(store.save(unprovenanced));
+
+  // Disabled store: everything is a no-op.
+  const service::WarmStore disabled("");
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_FALSE(disabled.save(*state));
+  EXPECT_TRUE(disabled.load_all(state->graph_fingerprint).empty());
+}
+
+TEST(WarmStore, PreloadRejectsMismatchedProvenance) {
+  const auto graph = std::make_shared<const graph::Graph>(service_graph());
+  const api::Config config = service_config();
+  const auto state = make_warm_state(graph, config);
+  ASSERT_NE(state, nullptr);
+  const bc::KadabraParams params = state->context.params;
+
+  // Mismatched statistical parameters.
+  {
+    api::Session session(graph, config);
+    bc::KadabraParams other = params;
+    other.epsilon = 0.2;
+    const api::Status status = session.preload_calibration(other, state);
+    EXPECT_FALSE(status.ok);
+    EXPECT_NE(status.message.find("KadabraParams"), std::string::npos);
+  }
+  // Different graph, same shape: fingerprint mismatch.
+  {
+    const auto other_graph =
+        std::make_shared<const graph::Graph>(service_graph(999));
+    api::Session session(other_graph, config);
+    const api::Status status = session.preload_calibration(params, state);
+    EXPECT_FALSE(status.ok);
+    EXPECT_NE(status.message.find("graph"), std::string::npos);
+  }
+  // Same graph, different cluster shape: the shape-change invalidation.
+  {
+    api::Config reshaped = config;
+    reshaped.ranks = 3;
+    api::Session session(graph, reshaped);
+    const api::Status status = session.preload_calibration(params, state);
+    EXPECT_FALSE(status.ok);
+    EXPECT_NE(status.message.find("shape"), std::string::npos);
+  }
+  // The exact original binding is accepted.
+  {
+    api::Session session(graph, config);
+    EXPECT_TRUE(session.preload_calibration(params, state).ok);
+  }
+}
+
+TEST(SessionPool, RestartWithWarmStorePerformsZeroCalibration) {
+  const ScratchDir dir("restart");
+  const auto graph = std::make_shared<const graph::Graph>(service_graph());
+  api::Config config = service_config();
+  config.service_warm_store = dir.path;
+
+  api::BetweennessQuery query;
+  query.epsilon = 0.05;
+  std::vector<double> first_scores;
+  {
+    service::SessionPool pool(graph, config);
+    ASSERT_TRUE(pool.status().ok);
+    const service::Ticket ticket = pool.submit(api::Query(query));
+    pool.drain();
+    const service::Response& response = ticket.wait();
+    ASSERT_TRUE(response.status.ok);
+    EXPECT_FALSE(response.result.calibration_reused);
+    EXPECT_GT(response.result.phases.seconds(Phase::kCalibration), 0.0);
+    first_scores = response.result.scores;
+    EXPECT_GE(pool.stats().store_saves, 1u);
+  }  // "shutdown"
+
+  // Restart: a new pool over the same store must serve the first query
+  // from the persisted calibration - zero phase-1/2 work, same answer.
+  service::SessionPool restarted(graph, config);
+  ASSERT_TRUE(restarted.status().ok);
+  EXPECT_GE(restarted.stats().store_states_loaded, 1u);
+  const service::Ticket ticket = restarted.submit(api::Query(query));
+  restarted.drain();
+  const service::Response& response = ticket.wait();
+  ASSERT_TRUE(response.status.ok);
+  EXPECT_TRUE(response.result.calibration_reused);
+  EXPECT_EQ(response.result.phases.seconds(Phase::kDiameter), 0.0);
+  EXPECT_EQ(response.result.phases.seconds(Phase::kCalibration), 0.0);
+  ASSERT_EQ(response.result.scores.size(), first_scores.size());
+  for (std::size_t v = 0; v < first_scores.size(); ++v)
+    EXPECT_EQ(response.result.scores[v], first_scores[v]);
+
+  // A reshaped cluster must NOT reuse the stored state (invalidated by
+  // provenance validation at load).
+  api::Config reshaped = config;
+  reshaped.ranks = 3;
+  service::SessionPool reshaped_pool(graph, reshaped);
+  ASSERT_TRUE(reshaped_pool.status().ok);
+  EXPECT_EQ(reshaped_pool.stats().store_states_loaded, 0u);
+  EXPECT_GE(reshaped_pool.stats().store_states_rejected, 1u);
+}
+
+// --- Per-query engine overrides ----------------------------------------------
+
+TEST(SessionOverrides, MixedRepresentationsOnOneSessionStayBitwise) {
+  const auto graph = std::make_shared<const graph::Graph>(service_graph());
+  api::Session session(graph, service_config(epoch::FrameRep::kDense));
+
+  api::BetweennessQuery query;
+  query.epsilon = 0.05;
+  const api::Result baseline = session.run(query);
+  ASSERT_TRUE(baseline.status.ok);
+  EXPECT_EQ(baseline.engine_used.frame_rep, epoch::FrameRep::kDense);
+
+  // Same session, same calibration, different wire configuration: the
+  // deterministic engine's invariants make this safe per query.
+  api::BetweennessQuery overridden = query;
+  overridden.engine.frame_rep = epoch::FrameRep::kSparse;
+  overridden.engine.tree_radix = 3;
+  overridden.engine.sample_batch = 8;
+  const api::Result result = session.run(overridden);
+  ASSERT_TRUE(result.status.ok);
+  EXPECT_TRUE(result.calibration_reused);  // overrides don't split the key
+  EXPECT_EQ(result.engine_used.frame_rep, epoch::FrameRep::kSparse);
+  EXPECT_EQ(result.engine_used.tree_radix, 3);
+  EXPECT_EQ(result.engine_used.sample_batch, 8);
+  ASSERT_EQ(result.scores.size(), baseline.scores.size());
+  for (std::size_t v = 0; v < baseline.scores.size(); ++v)
+    EXPECT_EQ(result.scores[v], baseline.scores[v]);
+
+  // Out-of-range overrides are typed errors, not asserts.
+  api::BetweennessQuery bad_radix = query;
+  bad_radix.engine.tree_radix = 1;
+  EXPECT_FALSE(session.run(bad_radix).status.ok);
+  api::BetweennessQuery bad_batch = query;
+  bad_batch.engine.sample_batch = 65;
+  EXPECT_FALSE(session.run(bad_batch).status.ok);
+}
+
+}  // namespace
+}  // namespace distbc
