@@ -251,6 +251,11 @@ inline void add_comm_volume_fields(JsonReport& json,
   json.field("aggregation_bytes",
              static_cast<double>(volume.aggregation_bytes()));
   json.field("total_bytes", static_cast<double>(volume.total()));
+  // Analytic completion-deadline charges: a pure function of payload and
+  // topology, so deterministic runs report them machine-independently.
+  json.field("modeled_s", volume.modeled_seconds());
+  json.field("overlapped_combine_s",
+             static_cast<double>(volume.overlapped_combine_ns) * 1e-9);
 }
 
 }  // namespace distbc::bench

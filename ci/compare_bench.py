@@ -13,10 +13,15 @@ object:
   * byte/count fields (*_bytes, epochs, samples, ratios) must stay within
     the relative tolerance of the baseline - deterministic-mode benches
     make these machine-independent;
+  * modeled fields (names containing "modeled") are the interconnect
+    model's analytic completion-deadline charges: pure functions of payload
+    and topology, bitwise machine-independent in deterministic mode. They
+    are gated at a much tighter tolerance (--modeled-tolerance, default
+    1e-6 relative) so a drifting cost model fails loudly instead of hiding
+    inside the 10% value band;
   * wall-time fields (names containing "seconds", "wall" or "time") and
     throughput fields (names containing "rate", "per_sec" or "speedup")
-    are skipped: they are not comparable across runners. Modeled costs are
-    analytic and named *modeled*, so they ARE compared.
+    are skipped: they are not comparable across runners.
 
 Exits nonzero with a per-field report on any regression, so the CI job
 fails instead of silently uploading a worse snapshot.
@@ -33,13 +38,16 @@ SKIP_MARKERS = ("seconds", "wall", "time", "rate", "per_sec", "speedup")
 
 def classify(name: str, baseline_value: float) -> str:
     lowered = name.lower()
-    if any(marker in lowered for marker in SKIP_MARKERS) and \
-            "modeled" not in lowered:
-        return "skip"
+    # Check flags outrank everything: "..._cuts_modeled_s" is a boolean
+    # verdict about a modeled quantity, not the quantity itself.
     if any(marker in lowered for marker in BOOL_MARKERS) or (
             baseline_value in (0.0, 1.0) and
             lowered.endswith(("_ok", "_pass"))):
         return "bool"
+    if "modeled" in lowered:
+        return "modeled"
+    if any(marker in lowered for marker in SKIP_MARKERS):
+        return "skip"
     return "value"
 
 
@@ -49,6 +57,9 @@ def main() -> int:
     parser.add_argument("current")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="relative tolerance for value fields")
+    parser.add_argument("--modeled-tolerance", type=float, default=1e-6,
+                        help="relative tolerance for analytic modeled "
+                             "fields (deterministic, machine-independent)")
     args = parser.parse_args()
 
     with open(args.baseline, encoding="utf-8") as handle:
@@ -85,17 +96,19 @@ def main() -> int:
             ok = not (base_f >= 1.0 and cur_f < 1.0)
             verdict = "ok" if ok else "REGRESSED (check went 1 -> 0)"
         else:
+            tolerance = (args.modeled_tolerance if kind == "modeled"
+                         else args.tolerance)
             if not (math.isfinite(base_f) and math.isfinite(cur_f)):
                 ok = False
                 verdict = "non-finite"
             elif base_f == 0.0:
-                ok = abs(cur_f) <= args.tolerance
+                ok = abs(cur_f) <= tolerance
                 verdict = "ok" if ok else "moved off zero"
             else:
                 rel = abs(cur_f - base_f) / abs(base_f)
-                ok = rel <= args.tolerance
+                ok = rel <= tolerance
                 verdict = ("ok" if ok else
-                           f"off by {rel:.1%} (> {args.tolerance:.0%})")
+                           f"off by {rel:.2e} (> {tolerance:g})")
         print(f"  {'ok ' if ok else 'FAIL'}  {name}: "
               f"baseline {base_f:g} vs current {cur_f:g} - {verdict}")
         if not ok:

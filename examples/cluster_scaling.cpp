@@ -6,7 +6,9 @@
 //
 //   ./cluster_scaling [scale=13] [eps=0.005] [latency_us=2]
 //                     [frame_rep=dense|sparse|auto] [tree_radix=0|2|...]
+//                     [rpn=1] [leader_radix=0|2|...]
 //                     [sample_batch=1|8|...|0=auto]
+#include <algorithm>
 #include <cstdio>
 #include <mutex>
 
@@ -26,6 +28,12 @@ int main(int argc, char** argv) {
                    "wire representation of epoch frames (dense|sparse|auto)");
   options.describe("tree_radix",
                    "tree-merge fan-in for sparse images (0 = flat)");
+  options.describe("rpn",
+                   "simulated ranks per node (>1 enables the two-level "
+                   "hierarchical path)");
+  options.describe("leader_radix",
+                   "leader-tree fan-in of the two-level path "
+                   "(0 = inherit tree_radix; needs rpn>1)");
   options.describe("sample_batch",
                    "samples per traversal batch (1 = scalar, 0 = auto)");
   options.finish("Rank-scaling sweep on a simulated cluster.");
@@ -47,13 +55,18 @@ int main(int argc, char** argv) {
   const epoch::FrameRep frame_rep = *parsed_rep;
   const auto tree_radix =
       static_cast<int>(options.get_u64("tree_radix", 0));
+  const auto ranks_per_node =
+      static_cast<int>(options.get_u64("rpn", 1));
+  const auto leader_radix =
+      static_cast<int>(options.get_u64("leader_radix", 0));
   const auto sample_batch =
       static_cast<int>(options.get_u64("sample_batch", 1));
   std::printf("web proxy: %u vertices, %llu edges, frame_rep=%s, "
-              "tree_radix=%d, sample_batch=%d\n\n",
+              "tree_radix=%d, rpn=%d, leader_radix=%d, sample_batch=%d\n\n",
               graph.num_vertices(),
               static_cast<unsigned long long>(graph.num_edges()),
-              epoch::frame_rep_name(frame_rep), tree_radix, sample_batch);
+              epoch::frame_rep_name(frame_rep), tree_radix, ranks_per_node,
+              leader_radix, sample_batch);
 
   mpisim::NetworkModel network;
   network.remote_latency_s = options.get_double("latency_us", 2.0) * 1e-6;
@@ -65,7 +78,7 @@ int main(int argc, char** argv) {
   for (const int ranks : {1, 2, 4, 8, 16}) {
     mpisim::RuntimeConfig config;
     config.num_ranks = ranks;
-    config.ranks_per_node = 1;
+    config.ranks_per_node = std::clamp(ranks_per_node, 1, ranks);
     config.network = network;
     mpisim::Runtime runtime(config);
 
@@ -74,6 +87,8 @@ int main(int argc, char** argv) {
     bc_options.params.seed = 5;
     bc_options.engine.frame_rep = frame_rep;
     bc_options.engine.tree_radix = tree_radix;
+    bc_options.engine.hierarchical = config.ranks_per_node > 1;
+    bc_options.engine.leader_radix = leader_radix;
     bc_options.engine.sample_batch = sample_batch;
 
     // The explicit form of bc::kadabra_mpi(): our own rank main.

@@ -80,7 +80,7 @@ Status bad_value(std::string_view key, std::string_view value,
   return Status::error(std::move(message));
 }
 
-// One macro per field family keeps the 26-row table honest: every key gets
+// One macro per field family keeps the key table honest: every key gets
 // a parser, a range check, and a serializer from the same three tokens.
 #define DISTBC_U64_KEY(key_name, env_name, field, help_text)               \
   Entry{{key_name, env_name, help_text},                                   \
@@ -194,6 +194,19 @@ const std::vector<Entry>& entries() {
             [](const Config& config) {
               return std::to_string(config.tree_radix);
             }},
+      Entry{{"leader_radix", "DISTBC_LEADER_RADIX",
+             "two-level leader-merge radix (0 = inherit tree_radix)"},
+            [](Config& config, std::string_view value) {
+              int parsed = 0;
+              if (!parse_int(value, parsed) || parsed < 0 || parsed == 1)
+                return bad_value("leader_radix", value,
+                                 "0 or an integer >= 2");
+              config.leader_radix = parsed;
+              return Status::success();
+            },
+            [](const Config& config) {
+              return std::to_string(config.leader_radix);
+            }},
       DISTBC_BOOL_KEY("local_aggregates", "DISTBC_LOCAL_AGGREGATES",
                       local_aggregates,
                       "keep per-rank partial aggregates (top-k substrate)"),
@@ -249,6 +262,10 @@ const std::vector<Entry>& entries() {
               return Status::success();
             },
             [](const Config& config) { return config.service_warm_store; }},
+      DISTBC_U64_KEY("service_warm_store_max_entries",
+                     "DISTBC_SERVICE_WARM_STORE_MAX_ENTRIES",
+                     service_warm_store_max_entries,
+                     "persisted warm states kept per version (0 = unbounded)"),
   };
   return table;
 }
@@ -352,6 +369,8 @@ Status Config::validate() const {
   if (threads < 1) return Status::error("threads must be >= 1");
   if (tree_radix == 1 || tree_radix < 0)
     return Status::error("tree_radix must be 0 (flat) or >= 2");
+  if (leader_radix == 1 || leader_radix < 0)
+    return Status::error("leader_radix must be 0 (inherit) or >= 2");
   if (epoch_base == 0) return Status::error("epoch_base must be >= 1");
   if (omega_fraction == 0) return Status::error("omega_fraction must be >= 1");
   if (virtual_streams != 0 && !deterministic)
@@ -383,6 +402,7 @@ engine::EngineOptions Config::engine_options() const {
   options.virtual_streams = virtual_streams;
   options.frame_rep = frame_rep;
   options.tree_radix = tree_radix;
+  options.leader_radix = leader_radix;
   options.local_aggregates = local_aggregates;
   options.sample_batch = sample_batch;
   return options;

@@ -66,6 +66,10 @@ struct Config {
   std::uint64_t virtual_streams = 0;
   engine::FrameRep frame_rep = engine::FrameRep::kDense;
   int tree_radix = 0;
+  /// Leader-level radix of the two-level merge path (hierarchical runs):
+  /// 0 = inherit tree_radix, >= 2 overrides it for the inter-node hop
+  /// class only. Ignored without `hierarchical`.
+  int leader_radix = 0;
   bool local_aggregates = false;
   /// Samples per traversal batch (graph::BatchedBidirectionalBfs lanes):
   /// 1 = the scalar sampler, > 1 = batched, 0 = auto (drivers probe
@@ -105,6 +109,9 @@ struct Config {
   /// Directory of the persistent warm-state store (service::WarmStore);
   /// empty = no persistence (calibrations live only for the pool's life).
   std::string service_warm_store;
+  /// Warm-store eviction cap: keep at most this many persisted states per
+  /// format version, evicting oldest-by-mtime past it (0 = unbounded).
+  std::uint64_t service_warm_store_max_entries = 0;
 
   // --- Typed-only fields (programmatic, not in the key table) -------------
   mpisim::NetworkModel network{};

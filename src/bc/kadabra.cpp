@@ -153,6 +153,19 @@ BcResult kadabra_run_frames(const graph::Graph& graph,
                       static_cast<double>(initial.tau());
       }
     });
+    // Decentralized termination: every rank evaluates the stopping rule on
+    // the distributed aggregate, so the calibrated per-vertex failure
+    // shares must be identical everywhere, not just at rank zero.
+    if (world != nullptr && num_ranks > 1) {
+      Calibration& cal = state->context.calibration;
+      if (!is_root) {
+        cal.delta_l.assign(n, 0.0);
+        cal.delta_u.assign(n, 0.0);
+      }
+      world->bcast(std::span<double>(cal.delta_l), 0);
+      world->bcast(std::span<double>(cal.delta_u), 0);
+      world->bcast(std::span{&cal.predicted_tau, 1}, 0);
+    }
     // Per-sample cost in cluster CPU-seconds, measured on the calibration
     // phase this run just paid for anyway.
     if (state->context.initial_samples > 0) {

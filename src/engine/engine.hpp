@@ -9,7 +9,13 @@
 //   * selectable aggregation strategies (§IV-F): Ibarrier + blocking Reduce,
 //     plain Ireduce, or fully blocking,
 //   * hierarchical node-local RMA pre-reduction (§IV-E, hierarchy.hpp),
-//   * the overlapped termination broadcast and per-phase stats plumbing.
+//     composable with a leader-level radix tree into one two-level merge
+//     path (EngineOptions::leader_radix),
+//   * decentralized termination: the merged epoch aggregate is distributed
+//     to every rank (all-reduce flavors, or the tree path's downward
+//     broadcast leg), so each rank evaluates the stopping rule locally on
+//     identical data - no rank-0 verdict broadcast,
+//   * per-phase stats plumbing.
 //
 // Backends are pure configurations of this engine:
 //   seq = no communicator (world == nullptr), 1 thread;
@@ -36,8 +42,10 @@
 // decoding is a commutative elementwise sum.
 // Requirements on the sampler factory: Sampler make(stream_index) for
 // stream indices in [0, num_streams), where Sampler provides
-// void sample(Frame&). Requirements on the stop functor (evaluated at world
-// rank 0 only, on a consistent aggregate): bool operator()(const Frame&).
+// void sample(Frame&). Requirements on the stop functor (evaluated on EVERY
+// rank, each holding the identical merged aggregate - it must be a pure
+// function of that aggregate, or ranks diverge and the run deadlocks):
+// bool operator()(const Frame&).
 #pragma once
 
 #include <algorithm>
@@ -120,6 +128,14 @@ struct EngineOptions {
   /// defaulting (DISTBC_TREE_RADIX) is api::Config's job, not the
   /// engine's.
   int tree_radix = 0;
+  /// Radix of the leader-level (inter-node) merge when `hierarchical` is
+  /// set - the top half of the two-level path: ranks pre-reduce over the
+  /// node window, node leaders tree-merge at this radix. 0 = inherit
+  /// tree_radix, so existing single-knob configurations keep their PR 4
+  /// shape; >= 2 overrides it for the leader hop class only (intra-node
+  /// stays the RMA window pass either way). Ignored without `hierarchical`.
+  /// Environment defaulting (DISTBC_LEADER_RADIX) is api::Config's job.
+  int leader_radix = 0;
   /// Keep per-rank local aggregates: every rank (the root included) also
   /// accumulates its own epoch snapshots into
   /// EngineResult::local_aggregate, feeding collectives that operate on
@@ -153,7 +169,7 @@ struct EngineOptions {
 
 template <typename Frame>
 struct EngineResult {
-  Frame aggregate;  // consistent final state (valid at world rank 0)
+  Frame aggregate;  // consistent final state (identical on every rank)
   /// This rank's own aggregated samples - valid on every rank when
   /// EngineOptions::local_aggregates is set (empty otherwise). The
   /// elementwise sum of all ranks' local aggregates equals `aggregate`.
@@ -552,12 +568,58 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
         if (hierarchy.active())
           in_global = hierarchy.pre_reduce(snapshot, options.frame_rep);
 
-        // Global aggregation to world rank zero (§IV-F strategies). With
-        // hierarchy the reduction runs on the node-leader communicator
-        // whose rank zero is world rank zero. The wire-image path ships
-        // the snapshot's encoded image (sparse deltas or dense, per the
-        // representation policy) through the variable-length merge
-        // reduction; the classic path reduces the flat frame elementwise.
+        // Effective radix of the global merge. Under the two-level path
+        // (hierarchy active) the leader hop class may pick its own radix;
+        // 0 inherits tree_radix so single-knob configurations keep their
+        // established shape.
+        const int radix = hierarchy.active() && options.leader_radix != 0
+                              ? options.leader_radix
+                              : options.tree_radix;
+
+        // Broadcast with the strategy-matching overlap behavior - the
+        // downward leg of paths that merge toward a root.
+        auto distribute = [&](mpisim::Comm& comm, auto span) {
+          if (options.aggregation == Aggregation::kBlocking) {
+            // §IV-F's fully blocking variant: no overlap anywhere, the
+            // distribution legs included.
+            comm.bcast(span, 0);
+          } else {
+            mpisim::Request bcast = comm.ibcast(span, 0);
+            while (!bcast.test()) overlap_sample();
+          }
+        };
+        // Ships epoch_agg from `comm` rank zero to every rank of `comm`
+        // as a length-prefixed wire image; receivers rebuild their
+        // epoch_agg from it. Used by the tree path's downward leg and the
+        // two-level path's intra-node redistribution.
+        auto distribute_image = [&](mpisim::Comm& comm) {
+          if constexpr (WireSerializable<Frame>) {
+            const bool sender = comm.rank() == 0;
+            if (sender) {
+              wire_buffer.clear();
+              epoch_agg.encode(wire_buffer, options.frame_rep);
+            }
+            std::uint64_t words = wire_buffer.size();
+            distribute(comm, std::span{&words, 1});
+            if (!sender) wire_buffer.resize(words);
+            distribute(comm, std::span<std::uint64_t>(wire_buffer));
+            if (!sender) {
+              epoch_agg.clear();
+              epoch_agg.decode_add(
+                  std::span<const std::uint64_t>(wire_buffer));
+            }
+          }
+        };
+
+        // Global aggregation (§IV-F strategies), decentralized: every
+        // participant ends the phase holding the identical merged epoch
+        // aggregate. With hierarchy the merge runs on the node-leader
+        // communicator whose rank zero is world rank zero. The wire-image
+        // path ships the snapshot's encoded image (sparse deltas or
+        // dense, per the representation policy); flat merges ride the
+        // all-reduce flavors (no root hotspot at all), the radix tree
+        // merges toward rank zero and broadcasts the merged image back
+        // down. The classic path all-reduces the flat frame elementwise.
         if (in_global && wire_images) {
           if constexpr (WireSerializable<Frame>) {
             mpisim::Comm& global =
@@ -570,7 +632,7 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
               epoch_agg.decode_add(image);
             };
             const std::span<const std::uint64_t> send(wire_buffer);
-            if (options.tree_radix >= 2) {
+            if (radix >= 2) {
               // Tree merge: images combine at interior ranks (with the
               // frame's own densify policy), so the root ingests only the
               // top-of-tree merged images. The combiner captures by VALUE:
@@ -590,17 +652,24 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
                   global,
                   [&] {
                     global.reduce_merge_tree(send, combine_image, merge_image,
-                                             0, options.tree_radix);
+                                             0, radix);
                   },
                   [&] {
                     return global.ireduce_merge_tree(send, combine_image,
-                                                     merge_image, 0,
-                                                     options.tree_radix);
+                                                     merge_image, 0, radix);
                   });
+              // Downward leg: the merged image returns to every
+              // participant, completing the all-reduce semantics the flat
+              // flavor gets natively.
+              result.phases.timed(Phase::kBroadcast,
+                                  [&] { distribute_image(global); });
             } else {
               run_aggregation(
-                  global, [&] { global.reduce_merge(send, merge_image, 0); },
-                  [&] { return global.ireduce_merge(send, merge_image, 0); });
+                  global,
+                  [&] { global.allreduce_merge(send, merge_image); },
+                  [&] {
+                    return global.iallreduce_merge(send, merge_image);
+                  });
             }
           }
         } else if (in_global) {
@@ -609,32 +678,38 @@ EngineResult<Frame> run_epochs(mpisim::Comm* world, const Frame& prototype,
                 hierarchy.active() ? hierarchy.global() : *world;
             const std::span<const std::uint64_t> send(snapshot.raw());
             run_aggregation(
-                global, [&] { global.reduce(send, epoch_agg.raw(), 0); },
-                [&] { return global.ireduce(send, epoch_agg.raw(), 0); });
+                global, [&] { global.allreduce(send, epoch_agg.raw()); },
+                [&] { return global.iallreduce(send, epoch_agg.raw()); });
           }
         }
 
-        // Only rank zero evaluates the stopping condition: aggregation is
-        // the expensive part; shipping the verdict costs one byte.
-        if (is_root) {
-          result.aggregate.merge(epoch_agg);
-          done_flag = result.phases.timed(Phase::kStopCheck, [&] {
-            return should_stop(std::as_const(result.aggregate)) ||
-                           result.epochs + 1 >= options.max_epochs
-                       ? 1
-                       : 0;
+        // Two-level downward leg: leaders now hold the global aggregate;
+        // redistribute it over the intra-node communicator so non-leader
+        // ranks hold it too (wire image when the frame serializes under
+        // this representation, flat frame broadcast otherwise).
+        if (hierarchy.active()) {
+          result.phases.timed(Phase::kBroadcast, [&] {
+            if (wire_images) {
+              distribute_image(hierarchy.node());
+            } else if constexpr (DenseReducible<Frame>) {
+              distribute(hierarchy.node(),
+                         std::span<std::uint64_t>(epoch_agg.raw()));
+            }
           });
         }
-        result.phases.timed(Phase::kBroadcast, [&] {
-          if (options.aggregation == Aggregation::kBlocking) {
-            // §IV-F's fully blocking variant: no overlap anywhere, the
-            // termination broadcast included.
-            world->bcast(std::span{&done_flag, 1}, 0);
-          } else {
-            mpisim::Request bcast =
-                world->ibcast(std::span{&done_flag, 1}, 0);
-            while (!bcast.test()) overlap_sample();
-          }
+
+        // Decentralized termination: every rank holds the identical
+        // merged aggregate and evaluates the stopping rule on it, so all
+        // ranks reach the same verdict independently - the rank-0 verdict
+        // broadcast this protocol replaces cost a latency-bound
+        // synchronization per epoch at exactly the moment every rank was
+        // about to diverge into the next epoch's sampling.
+        result.aggregate.merge(epoch_agg);
+        done_flag = result.phases.timed(Phase::kStopCheck, [&] {
+          return should_stop(std::as_const(result.aggregate)) ||
+                         result.epochs + 1 >= options.max_epochs
+                     ? 1
+                     : 0;
         });
       }
 

@@ -86,6 +86,15 @@ class Hierarchy {
     return leader_;
   }
 
+  /// The intra-node communicator (valid on every rank; its rank zero is
+  /// the node leader). The downward leg of the two-level path: leaders
+  /// redistribute the globally merged aggregate over this communicator so
+  /// every rank can evaluate the stopping rule locally.
+  [[nodiscard]] mpisim::Comm& node() {
+    DISTBC_ASSERT(active_);
+    return local_;
+  }
+
   /// Payload moved by the hierarchical substrate (window + leader comm).
   [[nodiscard]] std::uint64_t comm_bytes() { return volume().total(); }
 

@@ -145,45 +145,89 @@ std::chrono::nanoseconds stretch_nonblocking(
       state.model.ireduce_progression_factor));
 }
 
-/// Runs the radix tree's interior combines at last arrival: positions are
-/// heap-shaped (position 0 = the root rank, children of p are
-/// radix*p+1 .. radix*p+radix), each position's upward image folds into
-/// its parent via the caller's combiner, every hop is charged a
-/// point-to-point cost, and the root's direct children's merged images
-/// are parked in the slot inbox for the completion action. Returns the
-/// critical-path duration. Caller holds state.mu.
-std::chrono::nanoseconds finalize_tree(CommState& state, Slot& slot) {
+/// The all-reduce family completes symmetrically: every rank behaves
+/// root-like (all arrivals plus the modeled butterfly deadline), then
+/// performs its own copy-out or merge replay.
+bool is_symmetric(SlotKind kind) {
+  return kind == SlotKind::kAllreduce || kind == SlotKind::kReduceScatter ||
+         kind == SlotKind::kAllGather || kind == SlotKind::kAllreduceMerge;
+}
+
+/// Sets up the radix tree's deferred interior-combine schedule at last
+/// arrival: positions are heap-shaped (position 0 = the root rank,
+/// children of p are radix*p+1 .. radix*p+radix); contributions move into
+/// position order and the per-position completion clocks start at the
+/// arrival instant. The combines themselves run in advance_tree as their
+/// modeled due times pass. Caller holds state.mu.
+void schedule_tree(CommState& state, Slot& slot) {
   const int size = state.size();
-  const int radix = slot.radix;
   DISTBC_ASSERT_MSG(static_cast<bool>(slot.combine_images),
                     "tree merge needs an image combiner");
-  std::vector<std::vector<std::byte>> up(size);
+  slot.tree_up.resize(size);
   for (int p = 0; p < size; ++p)
-    up[p] = std::move(slot.contribs[(slot.root + p) % size]);
-  std::vector<std::chrono::nanoseconds> finish(
-      size, std::chrono::nanoseconds::zero());
-  for (int p = size - 1; p >= 1; --p) {
+    slot.tree_up[p] = std::move(slot.contribs[(slot.root + p) % size]);
+  slot.tree_finish.assign(size, std::chrono::nanoseconds::zero());
+  slot.tree_cursor = size - 1;
+  slot.tree_start = Clock::now();
+  slot.tree_scheduled = true;
+}
+
+/// Advances the deferred tree merge: processes positions in descending
+/// order (reverse BFS - every child's upward hop is priced on its already
+/// merged image before the parent's own hop) whose modeled subtree
+/// deadline has passed, or all of them when forced (a blocking wait).
+/// Each position's upward image folds into its parent via the caller's
+/// combiner with the hop charged a point-to-point cost; the root's direct
+/// children's merged images are parked in the slot inbox for the
+/// completion action. Blocking merges serialize the interior-combine
+/// compute on the parent's clock; non-blocking ones run it here inside
+/// polls - overlapped with the caller's sampling (§IV-F) - and account it
+/// in overlapped_combine_ns instead. Prices the completion deadline once
+/// the last position retires. Caller holds state.mu.
+void advance_tree(CommState& state, Slot& slot, bool force) {
+  if (!slot.tree_scheduled || slot.tree_priced) return;
+  const int radix = slot.radix;
+  while (slot.tree_cursor >= 1) {
+    const int p = slot.tree_cursor;
     const int parent = (p - 1) / radix;
-    const int rank = (slot.root + p) % size;
-    const int parent_rank = (slot.root + parent) % size;
+    const int rank = (slot.root + p) % state.size();
+    const int parent_rank = (slot.root + parent) % state.size();
     const bool same_node =
         state.node_of_rank[rank] == state.node_of_rank[parent_rank];
-    finish[parent] = std::max(
-        finish[parent],
-        finish[p] + state.model.message_cost(up[p].size(), same_node));
-    state.stats.reduce_merge_bytes.fetch_add(up[p].size(),
+    auto& up = slot.tree_up[p];
+    const auto arrive =
+        slot.tree_finish[p] + state.model.message_cost(up.size(), same_node);
+    if (!force && Clock::now() < slot.tree_start + arrive) return;
+    state.stats.reduce_merge_bytes.fetch_add(up.size(),
                                              std::memory_order_relaxed);
     if (parent == 0) {
-      state.stats.root_ingest_bytes.fetch_add(up[p].size(),
+      state.stats.root_ingest_bytes.fetch_add(up.size(),
                                               std::memory_order_relaxed);
-      slot.root_inbox.emplace_back(rank, std::move(up[p]));
+      slot.tree_finish[0] = std::max(slot.tree_finish[0], arrive);
+      slot.root_inbox.emplace_back(rank, std::move(up));
     } else {
-      slot.combine_images(up[parent], up[p].data(), up[p].size());
+      const auto combine = state.model.combine_cost(up.size());
+      slot.combine_images(slot.tree_up[parent], up.data(), up.size());
+      slot.tree_finish[parent] =
+          std::max(slot.tree_finish[parent],
+                   slot.nonblocking ? arrive : arrive + combine);
+      if (slot.nonblocking)
+        state.stats.overlapped_combine_ns.fetch_add(
+            static_cast<std::uint64_t>(combine.count()),
+            std::memory_order_relaxed);
     }
+    --slot.tree_cursor;
   }
-  // The root's own contribution goes back to its slot for the action.
-  slot.contribs[slot.root] = std::move(up[0]);
-  return finish[0];
+  auto cost = slot.tree_finish[0];
+  if (slot.nonblocking) cost = stretch_nonblocking(state, cost);
+  state.stats.modeled_critical_ns.fetch_add(
+      static_cast<std::uint64_t>(cost.count()), std::memory_order_relaxed);
+  slot.ready_time = slot.tree_start + cost;
+  // The root's own merged contribution goes back to its slot for the
+  // completion action.
+  slot.contribs[slot.root] = std::move(slot.tree_up[0]);
+  slot.tree_priced = true;
+  state.cv.notify_all();
 }
 
 /// Posts this rank's contribution. The last arrival prices the completion
@@ -205,14 +249,22 @@ void post_collective(CommState& state, std::uint64_t ticket, int rank,
     slot.radix = spec.radix;
     slot.contribs.resize(state.size());
   }
+  const bool fixed_size = spec.kind == SlotKind::kReduce ||
+                          spec.kind == SlotKind::kAllreduce ||
+                          spec.kind == SlotKind::kReduceScatter ||
+                          spec.kind == SlotKind::kAllGather;
   DISTBC_ASSERT_MSG(slot.root == spec.root &&
                         slot.nonblocking == spec.nonblocking &&
                         slot.radix == spec.radix &&
-                        (spec.kind != SlotKind::kReduce ||
-                         slot.bytes == bytes),
+                        (!fixed_size || slot.bytes == bytes),
                     "mismatched collective participants");
   slot.contribs[rank].assign(send, send + bytes);
-  if (rank == spec.root) {
+  if (spec.kind == SlotKind::kAllreduceMerge) {
+    DISTBC_ASSERT_MSG(static_cast<bool>(spec.merge),
+                      "decentralized merge needs a consumer on every rank");
+    if (slot.rank_merge.empty()) slot.rank_merge.resize(state.size());
+    slot.rank_merge[rank] = std::move(spec.merge);
+  } else if (rank == spec.root && !is_symmetric(spec.kind)) {
     slot.root_recv = spec.root_recv;
     if (spec.kind != SlotKind::kReduce) {
       DISTBC_ASSERT_MSG(static_cast<bool>(spec.merge),
@@ -234,21 +286,75 @@ void post_collective(CommState& state, std::uint64_t ticket, int rank,
 
   if (++slot.arrived == state.size()) {
     slot.all_arrived = true;
-    std::chrono::nanoseconds cost{};
     if (spec.kind == SlotKind::kTreeMerge) {
-      cost = finalize_tree(state, slot);
-    } else {
-      std::size_t wire_bytes = slot.bytes;
-      if (spec.kind != SlotKind::kReduce) {
-        std::size_t max_bytes = 0;
+      // The completion deadline is priced incrementally: combines retire
+      // as their modeled subtree deadlines pass (any rank's poll, or a
+      // blocking wait forcing the rest).
+      schedule_tree(state, slot);
+      advance_tree(state, slot, /*force=*/false);
+      state.cv.notify_all();
+      return;
+    }
+    std::chrono::nanoseconds cost{};
+    std::size_t wire_bytes = slot.bytes;
+    if (!fixed_size) {
+      std::size_t max_bytes = 0;
+      for (const auto& contrib : slot.contribs)
+        max_bytes = std::max(max_bytes, contrib.size());
+      slot.bytes = wire_bytes = max_bytes;
+    }
+    const std::uint64_t fan_bytes =
+        static_cast<std::uint64_t>(wire_bytes) *
+        static_cast<std::uint64_t>(state.size() - 1);
+    switch (spec.kind) {
+      case SlotKind::kAllreduce:
+        // Reduce-scatter + all-gather butterfly; the up phase is reduce
+        // traffic, the down phase distributes the result (bcast-shaped).
+        cost = state.model.allreduce_cost(wire_bytes,
+                                          state.max_ranks_per_node,
+                                          state.num_nodes);
+        state.stats.reduce_bytes.fetch_add(fan_bytes,
+                                           std::memory_order_relaxed);
+        state.stats.bcast_bytes.fetch_add(fan_bytes,
+                                          std::memory_order_relaxed);
+        break;
+      case SlotKind::kReduceScatter:
+        cost = state.model.butterfly_cost(wire_bytes,
+                                          state.max_ranks_per_node,
+                                          state.num_nodes);
+        state.stats.reduce_bytes.fetch_add(fan_bytes,
+                                           std::memory_order_relaxed);
+        break;
+      case SlotKind::kAllGather:
+        cost = state.model.butterfly_cost(wire_bytes,
+                                          state.max_ranks_per_node,
+                                          state.num_nodes);
+        state.stats.gatherv_bytes.fetch_add(fan_bytes,
+                                            std::memory_order_relaxed);
+        break;
+      case SlotKind::kAllreduceMerge: {
+        // Butterfly at the largest image. Every rank's image crosses the
+        // wire at least once (counted here); the down phase carries
+        // merged images whose sizes the byte layer cannot know, so only
+        // the up phase is accounted. No root, so no root_ingest_bytes.
+        cost = state.model.allreduce_cost(wire_bytes,
+                                          state.max_ranks_per_node,
+                                          state.num_nodes);
+        std::uint64_t contrib_total = 0;
         for (const auto& contrib : slot.contribs)
-          max_bytes = std::max(max_bytes, contrib.size());
-        slot.bytes = wire_bytes = max_bytes;
+          contrib_total += contrib.size();
+        state.stats.reduce_merge_bytes.fetch_add(contrib_total,
+                                                 std::memory_order_relaxed);
+        break;
       }
-      cost = state.model.collective_cost(wire_bytes, state.max_ranks_per_node,
-                                         state.num_nodes);
+      default:
+        cost = state.model.collective_cost(
+            wire_bytes, state.max_ranks_per_node, state.num_nodes);
+        break;
     }
     if (slot.nonblocking) cost = stretch_nonblocking(state, cost);
+    state.stats.modeled_critical_ns.fetch_add(
+        static_cast<std::uint64_t>(cost.count()), std::memory_order_relaxed);
     slot.ready_time = now + cost;
     state.cv.notify_all();
   }
@@ -285,25 +391,96 @@ void run_completion_action(CommState& state, Slot& slot) {
            ++it)
         slot.merge(it->first, it->second.data(), it->second.size());
       break;
+    case SlotKind::kAllreduce:
+    case SlotKind::kReduceScatter:
+      // One shared full reduction in rank order (bitwise identical to the
+      // rooted combine); each rank slices its share out at its own
+      // completion.
+      slot.payload = slot.contribs[0];
+      for (int r = 1; r < state.size(); ++r)
+        slot.combine(slot.payload.data(), slot.contribs[r].data(),
+                     slot.count);
+      break;
+    case SlotKind::kAllGather:
+      slot.payload.clear();
+      for (const auto& contrib : slot.contribs)
+        slot.payload.insert(slot.payload.end(), contrib.begin(),
+                            contrib.end());
+      break;
+    case SlotKind::kAllreduceMerge:
+      break;  // per-rank consumers; nothing shared to do
     default:
       DISTBC_ASSERT_MSG(false, "slot kind has no completion action");
   }
   slot.action_done = true;
 }
 
-/// Non-blocking poll at `rank`. For the root: all arrived and the modeled
-/// deadline passed, then the completion action runs. For a non-root: own
-/// injection deadline passed (eager send). An unsuccessful root poll of a
-/// non-blocking operation burns the modeled progression time (§IV-F): the
-/// library only advances the reduction inside test(), at real CPU cost.
-bool poll_collective(CommState& state, std::uint64_t ticket, int rank) {
+/// Per-rank completion of the all-reduce family, run at this rank's own
+/// completing poll or wait (after the shared action). Caller holds
+/// state.mu.
+void complete_symmetric(CommState& state, Slot& slot, int rank,
+                        std::byte* recv) {
+  switch (slot.kind) {
+    case SlotKind::kAllreduce: {
+      DISTBC_ASSERT(recv != nullptr);
+      std::memcpy(recv, slot.payload.data(), slot.bytes);
+      break;
+    }
+    case SlotKind::kReduceScatter: {
+      DISTBC_ASSERT(recv != nullptr);
+      const std::size_t block =
+          slot.bytes / static_cast<std::size_t>(state.size());
+      std::memcpy(recv, slot.payload.data() + block * rank, block);
+      break;
+    }
+    case SlotKind::kAllGather: {
+      DISTBC_ASSERT(recv != nullptr);
+      std::memcpy(recv, slot.payload.data(), slot.payload.size());
+      break;
+    }
+    case SlotKind::kAllreduceMerge: {
+      auto& merge = slot.rank_merge[rank];
+      DISTBC_ASSERT(static_cast<bool>(merge));
+      for (int r = 0; r < state.size(); ++r)
+        merge(r, slot.contribs[r].data(), slot.contribs[r].size());
+      break;
+    }
+    default:
+      DISTBC_ASSERT_MSG(false, "not a symmetric collective");
+  }
+}
+
+/// Non-blocking poll at `rank`. For the root (or every rank of a
+/// symmetric flavor): all arrived and the modeled deadline passed, then
+/// the completion action runs. For a non-root: own injection deadline
+/// passed (eager send). Any rank's poll of a pending tree merge advances
+/// its due interior combines (the overlap hook). An unsuccessful poll of
+/// a non-blocking operation burns the modeled progression time (§IV-F) -
+/// at the root for rooted flavors, at every rank for symmetric ones (all
+/// of them progress the butterfly) - the library only advances the
+/// reduction inside test(), at real CPU cost.
+bool poll_collective(CommState& state, std::uint64_t ticket, int rank,
+                     std::byte* recv) {
   bool progress_pending = false;
   {
     std::lock_guard lock(state.mu);
     Slot& slot = state.slots.at(ticket);
+    if (slot.kind == SlotKind::kTreeMerge && slot.all_arrived)
+      advance_tree(state, slot, /*force=*/false);
     const auto now = Clock::now();
-    if (rank == slot.root) {
+    if (is_symmetric(slot.kind)) {
       if (!slot.all_arrived || now < slot.ready_time) {
+        progress_pending = slot.nonblocking;
+      } else {
+        run_completion_action(state, slot);
+        complete_symmetric(state, slot, rank, recv);
+        depart_slot(state, ticket, slot);
+        return true;
+      }
+    } else if (rank == slot.root) {
+      const bool priced =
+          slot.kind != SlotKind::kTreeMerge || slot.tree_priced;
+      if (!slot.all_arrived || !priced || now < slot.ready_time) {
         progress_pending = slot.nonblocking;
       } else {
         run_completion_action(state, slot);
@@ -328,12 +505,20 @@ bool poll_collective(CommState& state, std::uint64_t ticket, int rank) {
   return false;
 }
 
-void wait_collective(CommState& state, std::uint64_t ticket, int rank) {
+void wait_collective(CommState& state, std::uint64_t ticket, int rank,
+                     std::byte* recv) {
   WaitCharge charge(state.stats.reduce_wait_ns);
   std::unique_lock lock(state.mu);
   Slot& slot = state.slots.at(ticket);
-  if (rank == slot.root) {
+  if (is_symmetric(slot.kind)) {
     wait_predicate(state, lock, [&] { return slot.all_arrived; });
+    wait_deadline(state, lock, slot.ready_time);
+    run_completion_action(state, slot);
+    complete_symmetric(state, slot, rank, recv);
+  } else if (rank == slot.root) {
+    wait_predicate(state, lock, [&] { return slot.all_arrived; });
+    if (slot.kind == SlotKind::kTreeMerge)
+      advance_tree(state, slot, /*force=*/true);
     wait_deadline(state, lock, slot.ready_time);
     run_completion_action(state, slot);
   } else {
@@ -366,7 +551,7 @@ void Comm::reduce_bytes_impl(const std::byte* send, std::size_t bytes,
   spec.byte_counter = &state_->stats.reduce_bytes;
   post_collective(*state_, ticket, rank_, send, bytes, std::move(spec));
   DISTBC_ASSERT(blocking);
-  wait_collective(*state_, ticket, rank_);
+  wait_collective(*state_, ticket, rank_, nullptr);
 }
 
 Request Comm::ireduce_bytes_impl(const std::byte* send, std::size_t bytes,
@@ -415,7 +600,7 @@ void Comm::mergev_bytes_impl(detail::SlotKind kind, const std::byte* send,
   post_collective(*state_, ticket, rank_, send, bytes,
                   mergev_spec(*state_, kind, std::move(merge), root,
                               /*nonblocking=*/false));
-  wait_collective(*state_, ticket, rank_);
+  wait_collective(*state_, ticket, rank_, nullptr);
 }
 
 Request Comm::imergev_bytes_impl(detail::SlotKind kind, const std::byte* send,
@@ -446,7 +631,7 @@ PostSpec tree_spec(detail::CombineImagesFn combine,
   spec.combine_images = std::move(combine);
   spec.radix = radix;
   // Upward payloads are only known once the interior combines ran; bytes
-  // are accounted in finalize_tree, not at post time.
+  // are accounted in advance_tree, not at post time.
   spec.byte_counter = nullptr;
   return spec;
 }
@@ -462,7 +647,7 @@ void Comm::tree_bytes_impl(const std::byte* send, std::size_t bytes,
   post_collective(*state_, ticket, rank_, send, bytes,
                   tree_spec(std::move(combine), std::move(merge), root, radix,
                             /*nonblocking=*/false));
-  wait_collective(*state_, ticket, rank_);
+  wait_collective(*state_, ticket, rank_, nullptr);
 }
 
 Request Comm::itree_bytes_impl(const std::byte* send, std::size_t bytes,
@@ -478,6 +663,96 @@ Request Comm::itree_bytes_impl(const std::byte* send, std::size_t bytes,
   return make_request(ticket);
 }
 
+// --- All-reduce family (decentralized termination substrate) -----------------
+
+namespace {
+
+PostSpec symmetric_spec(SlotKind kind, bool nonblocking) {
+  PostSpec spec;
+  spec.kind = kind;
+  spec.root = 0;  // sentinel; symmetric flavors have no root
+  spec.nonblocking = nonblocking;
+  // Priced and accounted at last arrival (butterfly, no root ingest).
+  spec.byte_counter = nullptr;
+  return spec;
+}
+
+}  // namespace
+
+void Comm::allreduce_bytes_impl(const std::byte* send, std::size_t bytes,
+                                std::size_t count, std::byte* recv,
+                                detail::CombineFn combine) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.allreduce_calls.fetch_add(1, std::memory_order_relaxed);
+  PostSpec spec = symmetric_spec(SlotKind::kAllreduce, /*nonblocking=*/false);
+  spec.count = count;
+  spec.combine = combine;
+  post_collective(*state_, ticket, rank_, send, bytes, std::move(spec));
+  wait_collective(*state_, ticket, rank_, recv);
+}
+
+Request Comm::iallreduce_bytes_impl(const std::byte* send, std::size_t bytes,
+                                    std::size_t count, std::byte* recv,
+                                    detail::CombineFn combine) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.allreduce_calls.fetch_add(1, std::memory_order_relaxed);
+  PostSpec spec = symmetric_spec(SlotKind::kAllreduce, /*nonblocking=*/true);
+  spec.count = count;
+  spec.combine = combine;
+  post_collective(*state_, ticket, rank_, send, bytes, std::move(spec));
+  return make_request(ticket, recv);
+}
+
+void Comm::reduce_scatter_bytes_impl(const std::byte* send, std::size_t bytes,
+                                     std::size_t count, std::byte* recv,
+                                     detail::CombineFn combine) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.reduce_scatter_calls.fetch_add(1, std::memory_order_relaxed);
+  PostSpec spec =
+      symmetric_spec(SlotKind::kReduceScatter, /*nonblocking=*/false);
+  spec.count = count;
+  spec.combine = combine;
+  post_collective(*state_, ticket, rank_, send, bytes, std::move(spec));
+  wait_collective(*state_, ticket, rank_, recv);
+}
+
+void Comm::all_gather_bytes_impl(const std::byte* send, std::size_t bytes,
+                                 std::byte* recv) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.all_gather_calls.fetch_add(1, std::memory_order_relaxed);
+  PostSpec spec = symmetric_spec(SlotKind::kAllGather, /*nonblocking=*/false);
+  post_collective(*state_, ticket, rank_, send, bytes, std::move(spec));
+  wait_collective(*state_, ticket, rank_, recv);
+}
+
+void Comm::allmerge_bytes_impl(const std::byte* send, std::size_t bytes,
+                               detail::MergeBytesFn merge) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.allreduce_merge_calls.fetch_add(1, std::memory_order_relaxed);
+  PostSpec spec =
+      symmetric_spec(SlotKind::kAllreduceMerge, /*nonblocking=*/false);
+  spec.merge = std::move(merge);
+  post_collective(*state_, ticket, rank_, send, bytes, std::move(spec));
+  wait_collective(*state_, ticket, rank_, nullptr);
+}
+
+Request Comm::iallmerge_bytes_impl(const std::byte* send, std::size_t bytes,
+                                   detail::MergeBytesFn merge) {
+  DISTBC_ASSERT(valid());
+  const std::uint64_t ticket = next_ticket();
+  state_->stats.allreduce_merge_calls.fetch_add(1, std::memory_order_relaxed);
+  PostSpec spec =
+      symmetric_spec(SlotKind::kAllreduceMerge, /*nonblocking=*/true);
+  spec.merge = std::move(merge);
+  post_collective(*state_, ticket, rank_, send, bytes, std::move(spec));
+  return make_request(ticket);
+}
+
 // --- Barrier ----------------------------------------------------------------
 
 namespace {
@@ -488,9 +763,11 @@ void post_barrier(CommState& state, std::uint64_t ticket, int rank) {
   slot.rank_ready[rank] = Clock::now();
   if (++slot.arrived == state.size()) {
     slot.all_arrived = true;
-    slot.ready_time =
-        Clock::now() + state.model.collective_cost(0, state.max_ranks_per_node,
-                                                   state.num_nodes);
+    const auto cost = state.model.collective_cost(
+        0, state.max_ranks_per_node, state.num_nodes);
+    state.stats.modeled_critical_ns.fetch_add(
+        static_cast<std::uint64_t>(cost.count()), std::memory_order_relaxed);
+    slot.ready_time = Clock::now() + cost;
     state.cv.notify_all();
   }
 }
@@ -549,9 +826,11 @@ void post_bcast(CommState& state, std::uint64_t ticket, int rank,
   if (rank == root) {
     slot.payload.assign(buffer, buffer + bytes);
     slot.action_done = true;  // payload available
-    slot.ready_time = now + state.model.collective_cost(
-                                bytes, state.max_ranks_per_node,
-                                state.num_nodes);
+    const auto cost = state.model.collective_cost(
+        bytes, state.max_ranks_per_node, state.num_nodes);
+    state.stats.modeled_critical_ns.fetch_add(
+        static_cast<std::uint64_t>(cost.count()), std::memory_order_relaxed);
+    slot.ready_time = now + cost;
     state.stats.bcast_bytes.fetch_add(bytes * (state.size() - 1),
                                       std::memory_order_relaxed);
     state.cv.notify_all();
@@ -619,11 +898,12 @@ bool poll_request(Request::Impl& impl, bool blocking);
 
 }  // namespace
 
-Request Comm::make_request(std::uint64_t ticket) {
+Request Comm::make_request(std::uint64_t ticket, std::byte* recv) {
   auto impl = std::make_shared<Request::Impl>();
   impl->state = state_;
   impl->ticket = ticket;
   impl->rank = rank_;
+  impl->recv = recv;
   return Request(std::move(impl));
 }
 
@@ -662,11 +942,15 @@ bool poll_request(Request::Impl& impl, bool blocking) {
     case SlotKind::kReduceMerge:
     case SlotKind::kTreeMerge:
     case SlotKind::kGatherv:
+    case SlotKind::kAllreduce:
+    case SlotKind::kReduceScatter:
+    case SlotKind::kAllGather:
+    case SlotKind::kAllreduceMerge:
       if (blocking) {
-        wait_collective(state, impl.ticket, impl.rank);
+        wait_collective(state, impl.ticket, impl.rank, impl.recv);
         return true;
       }
-      return poll_collective(state, impl.ticket, impl.rank);
+      return poll_collective(state, impl.ticket, impl.rank, impl.recv);
     case SlotKind::kBcast:
       if (blocking) {
         wait_bcast(state, impl.ticket, impl.rank, impl.recv);

@@ -5,7 +5,10 @@
 // exchange goes through explicit slot-based collectives with an interconnect
 // cost model (see network.hpp). The API mirrors the MPI subset the paper's
 // algorithm needs — Reduce / Ireduce / Ibarrier / Bcast / Ibcast /
-// communicator split — plus point-to-point send/recv for tests.
+// communicator split — plus the all-reduce family (allreduce /
+// reduce_scatter / all_gather / allreduce_merge, priced as
+// recursive-halving/doubling butterflies) that decentralized termination
+// rides, and point-to-point send/recv for tests.
 //
 // Semantics notes:
 //  * Collectives must be called by all ranks of the communicator in the
@@ -76,8 +79,9 @@ CombineFn combine_fn(ReduceOp op) {
 }
 
 enum class SlotKind : std::uint8_t { kBarrier, kReduce, kReduceMerge,
-                                     kTreeMerge, kGatherv, kBcast, kSplit,
-                                     kWindow };
+                                     kTreeMerge, kGatherv, kBcast,
+                                     kAllreduce, kReduceScatter, kAllGather,
+                                     kAllreduceMerge, kSplit, kWindow };
 
 /// Root-side consumer of one variable-length contribution:
 /// (source rank, payload pointer, payload bytes).
@@ -116,12 +120,33 @@ struct Slot {
   // the root's per-contribution consumer, run at completion.
   MergeBytesFn merge;
 
+  // Decentralized merge state (kAllreduceMerge): every rank's own
+  // consumer, replaying all contributions in rank order at that rank's
+  // completion (contributions outlive every consumer: the slot is erased
+  // only once all ranks departed).
+  std::vector<MergeBytesFn> rank_merge;
+
   // Tree-merge state (kTreeMerge): fan-in, the interior-hop combiner
   // (taken from the first posting rank; all ranks must pass equivalent
   // callables), and the merged top-of-tree images awaiting the root.
   int radix = 0;
   CombineImagesFn combine_images;
   std::vector<std::pair<int, std::vector<std::byte>>> root_inbox;
+
+  // Deferred tree-merge schedule (kTreeMerge): contributions in
+  // heap-position order, per-position completion clocks relative to
+  // tree_start (the last arrival), and a descending cursor over the
+  // positions still to process (children before parents). Interior
+  // combines run in advance_tree as their modeled due times pass - any
+  // rank's poll makes progress, overlapping combines with the caller's
+  // sampling - instead of all at once inside the last-arrival critical
+  // section; tree_priced flips once the root deadline is known.
+  std::vector<std::vector<std::byte>> tree_up;
+  std::vector<std::chrono::nanoseconds> tree_finish;
+  Clock::time_point tree_start{};
+  int tree_cursor = 0;
+  bool tree_scheduled = false;
+  bool tree_priced = false;
 
   // Split state.
   std::vector<std::pair<int, int>> color_key;  // per-rank (color, key)
@@ -193,7 +218,7 @@ class Request {
     std::shared_ptr<detail::CommState> state;
     std::uint64_t ticket = 0;
     int rank = -1;
-    std::byte* recv = nullptr;  // bcast destination, if any
+    std::byte* recv = nullptr;  // bcast / all-reduce destination, if any
     bool done = false;
   };
 
@@ -245,13 +270,58 @@ class Comm {
                               detail::combine_fn<T>(op), root);
   }
 
-  /// Reduce to rank 0 followed by a broadcast (two tickets).
+  /// All-reduce: every rank receives the full reduction. One collective,
+  /// priced as a recursive-halving reduce-scatter followed by a
+  /// recursive-doubling all-gather (butterfly alpha-beta accounting) -
+  /// no root hotspot, so nothing lands in root_ingest_bytes. The shared
+  /// reduction combines contributions in rank order, so the result is
+  /// bitwise identical on every rank to a reduce-to-rank-0 + broadcast.
   template <typename T>
   void allreduce(std::span<const T> send, std::span<T> recv,
                  ReduceOp op = ReduceOp::kSum) {
     DISTBC_ASSERT(recv.size() == send.size());
-    reduce(send, recv, /*root=*/0, op);
-    bcast(recv, /*root=*/0);
+    allreduce_bytes_impl(as_bytes_ptr(send.data()), send.size() * sizeof(T),
+                         send.size(), as_bytes_ptr_mut(recv.data()),
+                         detail::combine_fn<T>(op));
+  }
+
+  /// Non-blocking all-reduce; every rank completes once the butterfly's
+  /// modeled deadline passes (§IV-F progression penalty and poll tax
+  /// apply to every rank - all of them progress the butterfly).
+  template <typename T>
+  [[nodiscard]] Request iallreduce(std::span<const T> send, std::span<T> recv,
+                                   ReduceOp op = ReduceOp::kSum) {
+    DISTBC_ASSERT(recv.size() == send.size());
+    return iallreduce_bytes_impl(as_bytes_ptr(send.data()),
+                                 send.size() * sizeof(T), send.size(),
+                                 as_bytes_ptr_mut(recv.data()),
+                                 detail::combine_fn<T>(op));
+  }
+
+  /// Reduce-scatter: the elementwise reduction of every rank's `send`
+  /// (size() * recv.size() elements each) scattered in rank-order blocks;
+  /// rank r receives block r. One recursive-halving butterfly phase.
+  template <typename T>
+  void reduce_scatter(std::span<const T> send, std::span<T> recv,
+                      ReduceOp op = ReduceOp::kSum) {
+    DISTBC_ASSERT(send.size() ==
+                  recv.size() * static_cast<std::size_t>(size()));
+    reduce_scatter_bytes_impl(as_bytes_ptr(send.data()),
+                              send.size() * sizeof(T), send.size(),
+                              as_bytes_ptr_mut(recv.data()),
+                              detail::combine_fn<T>(op));
+  }
+
+  /// All-gather: the rank-order concatenation of every rank's `send`
+  /// (equal sizes) delivered to every rank; recv holds size() *
+  /// send.size() elements. One recursive-doubling butterfly phase.
+  /// reduce_scatter + all_gather compose to allreduce.
+  template <typename T>
+  void all_gather(std::span<const T> send, std::span<T> recv) {
+    DISTBC_ASSERT(recv.size() ==
+                  send.size() * static_cast<std::size_t>(size()));
+    all_gather_bytes_impl(as_bytes_ptr(send.data()), send.size() * sizeof(T),
+                          as_bytes_ptr_mut(recv.data()));
   }
 
   template <typename T>
@@ -305,6 +375,33 @@ class Comm {
                               root);
   }
 
+  /// Decentralized merge reduction: like reduce_merge, but EVERY rank
+  /// supplies its own `merge(src_rank, payload)` consumer, and each
+  /// rank's consumer replays all size() contributions in rank order at
+  /// that rank's own completion - identical inputs in identical order, so
+  /// every rank reconstructs the root-side aggregate bitwise. Priced as
+  /// an all-reduce butterfly at the largest contribution; there is no
+  /// root, so nothing lands in root_ingest_bytes (the decentralized
+  /// termination path this exists for). Consumers run under the
+  /// communicator lock and must not call back into the communicator.
+  template <typename T, typename MergeFn>
+  void allreduce_merge(std::span<const T> send, MergeFn&& merge) {
+    allmerge_bytes_impl(as_bytes_ptr(send.data()), send.size() * sizeof(T),
+                        erase_merge_all<T>(std::forward<MergeFn>(merge)));
+  }
+
+  /// Non-blocking decentralized merge; progresses like Iallreduce (§IV-F
+  /// progression penalty, and every rank pays the poll tax). The consumer
+  /// must own its state (capture by value): it runs at this rank's
+  /// completing test()/wait(), which other ranks' polls may precede.
+  template <typename T, typename MergeFn>
+  [[nodiscard]] Request iallreduce_merge(std::span<const T> send,
+                                         MergeFn&& merge) {
+    return iallmerge_bytes_impl(
+        as_bytes_ptr(send.data()), send.size() * sizeof(T),
+        erase_merge_all<T>(std::forward<MergeFn>(merge)));
+  }
+
   /// Tree-merge reduction: contributions combine at interior ranks of a
   /// radix-`radix` tree rooted at `root` instead of all landing at the
   /// root. Every rank supplies the same image combiner
@@ -333,7 +430,12 @@ class Comm {
   }
 
   /// Non-blocking tree merge; progresses like Ireduce (§IV-F progression
-  /// penalty and poll tax apply).
+  /// penalty and poll tax apply). Interior combines are charged as each
+  /// subtree's modeled deadline passes - any rank's test() advances them,
+  /// the same progress-polling hook the engine uses for ibcast - so their
+  /// compute cost overlaps the caller's sampling instead of extending the
+  /// completion deadline (the blocking form keeps combine time on the
+  /// critical path).
   template <typename T, typename CombineFn, typename MergeFn>
   [[nodiscard]] Request ireduce_merge_tree(std::span<const T> send,
                                            CombineFn&& combine,
@@ -429,14 +531,28 @@ class Comm {
 
   std::uint64_t next_ticket() { return ticket_++; }
 
-  /// A Request handle for a freshly posted non-blocking slot.
-  [[nodiscard]] Request make_request(std::uint64_t ticket);
+  /// A Request handle for a freshly posted non-blocking slot. `recv` is
+  /// the completion destination of the all-reduce family (null for the
+  /// rooted flavors, whose destination lives in the slot).
+  [[nodiscard]] Request make_request(std::uint64_t ticket,
+                                     std::byte* recv = nullptr);
 
   /// Wraps a typed merge callable as the byte-level consumer stored in the
   /// slot; non-roots carry an empty function (their callable is ignored).
   template <typename T, typename MergeFn>
   detail::MergeBytesFn erase_merge(MergeFn&& merge, int root) {
     if (rank_ != root) return {};
+    return [m = std::forward<MergeFn>(merge)](int src, const std::byte* data,
+                                              std::size_t bytes) mutable {
+      m(src, std::span<const T>(reinterpret_cast<const T*>(data),
+                                bytes / sizeof(T)));
+    };
+  }
+
+  /// Like erase_merge, but every rank keeps its callable (the
+  /// decentralized merge has a consumer per rank, not per root).
+  template <typename T, typename MergeFn>
+  detail::MergeBytesFn erase_merge_all(MergeFn&& merge) {
     return [m = std::forward<MergeFn>(merge)](int src, const std::byte* data,
                                               std::size_t bytes) mutable {
       m(src, std::span<const T>(reinterpret_cast<const T*>(data),
@@ -492,6 +608,21 @@ class Comm {
   Request ireduce_bytes_impl(const std::byte* send, std::size_t bytes,
                              std::size_t count, std::byte* recv,
                              detail::CombineFn combine, int root);
+  void allreduce_bytes_impl(const std::byte* send, std::size_t bytes,
+                            std::size_t count, std::byte* recv,
+                            detail::CombineFn combine);
+  Request iallreduce_bytes_impl(const std::byte* send, std::size_t bytes,
+                                std::size_t count, std::byte* recv,
+                                detail::CombineFn combine);
+  void reduce_scatter_bytes_impl(const std::byte* send, std::size_t bytes,
+                                 std::size_t count, std::byte* recv,
+                                 detail::CombineFn combine);
+  void all_gather_bytes_impl(const std::byte* send, std::size_t bytes,
+                             std::byte* recv);
+  void allmerge_bytes_impl(const std::byte* send, std::size_t bytes,
+                           detail::MergeBytesFn merge);
+  Request iallmerge_bytes_impl(const std::byte* send, std::size_t bytes,
+                               detail::MergeBytesFn merge);
   void bcast_bytes_impl(std::byte* buffer, std::size_t bytes, int root,
                         bool blocking);
   Request ibcast_bytes_impl(std::byte* buffer, std::size_t bytes, int root);

@@ -47,6 +47,41 @@ std::chrono::nanoseconds NetworkModel::message_cost(std::uint64_t bytes,
   return to_ns(cost);
 }
 
+std::chrono::nanoseconds NetworkModel::butterfly_cost(
+    std::uint64_t bytes, int ranks_per_node, int num_nodes) const {
+  if (!enabled) return std::chrono::nanoseconds::zero();
+  const int local_hops = ceil_log2(ranks_per_node);
+  const int remote_hops = ceil_log2(num_nodes);
+  const double bytes_d = static_cast<double>(bytes);
+  // Each hop class moves a (P-1)/P share of the buffer in total across
+  // its log2 steps (halving: B/2 + B/4 + ...), unlike collective_cost's
+  // full-buffer-per-hop tree.
+  const double local_share =
+      ranks_per_node > 1
+          ? static_cast<double>(ranks_per_node - 1) / ranks_per_node
+          : 0.0;
+  const double remote_share =
+      num_nodes > 1 ? static_cast<double>(num_nodes - 1) / num_nodes : 0.0;
+  const double local = local_hops * local_latency_s +
+                       local_share * bytes_d / local_bandwidth_bps;
+  const double remote = remote_hops * remote_latency_s +
+                        remote_share * bytes_d / remote_bandwidth_bps;
+  return to_ns(local + remote);
+}
+
+std::chrono::nanoseconds NetworkModel::allreduce_cost(std::uint64_t bytes,
+                                                      int ranks_per_node,
+                                                      int num_nodes) const {
+  return butterfly_cost(bytes, ranks_per_node, num_nodes) +
+         butterfly_cost(bytes, ranks_per_node, num_nodes);
+}
+
+std::chrono::nanoseconds NetworkModel::combine_cost(
+    std::uint64_t bytes) const {
+  if (!enabled) return std::chrono::nanoseconds::zero();
+  return to_ns(static_cast<double>(bytes) / combine_bandwidth_bps);
+}
+
 std::chrono::nanoseconds NetworkModel::injection_cost(std::uint64_t bytes,
                                                       bool same_node) const {
   if (!enabled) return std::chrono::nanoseconds::zero();

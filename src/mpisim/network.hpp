@@ -34,6 +34,11 @@ struct NetworkModel {
   // the caller interleaves with the polls (the §IV-F mechanism that makes
   // Ibarrier + blocking Reduce the better overlap strategy).
   double ireduce_poll_cost_s = 20e-6;
+  // In-memory rate at which a rank folds one merge-reduction image into
+  // its accumulator (the interior combines of a tree merge). Blocking
+  // tree merges serialize this on the completion deadline; non-blocking
+  // ones run it inside polls, overlapped with the caller's sampling.
+  double combine_bandwidth_bps = 2e9;
   // Master switch; disabled means zero-cost transport (useful in unit
   // tests that check semantics rather than timing).
   bool enabled = true;
@@ -53,6 +58,24 @@ struct NetworkModel {
   /// Charged duration for one point-to-point message.
   [[nodiscard]] std::chrono::nanoseconds message_cost(std::uint64_t bytes,
                                                       bool same_node) const;
+
+  /// Charged duration for one butterfly phase (recursive halving or
+  /// doubling) over `bytes` of buffer: log2-many latency steps per hop
+  /// class, but only a (P-1)/P share of the buffer crosses each class's
+  /// wire in total - the alpha-beta shape that makes reduce-scatter +
+  /// all-gather beat reduce + bcast at scale.
+  [[nodiscard]] std::chrono::nanoseconds butterfly_cost(
+      std::uint64_t bytes, int ranks_per_node, int num_nodes) const;
+
+  /// Charged duration for an all-reduce: a recursive-halving
+  /// reduce-scatter followed by a recursive-doubling all-gather.
+  [[nodiscard]] std::chrono::nanoseconds allreduce_cost(
+      std::uint64_t bytes, int ranks_per_node, int num_nodes) const;
+
+  /// Charged duration for folding one `bytes`-sized image into a local
+  /// accumulator (interior tree-merge combine).
+  [[nodiscard]] std::chrono::nanoseconds combine_cost(
+      std::uint64_t bytes) const;
 
   /// Charged duration for eagerly injecting a collective contribution:
   /// line-rate only - per-hop latency is paid by the collective's

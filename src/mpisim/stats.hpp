@@ -21,8 +21,22 @@ struct CommVolume {
   /// contribution under a flat reduction, but only the top-of-tree merged
   /// images under a tree merge - the metric tree-merge reductions exist to
   /// shrink (ablation_tree_merge). A locality view of bytes already counted
-  /// above, so it is excluded from aggregation_bytes()/total().
+  /// above, so it is excluded from aggregation_bytes()/total(). All-reduce
+  /// flavors have no root and charge nothing here.
   std::uint64_t root_ingest_bytes = 0;
+  /// Sum of the modeled completion costs charged to collectives on this
+  /// communicator - the analytic aggregation critical path. A pure
+  /// function of payload bytes and topology, so deterministic-mode runs
+  /// report it machine-independently (the CI modeled_s anchors).
+  std::uint64_t modeled_critical_ns = 0;
+  /// Modeled interior-combine compute that non-blocking tree merges moved
+  /// OFF the completion deadline (overlapped with the caller's sampling);
+  /// blocking tree merges keep it on the critical path instead.
+  std::uint64_t overlapped_combine_ns = 0;
+
+  [[nodiscard]] double modeled_seconds() const {
+    return static_cast<double>(modeled_critical_ns) * 1e-9;
+  }
 
   /// Bytes moved by the epoch-aggregation paths (dense elementwise
   /// reductions, sparse merge reductions, and the window/p2p substrate the
@@ -42,6 +56,8 @@ struct CommVolume {
     bcast_bytes += other.bcast_bytes;
     p2p_bytes += other.p2p_bytes;
     root_ingest_bytes += other.root_ingest_bytes;
+    modeled_critical_ns += other.modeled_critical_ns;
+    overlapped_combine_ns += other.overlapped_combine_ns;
     return *this;
   }
 };
@@ -56,6 +72,10 @@ struct CommStats {
   std::atomic<std::uint64_t> barrier_calls{0};
   std::atomic<std::uint64_t> ibarrier_calls{0};
   std::atomic<std::uint64_t> bcast_calls{0};
+  std::atomic<std::uint64_t> allreduce_calls{0};
+  std::atomic<std::uint64_t> reduce_scatter_calls{0};
+  std::atomic<std::uint64_t> all_gather_calls{0};
+  std::atomic<std::uint64_t> allreduce_merge_calls{0};
   std::atomic<std::uint64_t> p2p_messages{0};
   /// Payload bytes moved by reductions: buffer size x (participants - 1),
   /// i.e. every non-root contribution crosses the wire once.
@@ -68,6 +88,10 @@ struct CommStats {
   std::atomic<std::uint64_t> p2p_bytes{0};
   /// Reduction payload arriving directly at the root (see CommVolume).
   std::atomic<std::uint64_t> root_ingest_bytes{0};
+  /// Modeled critical-path nanoseconds and overlapped interior-combine
+  /// compute (see CommVolume for the reporting semantics).
+  std::atomic<std::uint64_t> modeled_critical_ns{0};
+  std::atomic<std::uint64_t> overlapped_combine_ns{0};
   /// Wall time ranks spent blocked inside collectives - per-collective
   /// blocking-share telemetry for Figure 2b-style reporting and tooling.
   /// Only blocking calls (and blocking waits on requests) are charged;
@@ -85,6 +109,10 @@ struct CommStats {
     v.bcast_bytes = bcast_bytes.load(std::memory_order_relaxed);
     v.p2p_bytes = p2p_bytes.load(std::memory_order_relaxed);
     v.root_ingest_bytes = root_ingest_bytes.load(std::memory_order_relaxed);
+    v.modeled_critical_ns =
+        modeled_critical_ns.load(std::memory_order_relaxed);
+    v.overlapped_combine_ns =
+        overlapped_combine_ns.load(std::memory_order_relaxed);
     return v;
   }
 
@@ -107,6 +135,10 @@ struct CommStats {
     barrier_calls = 0;
     ibarrier_calls = 0;
     bcast_calls = 0;
+    allreduce_calls = 0;
+    reduce_scatter_calls = 0;
+    all_gather_calls = 0;
+    allreduce_merge_calls = 0;
     p2p_messages = 0;
     reduce_bytes = 0;
     reduce_merge_bytes = 0;
@@ -114,6 +146,8 @@ struct CommStats {
     bcast_bytes = 0;
     p2p_bytes = 0;
     root_ingest_bytes = 0;
+    modeled_critical_ns = 0;
+    overlapped_combine_ns = 0;
     reduce_wait_ns = 0;
     barrier_wait_ns = 0;
     bcast_wait_ns = 0;

@@ -12,7 +12,9 @@ namespace distbc::service {
 
 SessionPool::SessionPool(std::shared_ptr<const graph::Graph> graph,
                          api::Config config)
-    : graph_(std::move(graph)), store_(config.service_warm_store) {
+    : graph_(std::move(graph)),
+      store_(config.service_warm_store,
+             config.service_warm_store_max_entries) {
   DISTBC_ASSERT(graph_ != nullptr);
   bootstrap(std::move(config));
 }

@@ -182,7 +182,11 @@ using Fields = std::unordered_map<std::string, std::string>;
 
 }  // namespace
 
-WarmStore::WarmStore(std::string root) : root_(std::move(root)) {}
+WarmStore::WarmStore(std::string root, std::uint64_t max_entries,
+                     std::uint64_t max_bytes)
+    : root_(std::move(root)),
+      max_entries_(max_entries),
+      max_bytes_(max_bytes) {}
 
 std::string WarmStore::version_dir() const { return root_ + "/v1"; }
 
@@ -259,7 +263,53 @@ bool WarmStore::save(const bc::KadabraWarmState& state) const {
   std::ofstream file(path);
   if (!file) return false;
   file << out.str();
-  return static_cast<bool>(file);
+  if (!file) return false;
+  file.close();
+  evict();
+  return true;
+}
+
+void WarmStore::evict() const {
+  if (max_entries_ == 0 && max_bytes_ == 0) return;
+
+  struct Stored {
+    std::filesystem::file_time_type mtime;
+    std::string path;
+    std::uint64_t bytes = 0;
+  };
+  std::error_code ec;
+  std::filesystem::directory_iterator it(version_dir(), ec);
+  if (ec) return;
+  std::vector<Stored> stored;
+  std::uint64_t total_bytes = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    // Only .warm states are capped; the handful of per-shape .tune
+    // profiles is bounded by construction.
+    if (name.rfind("bc_", 0) != 0) continue;
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".warm") continue;
+    Stored file{entry.last_write_time(ec), entry.path().string(),
+                entry.file_size(ec)};
+    if (ec) continue;
+    total_bytes += file.bytes;
+    stored.push_back(std::move(file));
+  }
+  // Oldest writes go first; path breaks mtime ties so the pass is
+  // deterministic on coarse-granularity filesystems.
+  std::sort(stored.begin(), stored.end(), [](const Stored& a,
+                                             const Stored& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+  });
+  std::size_t remaining = stored.size();
+  for (const Stored& file : stored) {
+    const bool over_count = max_entries_ != 0 && remaining > max_entries_;
+    const bool over_bytes = max_bytes_ != 0 && total_bytes > max_bytes_;
+    if (!over_count && !over_bytes) break;
+    if (std::filesystem::remove(file.path, ec); ec) continue;
+    --remaining;
+    total_bytes -= file.bytes;
+  }
 }
 
 std::vector<std::shared_ptr<const bc::KadabraWarmState>> WarmStore::load_all(

@@ -45,13 +45,21 @@ class WarmStore {
  public:
   /// Binds the store to `root` (created on first save). An empty root
   /// disables the store: saves report false, loads report nothing.
-  explicit WarmStore(std::string root);
+  /// `max_entries` / `max_bytes` cap the persisted .warm files per version
+  /// directory (0 = unbounded); every successful save evicts
+  /// oldest-by-mtime files until both caps hold again, so the store is a
+  /// bounded LRU-by-write of calibrations instead of growing forever.
+  explicit WarmStore(std::string root, std::uint64_t max_entries = 0,
+                     std::uint64_t max_bytes = 0);
 
   [[nodiscard]] bool enabled() const { return !root_.empty(); }
   [[nodiscard]] const std::string& root() const { return root_; }
+  [[nodiscard]] std::uint64_t max_entries() const { return max_entries_; }
+  [[nodiscard]] std::uint64_t max_bytes() const { return max_bytes_; }
 
   /// Persists one warm state. Returns false when the store is disabled,
-  /// the state lacks provenance, or the write fails.
+  /// the state lacks provenance, or the write fails. A successful save
+  /// runs the eviction pass (see the constructor).
   [[nodiscard]] bool save(const bc::KadabraWarmState& state) const;
 
   /// Loads every stored state of `graph_fingerprint`, any shape and any
@@ -75,8 +83,11 @@ class WarmStore {
 
  private:
   [[nodiscard]] std::string version_dir() const;
+  void evict() const;
 
   std::string root_;
+  std::uint64_t max_entries_ = 0;
+  std::uint64_t max_bytes_ = 0;
 };
 
 }  // namespace distbc::service

@@ -61,10 +61,12 @@ double CostModel::predict_seconds_bytes(Pattern pattern,
 
 double CostModel::predict_epoch_overhead_bytes(Pattern pattern,
                                                std::uint64_t wire_bytes) const {
-  double overhead = predict_seconds_bytes(pattern, wire_bytes);
-  // The termination flag is one byte; its cost is all latency.
-  if (has(Pattern::kIbcast)) overhead += line(Pattern::kIbcast).predict(1);
-  return overhead;
+  // Termination is decentralized: every rank evaluates the stopping rule
+  // on the merged aggregate it already holds, and whatever downward
+  // distribution a pattern needs for that (tree broadcast, intra-node
+  // redistribution) happened inside the measured engine race the line was
+  // fitted from. There is no separate verdict broadcast left to add.
+  return predict_seconds_bytes(pattern, wire_bytes);
 }
 
 double CostModel::predict_seconds(Pattern pattern,

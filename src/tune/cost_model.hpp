@@ -61,8 +61,10 @@ class CostModel {
                                              std::uint64_t wire_bytes) const;
 
   /// Predicted exposed seconds of one full epoch's communication at
-  /// `wire_bytes` of aggregation payload: the aggregation via `pattern`
-  /// plus the termination Ibcast (if measured).
+  /// `wire_bytes` of aggregation payload. With decentralized termination
+  /// this is the aggregation itself - the pattern's fitted line already
+  /// includes its own downward distribution; there is no separate verdict
+  /// broadcast.
   [[nodiscard]] double predict_epoch_overhead_bytes(
       Pattern pattern, std::uint64_t wire_bytes) const;
 

@@ -29,6 +29,10 @@ const char* pattern_name(Pattern pattern) {
       return "window_pre_reduce";
     case Pattern::kSparseMerge:
       return "sparse_merge";
+    case Pattern::kTreeMerge:
+      return "tree_merge";
+    case Pattern::kTwoLevel:
+      return "two_level";
     case Pattern::kCount:
       break;
   }
@@ -220,15 +224,21 @@ MicrobenchResult run_microbench(const MicrobenchConfig& config) {
     double modeled_s = 0.0;  // the interconnect model's analytic charge
   };
   const auto measure = [&](std::optional<Pattern> pattern, std::size_t words,
-                           const mpisim::NetworkModel& network) {
+                           const mpisim::NetworkModel& network, int radix = 0) {
     engine::EngineOptions engine_options;
     engine_options.threads_per_rank = threads;
     engine_options.epoch_base = n0_total;
     engine_options.epoch_exponent = 0.0;  // n0 fixed at epoch_base
-    const bool sparse = pattern && *pattern == Pattern::kSparseMerge;
+    const bool sparse =
+        pattern && (*pattern == Pattern::kSparseMerge ||
+                    *pattern == Pattern::kTreeMerge ||
+                    *pattern == Pattern::kTwoLevel);
     if (pattern) {
       engine_options.aggregation = pattern_strategy(*pattern);
-      engine_options.hierarchical = *pattern == Pattern::kWindowPreReduce;
+      engine_options.hierarchical = *pattern == Pattern::kWindowPreReduce ||
+                                    *pattern == Pattern::kTwoLevel;
+      if (*pattern == Pattern::kTreeMerge) engine_options.tree_radix = radix;
+      if (*pattern == Pattern::kTwoLevel) engine_options.leader_radix = radix;
     }
     if (sparse) engine_options.frame_rep = engine::FrameRep::kSparse;
 
@@ -308,18 +318,20 @@ MicrobenchResult run_microbench(const MicrobenchConfig& config) {
   result.baseline_epoch_s = median(baseline_epoch);
   const double unit_throughput = median(baseline_rate);
 
-  for (std::size_t p = 0; p < kNumPatterns; ++p) {
-    const auto pattern = static_cast<Pattern>(p);
-    if (pattern == Pattern::kIbcast)
-      continue;  // measured separately below: it is not an aggregation path
+  // One (pattern, radix) arm across the message-size sweep; returns the
+  // per-size median samples (empty when every repeat failed to measure).
+  const auto sweep_arm = [&](Pattern pattern, int radix) {
+    std::vector<PatternSample> arm;
     for (const std::size_t words : config.message_words) {
       PatternSample sample;
       sample.pattern = pattern;
       sample.message_words = words;
+      sample.radix = radix;
       std::vector<double> epoch_estimates;
       std::vector<double> overhead_estimates;
       for (int r = 0; r < repeats; ++r) {
-        const Measurement measured = measure(pattern, words, config.network);
+        const Measurement measured =
+            measure(pattern, words, config.network, radix);
         if (measured.epochs == 0 || unit_throughput <= 0.0) continue;
         epoch_estimates.push_back(measured.wall_s /
                                   static_cast<double>(measured.epochs));
@@ -333,7 +345,45 @@ MicrobenchResult run_microbench(const MicrobenchConfig& config) {
       if (overhead_estimates.empty()) continue;
       sample.epoch_s = median(epoch_estimates);
       sample.overhead_s = median(overhead_estimates);
-      result.samples.push_back(sample);
+      arm.push_back(sample);
+    }
+    return arm;
+  };
+
+  for (std::size_t p = 0; p < kNumPatterns; ++p) {
+    const auto pattern = static_cast<Pattern>(p);
+    if (pattern == Pattern::kIbcast)
+      continue;  // measured separately below: it is not an aggregation path
+    // A radix tree over two ranks has no interior to overlap; single-rank
+    // nodes have nothing to pre-reduce. Skip the arms a shape cannot use.
+    if (pattern == Pattern::kTreeMerge && config.num_ranks < 3) continue;
+    if (pattern == Pattern::kTwoLevel && config.ranks_per_node < 2) continue;
+
+    if (pattern == Pattern::kTreeMerge || pattern == Pattern::kTwoLevel) {
+      // Radix sweep: the radix with the lowest total overhead over the
+      // size sweep wins; only its samples feed the fitted line, so the
+      // profile's alpha-beta prices the tree shape it also records.
+      std::vector<PatternSample> best;
+      double best_total = 0.0;
+      for (const int radix : config.tree_radixes) {
+        if (radix < 2) continue;
+        std::vector<PatternSample> arm = sweep_arm(pattern, radix);
+        if (arm.empty()) continue;
+        double total = 0.0;
+        for (const PatternSample& sample : arm) total += sample.overhead_s;
+        if (best.empty() || total < best_total) {
+          best = std::move(arm);
+          best_total = total;
+        }
+      }
+      if (best.empty()) continue;
+      (pattern == Pattern::kTreeMerge ? result.tree_radix
+                                      : result.leader_radix) =
+          best.front().radix;
+      result.samples.insert(result.samples.end(), best.begin(), best.end());
+    } else {
+      const std::vector<PatternSample> arm = sweep_arm(pattern, 0);
+      result.samples.insert(result.samples.end(), arm.begin(), arm.end());
     }
   }
 

@@ -3,7 +3,10 @@
 // The engine's per-epoch aggregation uses a handful of communication
 // patterns (paper §IV-E/F): a blocking Reduce, a poorly-progressing
 // Ireduce, the Ibarrier + blocking Reduce combination, the termination
-// Ibcast, and the hierarchical RMA-window pre-reduction. Which of them is
+// Ibcast (the distribution primitive of the rooted paths), the
+// hierarchical RMA-window pre-reduction, and the structured
+// merge paths (radix-tree merge, and the two-level composition of node
+// pre-reduction with a leader-level radix tree). Which of them is
 // fastest depends on the cluster shape - rank count, ranks per node,
 // sampling threads per rank, and how oversubscribed the substrate is -
 // which the paper establishes by hand ablation. This microbenchmark
@@ -39,9 +42,11 @@ enum class Pattern : std::uint8_t {
   kReduce,           // §IV-F fully blocking reduction
   kIreduce,          // §IV-F plain non-blocking reduction (polled)
   kIbarrierReduce,   // §IV-F Ibarrier (polled) + blocking Reduce
-  kIbcast,           // the overlapped termination broadcast (1 byte)
+  kIbcast,           // polled Ibcast latency probe (distribution primitive)
   kWindowPreReduce,  // §IV-E RMA-window pre-reduction + leader Ibarrier+Reduce
   kSparseMerge,      // sparse-image merge reduction (SparseFrame delta wire)
+  kTreeMerge,        // radix-tree merge reduction over sparse images
+  kTwoLevel,         // two-level: window pre-reduce + leader radix tree
   kCount
 };
 
@@ -58,6 +63,9 @@ struct PatternSample {
   double overhead_s = 0.0;  // per-epoch wall time above the baseline epoch
   double epoch_s = 0.0;     // per-epoch wall time with this pattern
   double modeled_s = 0.0;   // the interconnect model's analytic charge
+  /// The tree / leader radix the sample ran at (kTreeMerge and kTwoLevel
+  /// arms only; 0 for the flat patterns).
+  int radix = 0;
 };
 
 struct MicrobenchConfig {
@@ -98,6 +106,11 @@ struct MicrobenchConfig {
   /// Rotating straggler: one rank per epoch retires (1 + imbalance) times
   /// the quota, modeling per-epoch sampling imbalance.
   double imbalance = 1.0;
+  /// Radixes the kTreeMerge / kTwoLevel arms sweep; the radix with the
+  /// lowest total overhead across the message-size sweep is kept (its
+  /// samples feed the fitted line) and recorded in the result. Values
+  /// below 2 are ignored.
+  std::vector<int> tree_radixes = {2, 4};
   mpisim::NetworkModel network{};
 };
 
@@ -108,6 +121,12 @@ struct MicrobenchResult {
   double oversubscription = 1.0;
   /// Per-epoch wall time of the communication-free baseline epoch.
   double baseline_epoch_s = 0.0;
+  /// The winning radix of the kTreeMerge sweep (0 when the arm did not
+  /// run: fewer than three ranks leaves a radix tree with no interior).
+  int tree_radix = 0;
+  /// The winning radix of the kTwoLevel leader-tree sweep (0 when the arm
+  /// did not run: single-rank nodes have nothing to pre-reduce).
+  int leader_radix = 0;
   std::vector<PatternSample> samples;
 
   /// Samples of one pattern, ordered by message size.

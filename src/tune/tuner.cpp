@@ -45,6 +45,8 @@ std::string TuningProfile::serialize() const {
   append_kv(out, "shape.threads_per_rank", shape.threads_per_rank);
   append_kv(out, "oversubscription", oversubscription);
   append_kv(out, "work_unit_s", work_unit_s);
+  append_kv(out, "tree_radix", tree_radix);
+  append_kv(out, "leader_radix", leader_radix);
   for (std::size_t p = 0; p < kNumPatterns; ++p) {
     const auto pattern = static_cast<Pattern>(p);
     if (!model.has(pattern)) continue;
@@ -98,6 +100,9 @@ std::optional<TuningProfile> TuningProfile::parse(std::string_view text) {
     return std::nullopt;
   profile.oversubscription = get("oversubscription").value_or(1.0);
   profile.work_unit_s = get("work_unit_s").value_or(profile.work_unit_s);
+  // Absent in pre-tree profiles; 0 keeps the structured paths ineligible.
+  profile.tree_radix = static_cast<int>(get("tree_radix").value_or(0.0));
+  profile.leader_radix = static_cast<int>(get("leader_radix").value_or(0.0));
 
   for (std::size_t p = 0; p < kNumPatterns; ++p) {
     const auto pattern = static_cast<Pattern>(p);
@@ -137,6 +142,8 @@ TuningProfile capture_profile(const MicrobenchConfig& config) {
   profile.shape.threads_per_rank = std::max(1, config.threads_per_rank);
   profile.oversubscription = result.oversubscription;
   profile.work_unit_s = config.work_unit_s;
+  profile.tree_radix = result.tree_radix;
+  profile.leader_radix = result.leader_radix;
   profile.model = CostModel::fit(result);
   return profile;
 }
@@ -150,6 +157,8 @@ engine::Aggregation pattern_aggregation(Pattern pattern) {
     case Pattern::kIbarrierReduce:
     case Pattern::kWindowPreReduce:  // leaders aggregate via Ibarrier+Reduce
     case Pattern::kSparseMerge:      // image merges ride Ibarrier+Reduce too
+    case Pattern::kTreeMerge:        // tree interiors overlap the same way
+    case Pattern::kTwoLevel:
       return engine::Aggregation::kIbarrierReduce;
     case Pattern::kIbcast:
     case Pattern::kCount:
@@ -263,6 +272,11 @@ TuneDecision tune_decision(const TuningProfile& profile,
     // is priced on it: the root of a merge reduction pays an image merge,
     // not the dense elementwise combine the flat lines measured. Without
     // one, fall back to pricing the flat lines at the smaller payload.
+    // The structured merge paths compete here too: the flat sparse merge
+    // is the incumbent, and the radix-tree or two-level line must beat
+    // the running best by the decision margin to take over - each was
+    // fitted at the radix the profile records, which is what the winner
+    // emits.
     const bool merge_line = model.has(Pattern::kSparseMerge);
     const auto sparse_path_at = [&](std::uint64_t bytes) {
       if (!merge_line) return choose_path(bytes);
@@ -270,6 +284,22 @@ TuneDecision tune_decision(const TuningProfile& profile,
       sparse_path.pattern = Pattern::kSparseMerge;
       sparse_path.overhead_s =
           model.predict_epoch_overhead_bytes(Pattern::kSparseMerge, bytes);
+      if (model.has(Pattern::kTreeMerge) && profile.tree_radix >= 2 &&
+          model.predict_epoch_overhead_bytes(Pattern::kTreeMerge, bytes) <
+              sparse_path.overhead_s * margin) {
+        sparse_path.pattern = Pattern::kTreeMerge;
+        sparse_path.overhead_s =
+            model.predict_epoch_overhead_bytes(Pattern::kTreeMerge, bytes);
+      }
+      if (profile.shape.ranks_per_node > 1 &&
+          model.has(Pattern::kTwoLevel) && profile.leader_radix >= 2 &&
+          model.predict_epoch_overhead_bytes(Pattern::kTwoLevel, bytes) <
+              sparse_path.overhead_s * margin) {
+        sparse_path.pattern = Pattern::kTwoLevel;
+        sparse_path.hierarchical = true;
+        sparse_path.overhead_s =
+            model.predict_epoch_overhead_bytes(Pattern::kTwoLevel, bytes);
+      }
       return sparse_path;
     };
     std::uint64_t candidate = sparse_bytes_at(n0_min);
@@ -310,6 +340,16 @@ TuneDecision tune_decision(const TuningProfile& profile,
   options.aggregation = pattern_aggregation(path.pattern);
   options.hierarchical = path.hierarchical;
   options.frame_rep = frame_rep;
+  // When the microbench priced a structured merge line, the tuner owns
+  // that radix knob: the winning pattern gets the radix its line was
+  // fitted at, a losing one is switched off rather than left to whatever
+  // the base options carried.
+  if (model.has(Pattern::kTreeMerge))
+    options.tree_radix =
+        path.pattern == Pattern::kTreeMerge ? profile.tree_radix : 0;
+  if (model.has(Pattern::kTwoLevel))
+    options.leader_radix =
+        path.pattern == Pattern::kTwoLevel ? profile.leader_radix : 0;
   const double streams =
       options.deterministic && options.virtual_streams != 0
           ? static_cast<double>(options.virtual_streams)

@@ -11,7 +11,9 @@
 // per-sample cost into the knobs the paper hand-ablates, plus one it
 // could not: the frame representation.
 //   * aggregation strategy (§IV-F): the pattern with the cheapest predicted
-//     exposed cost at the actual wire payload;
+//     exposed cost at the actual wire payload - flat merge, radix-tree
+//     merge, and the two-level (node pre-reduce + leader tree) path all
+//     compete on their own fitted lines at sparse payloads;
 //   * hierarchical pre-reduction (§IV-E): on iff the measured window path
 //     beats the best flat reduction (and nodes hold more than one rank);
 //   * epoch length (§IV-D): the smallest epoch whose predicted aggregation
@@ -53,6 +55,12 @@ struct TuningProfile {
   /// Duration of the microbench's stand-in sample; the fallback per-sample
   /// cost when a workload does not supply its own measurement.
   double work_unit_s = 20e-6;
+  /// Winning radix of the microbench's kTreeMerge sweep - the radix the
+  /// fitted tree_merge line was measured at, and the one tune_decision
+  /// emits when that line wins. 0 when the arm did not run on this shape.
+  int tree_radix = 0;
+  /// Winning radix of the kTwoLevel leader-tree sweep (same contract).
+  int leader_radix = 0;
   CostModel model;
 
   /// Serializes to the "key = value" profile text format (one line per

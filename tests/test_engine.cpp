@@ -241,9 +241,11 @@ TEST(EngineEquivalence, SparseRepresentationShrinksAggregationBytes) {
 
 // Tree-merge aggregation: interior-rank image combining (any radix, with
 // or without the hierarchy on top) must be bitwise identical to the flat
-// merge - decoding is a commutative sum - while the root ingests strictly
-// fewer bytes than under the flat merge (every per-rank image shares at
-// least the tau pair, so unions shrink).
+// decentralized merge - decoding is a commutative sum - while the root
+// ingests strictly fewer bytes than under a rooted flat-shaped merge
+// (radix >= P makes every rank a direct child of the root, the old
+// flat-reduction hotspot; every per-rank image shares at least the tau
+// pair, so interior unions shrink what reaches the top).
 TEST(EngineEquivalence, TreeMergeIsBitwiseIdenticalAndCutsRootIngest) {
   const graph::Graph graph = equivalence_graph();
   auto run = [&](engine::FrameRep rep, int radix, bool hierarchical) {
@@ -259,7 +261,10 @@ TEST(EngineEquivalence, TreeMergeIsBitwiseIdenticalAndCutsRootIngest) {
   const bc::BcResult flat =
       run(engine::FrameRep::kSparse, /*radix=*/0, /*hierarchical=*/false);
   ASSERT_GT(flat.samples, 0u);
-  ASSERT_GT(flat.comm_volume.root_ingest_bytes, 0u);
+  const bc::BcResult rooted =
+      run(engine::FrameRep::kSparse, /*radix=*/8, /*hierarchical=*/false);
+  expect_bitwise_equal(flat, rooted, "flat all-reduce vs rooted radix-8");
+  ASSERT_GT(rooted.comm_volume.root_ingest_bytes, 0u);
   for (const engine::FrameRep rep :
        {engine::FrameRep::kDense, engine::FrameRep::kSparse,
         engine::FrameRep::kAuto}) {
@@ -272,12 +277,82 @@ TEST(EngineEquivalence, TreeMergeIsBitwiseIdenticalAndCutsRootIngest) {
         expect_bitwise_equal(flat, result, label.c_str());
         if (rep != engine::FrameRep::kDense && !hierarchical) {
           EXPECT_LT(result.comm_volume.root_ingest_bytes,
-                    flat.comm_volume.root_ingest_bytes)
+                    rooted.comm_volume.root_ingest_bytes)
               << label;
         }
       }
     }
   }
+}
+
+// The two-level merge path: §IV-E node-window pre-reduction below a
+// leader-level radix tree, radix picked per hop class via leader_radix.
+// Every (leader_radix x frame_rep x strategy) cell must be bitwise
+// identical to the flat single-level baseline, and leader_radix = 0 must
+// inherit tree_radix (single-knob configurations keep their shape).
+TEST(EngineEquivalence, TwoLevelSweepIsBitwiseIdentical) {
+  const graph::Graph graph = equivalence_graph();
+  auto run = [&](int leader_radix, engine::FrameRep rep,
+                 engine::Aggregation aggregation) {
+    bc::KadabraOptions options = deterministic_options(1);
+    options.engine.virtual_streams = 8;
+    options.engine.frame_rep = rep;
+    options.engine.aggregation = aggregation;
+    options.engine.hierarchical = true;
+    options.engine.leader_radix = leader_radix;
+    return bc::kadabra_mpi(graph, options, /*num_ranks=*/8,
+                           /*ranks_per_node=*/2,
+                           mpisim::NetworkModel::disabled());
+  };
+  bc::KadabraOptions flat_options = deterministic_options(1);
+  flat_options.engine.virtual_streams = 8;
+  const bc::BcResult baseline =
+      bc::kadabra_mpi(graph, flat_options, /*num_ranks=*/8,
+                      /*ranks_per_node=*/1, mpisim::NetworkModel::disabled());
+  ASSERT_GT(baseline.samples, 0u);
+  for (const int leader_radix : {0, 2, 3}) {
+    for (const engine::FrameRep rep :
+         {engine::FrameRep::kDense, engine::FrameRep::kSparse,
+          engine::FrameRep::kAuto}) {
+      for (const engine::Aggregation aggregation :
+           {engine::Aggregation::kIbarrierReduce, engine::Aggregation::kIreduce,
+            engine::Aggregation::kBlocking}) {
+        const bc::BcResult result = run(leader_radix, rep, aggregation);
+        const std::string label =
+            "leader radix " + std::to_string(leader_radix) + " / " +
+            epoch::frame_rep_name(rep) + " / " +
+            engine::aggregation_name(aggregation);
+        expect_bitwise_equal(baseline, result, label.c_str());
+      }
+    }
+  }
+}
+
+// Decentralized termination's core contract: run_epochs leaves the
+// identical merged aggregate on EVERY rank (the stopping rule is evaluated
+// locally everywhere), not just at world rank zero.
+TEST(EngineEquivalence, EveryRankHoldsTheGlobalAggregate) {
+  mpisim::RuntimeConfig config;
+  config.num_ranks = 4;
+  config.ranks_per_node = 2;
+  config.network = mpisim::NetworkModel::disabled();
+  mpisim::Runtime runtime(config);
+  std::vector<std::uint64_t> per_rank(4, 0);
+  runtime.run([&](mpisim::Comm& world) {
+    engine::EngineOptions options;
+    options.deterministic = true;
+    options.virtual_streams = 4;
+    options.epoch_base = 40;
+    options.epoch_exponent = 0.0;
+    options.hierarchical = true;
+    const auto result = engine::run_epochs(
+        &world, CountFrame{}, [](std::uint64_t) { return CountSampler{}; },
+        [](const CountFrame& frame) { return frame.data[0] >= 100; },
+        options);
+    per_rank[world.rank()] = result.aggregate.data[0];
+  });
+  EXPECT_GE(per_rank[0], 100u);
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(per_rank[r], per_rank[0]) << r;
 }
 
 // Regression: with the non-blocking strategy, a fast non-root rank's

@@ -475,6 +475,156 @@ TEST(TreeMerge, NonZeroRootAndNonBlockingForm) {
   });
 }
 
+// --- All-reduce family (decentralized termination) ---------------------------
+//
+// The butterfly collectives exist so every rank can end an epoch holding
+// the merged aggregate and evaluate the stop rule locally - no rooted
+// reduce, no verdict broadcast. Their contracts: parity with the rooted
+// composition they replace, and zero root_ingest_bytes (there is no root).
+
+TEST(AllReduceFamily, AllreduceMatchesReduceThenBcastOnOddRanks) {
+  // Non-power-of-two rank count: the butterfly must handle the ragged
+  // stage without dropping or double-counting a contribution.
+  Runtime runtime(quiet(5));
+  runtime.run([&](Comm& comm) {
+    std::vector<std::uint64_t> mine(8);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      mine[i] = static_cast<std::uint64_t>(comm.rank() + 1) * (i + 1);
+
+    std::vector<std::uint64_t> everywhere(8, 0);
+    comm.allreduce(std::span<const std::uint64_t>(mine),
+                   std::span(everywhere));
+
+    // The rooted composition decentralized termination replaced.
+    std::vector<std::uint64_t> rooted(8, 0);
+    comm.reduce(std::span<const std::uint64_t>(mine), std::span(rooted), 0);
+    comm.bcast(std::span(rooted), 0);
+
+    ASSERT_EQ(everywhere, rooted);
+    EXPECT_EQ(everywhere[3], (1u + 2 + 3 + 4 + 5) * 4);
+  });
+  // Only the rooted reduce ingested at a root (four non-root frames of
+  // eight words); the rootless butterfly charged nothing.
+  EXPECT_EQ(runtime.last_world_stats().root_ingest_bytes.load(),
+            4u * 8 * sizeof(std::uint64_t));
+  EXPECT_EQ(runtime.last_world_stats().allreduce_calls.load(), 5u);
+}
+
+TEST(AllReduceFamily, ReduceScatterPlusAllGatherComposeToAllreduce) {
+  constexpr std::size_t kBlock = 4;
+  Runtime runtime(quiet(6, 3));
+  runtime.run([&](Comm& comm) {
+    const auto ranks = static_cast<std::size_t>(comm.size());
+    std::vector<std::uint64_t> mine(kBlock * ranks);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      mine[i] = static_cast<std::uint64_t>(comm.rank()) + i;
+
+    // Halving phase: rank r keeps block r of the elementwise sum...
+    std::vector<std::uint64_t> block(kBlock, 0);
+    comm.reduce_scatter(std::span<const std::uint64_t>(mine),
+                        std::span(block));
+    // ...doubling phase: concatenate the blocks back at every rank.
+    std::vector<std::uint64_t> composed(kBlock * ranks, 0);
+    comm.all_gather(std::span<const std::uint64_t>(block),
+                    std::span(composed));
+
+    std::vector<std::uint64_t> direct(kBlock * ranks, 0);
+    comm.allreduce(std::span<const std::uint64_t>(mine), std::span(direct));
+    ASSERT_EQ(composed, direct);
+    // Elementwise sum at index i: sum_r (r + i).
+    EXPECT_EQ(direct[0], 0u + 1 + 2 + 3 + 4 + 5);
+  });
+  EXPECT_EQ(runtime.last_world_stats().reduce_scatter_calls.load(), 6u);
+  EXPECT_EQ(runtime.last_world_stats().all_gather_calls.load(), 6u);
+}
+
+TEST(AllReduceFamily, AllreduceMergeGivesEveryRankTheRootedAggregate) {
+  constexpr int kRanks = 5;
+  // Every rank decodes the replayed contributions; rank order makes the
+  // result bitwise identical to the rooted merge at rank 0.
+  std::vector<std::vector<std::uint64_t>> dense(
+      kRanks, std::vector<std::uint64_t>(128, 0));
+  std::vector<std::vector<int>> sources(kRanks);
+  std::vector<std::uint64_t> rooted(128, 0);
+  Runtime runtime(quiet(kRanks));
+  runtime.run([&](Comm& comm) {
+    const std::vector<std::uint64_t> mine = rank_image(comm.rank());
+    comm.allreduce_merge(
+        std::span<const std::uint64_t>(mine),
+        [&, r = comm.rank()](int src, std::span<const std::uint64_t> image) {
+          sources[r].push_back(src);
+          epoch::decode_add_image(std::span<std::uint64_t>(dense[r]), image);
+        });
+    comm.reduce_merge(
+        std::span<const std::uint64_t>(mine),
+        [&](int, std::span<const std::uint64_t> image) {
+          epoch::decode_add_image(std::span<std::uint64_t>(rooted), image);
+        },
+        0);
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(sources[r], (std::vector<int>{0, 1, 2, 3, 4})) << "rank " << r;
+    EXPECT_EQ(dense[r], rooted) << "rank " << r;
+  }
+  EXPECT_EQ(runtime.last_world_stats().allreduce_merge_calls.load(),
+            static_cast<std::uint64_t>(kRanks));
+  // Only the rooted reduce_merge ingested at a root; the decentralized
+  // merge contributed nothing to that counter.
+  EXPECT_EQ(runtime.last_world_stats().root_ingest_bytes.load(),
+            (kRanks - 1) * rank_image(1).size() * sizeof(std::uint64_t));
+}
+
+TEST(AllReduceFamily, NonBlockingFlavorsCompleteAtEveryRank) {
+  Runtime runtime(quiet(6, 2));
+  runtime.run([&](Comm& comm) {
+    const std::vector<std::uint64_t> one{1, 2};
+    std::vector<std::uint64_t> sum(2, 0);
+    Request reduce = comm.iallreduce(std::span<const std::uint64_t>(one),
+                                     std::span(sum));
+    std::uint64_t merged = 0;
+    Request merge = comm.iallreduce_merge(
+        std::span<const std::uint64_t>(one),
+        [&](int, std::span<const std::uint64_t> payload) {
+          merged += payload[0] + payload[1];
+        });
+    // Completion out of post order: each request matches its own slot.
+    merge.wait();
+    reduce.wait();
+    EXPECT_EQ(sum[0], 6u);
+    EXPECT_EQ(sum[1], 12u);
+    EXPECT_EQ(merged, 18u);  // all six (1 + 2) contributions replayed
+  });
+}
+
+TEST(AllReduceFamily, ButterflySlotsReuseCleanlyAcrossRounds) {
+  // Repeated rounds interleaving every butterfly flavor with the rooted
+  // ones: slot reuse must not leak state between rounds or flavors.
+  Runtime runtime(quiet(4, 2));
+  runtime.run([&](Comm& comm) {
+    for (int round = 0; round < 10; ++round) {
+      const std::uint64_t mine =
+          static_cast<std::uint64_t>(comm.rank() + round);
+      std::vector<std::uint64_t> sum{0};
+      comm.allreduce(std::span<const std::uint64_t>(&mine, 1),
+                     std::span(sum));
+      ASSERT_EQ(sum[0], static_cast<std::uint64_t>(0 + 1 + 2 + 3 + 4 * round));
+
+      std::uint64_t merged = 0;
+      comm.allreduce_merge(
+          std::span<const std::uint64_t>(&mine, 1),
+          [&](int, std::span<const std::uint64_t> payload) {
+            merged += payload[0];
+          });
+      ASSERT_EQ(merged, sum[0]);
+
+      std::vector<std::uint64_t> rooted{0};
+      comm.reduce(std::span<const std::uint64_t>(&mine, 1),
+                  std::span(rooted), 0);
+      if (comm.rank() == 0) { ASSERT_EQ(rooted[0], sum[0]); }
+    }
+  });
+}
+
 // --- Slot-protocol parity ----------------------------------------------------
 //
 // The §IV-F economics of the factored protocol must be identical across

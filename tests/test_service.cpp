@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -374,6 +375,63 @@ TEST(WarmStore, RoundTripsBitExactAndKeysByFingerprint) {
   EXPECT_FALSE(disabled.enabled());
   EXPECT_FALSE(disabled.save(*state));
   EXPECT_TRUE(disabled.load_all(state->graph_fingerprint).empty());
+}
+
+// Eviction caps: saves past max_entries / max_bytes remove the
+// oldest-by-mtime .warm files, so the most recent calibrations (the new
+// save included) always survive.
+TEST(WarmStore, EvictsOldestByMtimePastTheCaps) {
+  const ScratchDir dir("evict");
+  const auto graph = std::make_shared<const graph::Graph>(service_graph());
+  const auto state = make_warm_state(graph, service_config());
+  ASSERT_NE(state, nullptr);
+
+  // Seed five distinct states through an unbounded store (the key hash
+  // covers the seed, so each lands in its own file), then backdate their
+  // mtimes into a known oldest-to-newest order, all older than any
+  // upcoming save.
+  const service::WarmStore unbounded(dir.path);
+  std::vector<std::string> paths;
+  for (int i = 0; i < 5; ++i) {
+    bc::KadabraWarmState copy = *state;
+    copy.context.params.seed = 1000 + static_cast<std::uint64_t>(i);
+    ASSERT_TRUE(unbounded.save(copy));
+    paths.push_back(unbounded.state_path(copy));
+  }
+  const auto now = std::filesystem::last_write_time(paths.back());
+  for (int i = 0; i < 5; ++i)
+    std::filesystem::last_write_time(
+        paths[i], now - std::chrono::minutes(10 - i));
+
+  // A save through a store capped at three entries keeps the new file
+  // plus the two youngest seeds.
+  const service::WarmStore capped(dir.path, /*max_entries=*/3);
+  EXPECT_EQ(capped.max_entries(), 3u);
+  bc::KadabraWarmState sixth = *state;
+  sixth.context.params.seed = 2000;
+  ASSERT_TRUE(capped.save(sixth));
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(std::filesystem::exists(paths[i]), i >= 3) << i;
+  ASSERT_TRUE(std::filesystem::exists(capped.state_path(sixth)));
+
+  // The byte cap evicts independently: sized for two files, a further
+  // save leaves exactly the two newest.
+  const auto file_bytes = std::filesystem::file_size(paths[4]);
+  const service::WarmStore byte_capped(dir.path, /*max_entries=*/0,
+                                       /*max_bytes=*/2 * file_bytes + 1);
+  bc::KadabraWarmState seventh = *state;
+  seventh.context.params.seed = 3000;
+  ASSERT_TRUE(byte_capped.save(seventh));
+  std::size_t remaining = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir.path + "/v1")) {
+    remaining += entry.path().extension() == ".warm" ? 1 : 0;
+  }
+  EXPECT_EQ(remaining, 2u);
+  EXPECT_TRUE(std::filesystem::exists(byte_capped.state_path(seventh)));
+
+  // Both capped stores still load what survived.
+  EXPECT_EQ(byte_capped.load_all(state->graph_fingerprint).size(), 2u);
 }
 
 TEST(WarmStore, PreloadRejectsMismatchedProvenance) {

@@ -285,12 +285,96 @@ TEST(Tuner, MergeLineGatesTheSparseDecision) {
   EXPECT_NE(dense.pattern, tune::Pattern::kSparseMerge);
 }
 
+// The structured merge paths compete at the sparse payload on their own
+// fitted lines: flat sparse merge is the incumbent, a decisively cheaper
+// tree or two-level line takes over and brings the radix its line was
+// fitted at; losing lines switch their radix knob off.
+TEST(Tuner, StructuredMergePathsCompeteAtSparsePayloads) {
+  tune::TuneRequest request;
+  request.frame_words = 1u << 20;
+  request.sample_seconds = 50e-6;
+  request.touched_words_per_sample = 10.0;
+  request.base.frame_rep = engine::FrameRep::kDense;  // env-override-proof
+
+  const auto with_sparse_merge = [] {
+    tune::TuningProfile profile = oversubscribed_profile();
+    tune::AlphaBeta& line = profile.model.line(tune::Pattern::kSparseMerge);
+    line.alpha_s = 250e-6;
+    line.beta_s_per_byte = 2e-9;
+    line.valid = true;
+    return profile;
+  };
+
+  // A tree line decisively under the flat merge wins and emits its radix.
+  tune::TuningProfile tree_wins = with_sparse_merge();
+  tree_wins.tree_radix = 4;
+  {
+    tune::AlphaBeta& line = tree_wins.model.line(tune::Pattern::kTreeMerge);
+    line.alpha_s = 80e-6;
+    line.beta_s_per_byte = 0.5e-9;
+    line.valid = true;
+  }
+  const tune::TuneDecision tree = tune::tune_decision(tree_wins, request);
+  EXPECT_EQ(tree.pattern, tune::Pattern::kTreeMerge);
+  EXPECT_EQ(tree.frame_rep, engine::FrameRep::kAuto);
+  EXPECT_EQ(tree.options.tree_radix, 4);
+  EXPECT_FALSE(tree.options.hierarchical);
+
+  // Within the decision margin the incumbent flat merge stays, and the
+  // priced-but-losing tree line zeroes the radix knob.
+  tune::TuningProfile tree_parity = with_sparse_merge();
+  tree_parity.tree_radix = 4;
+  {
+    tune::AlphaBeta& line = tree_parity.model.line(tune::Pattern::kTreeMerge);
+    line.alpha_s = 240e-6;  // ~4% under the incumbent: not decisive
+    line.beta_s_per_byte = 2e-9;
+    line.valid = true;
+  }
+  tune::TuneRequest parity_request = request;
+  parity_request.base.tree_radix = 8;  // tuner owns the knob once priced
+  const tune::TuneDecision parity =
+      tune::tune_decision(tree_parity, parity_request);
+  EXPECT_EQ(parity.pattern, tune::Pattern::kSparseMerge);
+  EXPECT_EQ(parity.options.tree_radix, 0);
+
+  // A two-level line under everything wins, turns hierarchical on, and
+  // emits the leader radix.
+  tune::TuningProfile two_level_wins = tree_wins;
+  two_level_wins.leader_radix = 2;
+  {
+    tune::AlphaBeta& line =
+        two_level_wins.model.line(tune::Pattern::kTwoLevel);
+    line.alpha_s = 20e-6;
+    line.beta_s_per_byte = 0.2e-9;
+    line.valid = true;
+  }
+  const tune::TuneDecision two_level =
+      tune::tune_decision(two_level_wins, request);
+  EXPECT_EQ(two_level.pattern, tune::Pattern::kTwoLevel);
+  EXPECT_TRUE(two_level.options.hierarchical);
+  EXPECT_EQ(two_level.options.leader_radix, 2);
+  EXPECT_EQ(two_level.options.tree_radix, 0);
+
+  // Single-rank nodes cannot pre-reduce: the same profile with one rank
+  // per node falls back to the tree path.
+  tune::TuningProfile flat_nodes = two_level_wins;
+  flat_nodes.shape.ranks_per_node = 1;
+  const tune::TuneDecision no_nodes =
+      tune::tune_decision(flat_nodes, request);
+  EXPECT_EQ(no_nodes.pattern, tune::Pattern::kTreeMerge);
+  EXPECT_EQ(no_nodes.options.leader_radix, 0);
+}
+
 TEST(TuningProfile, RoundTripsThroughTextAndKeepsDecisions) {
-  const tune::TuningProfile original = oversubscribed_profile();
+  tune::TuningProfile original = oversubscribed_profile();
+  original.tree_radix = 4;
+  original.leader_radix = 2;
   const std::string text = original.serialize();
   const auto parsed = tune::TuningProfile::parse(text);
   ASSERT_TRUE(parsed.has_value());
 
+  EXPECT_EQ(parsed->tree_radix, 4);
+  EXPECT_EQ(parsed->leader_radix, 2);
   EXPECT_EQ(parsed->shape.num_ranks, original.shape.num_ranks);
   EXPECT_EQ(parsed->shape.ranks_per_node, original.shape.ranks_per_node);
   EXPECT_EQ(parsed->shape.threads_per_rank, original.shape.threads_per_rank);
@@ -388,6 +472,19 @@ TEST(Microbench, MeasuresAllPatternsOnTinyCluster) {
     }
   }
   EXPECT_EQ(result.of(tune::Pattern::kIbcast).size(), 1u);
+
+  // Two ranks on one node: the two-level arm runs (and records the radix
+  // its winning sweep used), while a radix tree over two ranks has no
+  // interior and is skipped.
+  const auto two_level = result.of(tune::Pattern::kTwoLevel);
+  ASSERT_EQ(two_level.size(), 2u);
+  EXPECT_GE(result.leader_radix, 2);
+  for (const auto& sample : two_level) {
+    EXPECT_EQ(sample.radix, result.leader_radix);
+    EXPECT_GE(sample.overhead_s, 0.0);
+  }
+  EXPECT_TRUE(result.of(tune::Pattern::kTreeMerge).empty());
+  EXPECT_EQ(result.tree_radix, 0);
 
   const tune::CostModel model = tune::CostModel::fit(result);
   EXPECT_TRUE(model.has(tune::Pattern::kIbarrierReduce));
