@@ -1,21 +1,23 @@
-// Demonstrates the library's cluster-facing API directly: build a simulated
-// cluster with an explicit interconnect model, run the per-rank driver
-// inside Runtime::run (the way a real MPI main() would call
-// kadabra_mpi_rank), and report scaling plus the per-collective
-// communication-volume breakdown (mpisim::CommVolume).
+// Demonstrates the library's cluster-facing API: bind a graph to a
+// simulated cluster shape through api::Session (which owns the runtime and
+// the comm::Substrate construction - no direct mpisim plumbing here), run
+// betweenness queries across rank counts, and report scaling plus the
+// per-collective communication-volume breakdown (comm::CommVolume), tagged
+// with the substrate that moved it.
 //
 //   ./cluster_scaling [scale=13] [eps=0.005] [latency_us=2]
 //                     [frame_rep=dense|sparse|auto] [tree_radix=0|2|...]
 //                     [rpn=1] [leader_radix=0|2|...]
 //                     [sample_batch=1|8|...|0=auto]
+//                     [substrate=mpisim|ncclsim]
 #include <algorithm>
 #include <cstdio>
-#include <mutex>
+#include <memory>
+#include <utility>
 
-#include "bc/kadabra.hpp"
+#include "api/session.hpp"
 #include "gen/hyperbolic.hpp"
 #include "graph/components.hpp"
-#include "mpisim/runtime.hpp"
 #include "support/options.hpp"
 
 int main(int argc, char** argv) {
@@ -36,20 +38,29 @@ int main(int argc, char** argv) {
                    "(0 = inherit tree_radix; needs rpn>1)");
   options.describe("sample_batch",
                    "samples per traversal batch (1 = scalar, 0 = auto)");
+  options.describe("substrate",
+                   "comm backend the collectives run on (mpisim|ncclsim)");
   options.finish("Rank-scaling sweep on a simulated cluster.");
 
   gen::HyperbolicParams gen_params;
   gen_params.num_vertices =
       1u << static_cast<std::uint32_t>(options.get_u64("scale", 13));
   gen_params.average_degree = 30.0;
-  const graph::Graph graph =
-      graph::largest_component(gen::hyperbolic(gen_params, 21));
+  const auto graph = std::make_shared<const graph::Graph>(
+      graph::largest_component(gen::hyperbolic(gen_params, 21)));
   const std::string rep_name = options.get_string("frame_rep", "auto");
   const auto parsed_rep = epoch::frame_rep_from_name(rep_name);
   if (!parsed_rep) {
     std::fprintf(stderr,
                  "unknown frame_rep '%s' (valid: dense, sparse, auto)\n",
                  rep_name.c_str());
+    return 2;
+  }
+  const std::string substrate_name = options.get_string("substrate", "mpisim");
+  const auto substrate = comm::substrate_from_name(substrate_name);
+  if (!substrate) {
+    std::fprintf(stderr, "unknown substrate '%s' (valid: mpisim, ncclsim)\n",
+                 substrate_name.c_str());
     return 2;
   }
   const epoch::FrameRep frame_rep = *parsed_rep;
@@ -62,53 +73,49 @@ int main(int argc, char** argv) {
   const auto sample_batch =
       static_cast<int>(options.get_u64("sample_batch", 1));
   std::printf("web proxy: %u vertices, %llu edges, frame_rep=%s, "
-              "tree_radix=%d, rpn=%d, leader_radix=%d, sample_batch=%d\n\n",
-              graph.num_vertices(),
-              static_cast<unsigned long long>(graph.num_edges()),
+              "tree_radix=%d, rpn=%d, leader_radix=%d, sample_batch=%d, "
+              "substrate=%s\n\n",
+              graph->num_vertices(),
+              static_cast<unsigned long long>(graph->num_edges()),
               epoch::frame_rep_name(frame_rep), tree_radix, ranks_per_node,
-              leader_radix, sample_batch);
+              leader_radix, sample_batch, substrate_name.c_str());
 
-  mpisim::NetworkModel network;
+  comm::NetworkModel network;
   network.remote_latency_s = options.get_double("latency_us", 2.0) * 1e-6;
 
   std::printf("%-8s %-10s %-10s %-8s %-9s %-12s %-12s %-12s\n", "ranks",
-              "total(s)", "ADS(s)", "epochs", "speedup", "reduce(B)",
+              "total(s)", "sample(s)", "epochs", "speedup", "reduce(B)",
               "merge(B)", "bcast(B)");
   double base_time = 0.0;
   for (const int ranks : {1, 2, 4, 8, 16}) {
-    mpisim::RuntimeConfig config;
-    config.num_ranks = ranks;
+    api::Config config;
+    config.ranks = ranks;
     config.ranks_per_node = std::clamp(ranks_per_node, 1, ranks);
     config.network = network;
-    mpisim::Runtime runtime(config);
+    config.comm_substrate = *substrate;
+    config.seed = 5;
+    config.frame_rep = frame_rep;
+    config.tree_radix = tree_radix;
+    config.hierarchical = config.ranks_per_node > 1;
+    config.leader_radix = leader_radix;
+    config.sample_batch = sample_batch;
 
-    bc::KadabraOptions bc_options;
-    bc_options.params.epsilon = options.get_double("eps", 0.005);
-    bc_options.params.seed = 5;
-    bc_options.engine.frame_rep = frame_rep;
-    bc_options.engine.tree_radix = tree_radix;
-    bc_options.engine.hierarchical = config.ranks_per_node > 1;
-    bc_options.engine.leader_radix = leader_radix;
-    bc_options.engine.sample_batch = sample_batch;
+    api::Session session(graph, config);
+    api::BetweennessQuery query;
+    query.epsilon = options.get_double("eps", 0.005);
+    const api::Result result = session.run(query);
+    if (!result.status.ok) {
+      std::fprintf(stderr, "query failed: %s\n", result.status.message.c_str());
+      return 1;
+    }
 
-    // The explicit form of bc::kadabra_mpi(): our own rank main.
-    bc::BcResult root_result;
-    std::mutex mu;
-    runtime.run([&](mpisim::Comm& world) {
-      bc::BcResult local = bc::kadabra_mpi_rank(graph, bc_options, world);
-      if (world.rank() == 0) {
-        std::lock_guard lock(mu);
-        root_result = std::move(local);
-      }
-    });
-
-    if (ranks == 1) base_time = root_result.total_seconds;
-    const mpisim::CommVolume& volume = root_result.comm_volume;
+    if (ranks == 1) base_time = result.total_seconds;
+    const comm::CommVolume& volume = result.comm_volume;
     std::printf("%-8d %-10.2f %-10.2f %-8llu %-9.2f %-12llu %-12llu %-12llu\n",
-                ranks, root_result.total_seconds,
-                root_result.adaptive_seconds,
-                static_cast<unsigned long long>(root_result.epochs),
-                base_time / root_result.total_seconds,
+                ranks, result.total_seconds,
+                result.phases.seconds(Phase::kSampling),
+                static_cast<unsigned long long>(result.epochs),
+                base_time / result.total_seconds,
                 static_cast<unsigned long long>(volume.reduce_bytes),
                 static_cast<unsigned long long>(volume.reduce_merge_bytes),
                 static_cast<unsigned long long>(volume.bcast_bytes));
@@ -117,6 +124,7 @@ int main(int argc, char** argv) {
               "sequential phases\n(diameter, calibration) gain weight - the "
               "paper's Fig. 2a in miniature. With\nframe_rep=sparse|auto the "
               "reduce column collapses into the (far smaller)\nmerge column: "
-              "aggregation bytes follow samples taken, not |V|.\n");
+              "aggregation bytes follow samples taken, not |V|. Substrate\n"
+              "selection changes the modeled clock, never the scores.\n");
   return 0;
 }

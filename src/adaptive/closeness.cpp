@@ -64,7 +64,7 @@ class SourceSampler {
 
 ClosenessResult closeness_rank(const graph::Graph& graph,
                                const ClosenessParams& params,
-                               mpisim::Comm& world) {
+                               comm::Substrate& world) {
   const graph::Vertex n = graph.num_vertices();
   DISTBC_ASSERT(n >= 2);
   const bool is_root = world.rank() == 0;
@@ -127,6 +127,7 @@ ClosenessResult closeness_rank(const graph::Graph& graph,
   result.epochs = driver_result.epochs;
   result.total_seconds = driver_result.total_seconds;
   result.engine_used = options;
+  result.substrate_used = world.name();
   if (is_root) {
     result.phases = driver_result.phases;
     result.comm_volume = driver_result.comm_volume;
@@ -146,7 +147,7 @@ ClosenessResult closeness_rank(const graph::Graph& graph,
 ClosenessResult closeness_mpi(const graph::Graph& graph,
                               const ClosenessParams& params, int num_ranks,
                               int ranks_per_node,
-                              mpisim::NetworkModel network) {
+                              comm::NetworkModel network) {
   // Compatibility layer: one-shot api::Session owning the cluster
   // lifecycle; the session binds the caller's graph without copying it.
   api::Config config;

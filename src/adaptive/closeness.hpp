@@ -21,12 +21,13 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "comm/substrate.hpp"
 #include "engine/engine.hpp"
 #include "epoch/frame_codec.hpp"
 #include "graph/graph.hpp"
-#include "mpisim/runtime.hpp"
 
 namespace distbc::tune {
 struct TuningProfile;  // tune/tuner.hpp
@@ -138,9 +139,11 @@ struct ClosenessResult {
   /// rank 0, like scores) - the same observability surface BcResult has,
   /// feeding the unified api::Result.
   PhaseTimer phases;
-  mpisim::CommVolume comm_volume;
+  comm::CommVolume comm_volume;
   /// Engine configuration the run actually used (after autotuning).
   engine::EngineOptions engine_used;
+  /// The comm substrate the run executed on (comm::substrate_name value).
+  std::string substrate_used;
 
   [[nodiscard]] std::vector<graph::Vertex> top_k(std::size_t k) const;
 };
@@ -154,12 +157,12 @@ struct ClosenessResult {
 /// Per-rank driver (result valid at world rank 0); connected graphs only.
 [[nodiscard]] ClosenessResult closeness_rank(const graph::Graph& graph,
                                              const ClosenessParams& params,
-                                             mpisim::Comm& world);
+                                             comm::Substrate& world);
 
 [[nodiscard]] ClosenessResult closeness_mpi(const graph::Graph& graph,
                                             const ClosenessParams& params,
                                             int num_ranks,
                                             int ranks_per_node = 1,
-                                            mpisim::NetworkModel network = {});
+                                            comm::NetworkModel network = {});
 
 }  // namespace distbc::adaptive

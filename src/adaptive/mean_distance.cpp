@@ -58,7 +58,7 @@ class DistanceSampler {
 
 MeanDistanceResult mean_distance_rank(const graph::Graph& graph,
                                       const MeanDistanceParams& params,
-                                      mpisim::Comm& world) {
+                                      comm::Substrate& world) {
   DISTBC_ASSERT(graph.num_vertices() >= 2);
   const bool is_root = world.rank() == 0;
 
@@ -108,6 +108,7 @@ MeanDistanceResult mean_distance_rank(const graph::Graph& graph,
   result.range = range;
   result.total_seconds = driver_result.total_seconds;
   result.engine_used = engine_options;
+  result.substrate_used = world.name();
   if (is_root) {
     result.phases = driver_result.phases;
     result.comm_volume = driver_result.comm_volume;
@@ -124,7 +125,7 @@ MeanDistanceResult mean_distance_rank(const graph::Graph& graph,
 MeanDistanceResult mean_distance_mpi(const graph::Graph& graph,
                                      const MeanDistanceParams& params,
                                      int num_ranks, int ranks_per_node,
-                                     mpisim::NetworkModel network) {
+                                     comm::NetworkModel network) {
   // Compatibility layer: one-shot api::Session owning the cluster
   // lifecycle; the session binds the caller's graph without copying it.
   api::Config config;

@@ -18,12 +18,13 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "comm/substrate.hpp"
 #include "engine/engine.hpp"
 #include "epoch/frame_codec.hpp"
 #include "graph/graph.hpp"
-#include "mpisim/runtime.hpp"
 #include "support/timer.hpp"
 
 namespace distbc::tune {
@@ -119,9 +120,11 @@ struct MeanDistanceResult {
   /// rank 0) - the same observability surface BcResult has, feeding the
   /// unified api::Result.
   PhaseTimer phases;
-  mpisim::CommVolume comm_volume;
+  comm::CommVolume comm_volume;
   /// Engine configuration the run actually used (after autotuning).
   engine::EngineOptions engine_used;
+  /// The comm substrate the run executed on (comm::substrate_name value).
+  std::string substrate_used;
 };
 
 /// Empirical-Bernstein half-width; exposed for tests.
@@ -132,11 +135,11 @@ struct MeanDistanceResult {
 /// Result fields are valid at world rank 0. Requires a connected graph.
 [[nodiscard]] MeanDistanceResult mean_distance_rank(
     const graph::Graph& graph, const MeanDistanceParams& params,
-    mpisim::Comm& world);
+    comm::Substrate& world);
 
 /// Convenience wrapper over a fresh simulated cluster.
 [[nodiscard]] MeanDistanceResult mean_distance_mpi(
     const graph::Graph& graph, const MeanDistanceParams& params,
-    int num_ranks, int ranks_per_node = 1, mpisim::NetworkModel network = {});
+    int num_ranks, int ranks_per_node = 1, comm::NetworkModel network = {});
 
 }  // namespace distbc::adaptive

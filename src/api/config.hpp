@@ -32,8 +32,8 @@
 #include <vector>
 
 #include "api/status.hpp"
+#include "comm/substrate.hpp"
 #include "engine/engine.hpp"
-#include "mpisim/network.hpp"
 
 namespace distbc::tune {
 struct TuningProfile;  // tune/tuner.hpp
@@ -77,6 +77,15 @@ struct Config {
   /// bitwise identical for every value.
   int sample_batch = 1;
 
+  // --- Communication substrate --------------------------------------------
+  /// Which comm::Substrate backend the session's collectives execute on:
+  /// kMpisim (the paper's simulated-MPI transport) or kNcclsim (a modeled
+  /// NCCL-style backend: NVLink-like intra-node and IB-like inter-node
+  /// links, ring all-reduce pricing, kernel-launch latency, device-side
+  /// progress). Deterministic-mode scores are bitwise identical across
+  /// substrates; only the modeled clock and link economics differ.
+  comm::SubstrateKind comm_substrate = comm::SubstrateKind::kMpisim;
+
   // --- Sampling / statistics knobs ----------------------------------------
   std::uint64_t seed = 0x5eed;
   bool exact_diameter = true;     // iFUB vs 2-approximation in phase 1
@@ -114,7 +123,10 @@ struct Config {
   std::uint64_t service_warm_store_max_entries = 0;
 
   // --- Typed-only fields (programmatic, not in the key table) -------------
-  mpisim::NetworkModel network{};
+  /// Link economics of the modeled cluster. The substrate profile
+  /// (network_model_for) is applied on top of this at Session
+  /// construction when comm_substrate != kMpisim.
+  comm::NetworkModel network{};
   /// A pre-captured tuning profile; takes precedence over `tune_profile`.
   std::shared_ptr<const tune::TuningProfile> profile;
 

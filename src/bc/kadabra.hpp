@@ -27,7 +27,6 @@
 #include "bc/result.hpp"
 #include "engine/engine.hpp"
 #include "graph/graph.hpp"
-#include "mpisim/runtime.hpp"
 
 namespace distbc::tune {
 struct TuningProfile;  // tune/tuner.hpp
@@ -116,7 +115,7 @@ struct KadabraOptions {
 /// world rank 0; other ranks carry local timing and work counts.
 [[nodiscard]] BcResult kadabra_run(const graph::Graph& graph,
                                    const KadabraOptions& options,
-                                   mpisim::Comm* world);
+                                   comm::Substrate* world);
 
 /// Sequential reference configuration (1 rank x 1 thread, no comm).
 [[nodiscard]] BcResult kadabra_sequential(const graph::Graph& graph,
@@ -126,17 +125,17 @@ struct KadabraOptions {
 [[nodiscard]] BcResult kadabra_shm(const graph::Graph& graph,
                                    const KadabraOptions& options);
 
-/// Per-rank MPI driver; call from inside mpisim::Runtime::run() on every
-/// rank.
+/// Per-rank MPI driver; call from inside Runtime::run on every rank, after
+/// wrapping the rank's communicator in a substrate (comm::make_substrate).
 [[nodiscard]] BcResult kadabra_mpi_rank(const graph::Graph& graph,
                                         const KadabraOptions& options,
-                                        mpisim::Comm& world);
+                                        comm::Substrate& world);
 
 /// Convenience wrapper: spins up a simulated cluster of `num_ranks` ranks
 /// (`ranks_per_node` per node) and returns rank zero's result.
 [[nodiscard]] BcResult kadabra_mpi(const graph::Graph& graph,
                                    const KadabraOptions& options,
                                    int num_ranks, int ranks_per_node = 1,
-                                   mpisim::NetworkModel network = {});
+                                   comm::NetworkModel network = {});
 
 }  // namespace distbc::bc

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bc/sampler.hpp"
+#include "mpisim/runtime.hpp"
 #include "engine/streams.hpp"
 #include "epoch/sparse_frame.hpp"
 #include "epoch/state_frame.hpp"
@@ -20,14 +21,14 @@ namespace {
 /// representation: flat elementwise reduce for StateFrame, delta images
 /// via reduce_merge for SparseFrame (the same wire formats the epoch
 /// engine uses, minus every overlap trick - this is the baseline).
-void round_reduce(mpisim::Comm& world, const epoch::StateFrame& local,
+void round_reduce(comm::Substrate& world, const epoch::StateFrame& local,
                   epoch::StateFrame& round_agg, epoch::FrameRep /*rep*/,
                   std::vector<std::uint64_t>& /*scratch*/) {
   world.reduce(std::span<const std::uint64_t>(local.raw()), round_agg.raw(),
                0);
 }
 
-void round_reduce(mpisim::Comm& world, const epoch::SparseFrame& local,
+void round_reduce(comm::Substrate& world, const epoch::SparseFrame& local,
                   epoch::SparseFrame& round_agg, epoch::FrameRep rep,
                   std::vector<std::uint64_t>& scratch) {
   scratch.clear();
@@ -43,7 +44,7 @@ void round_reduce(mpisim::Comm& world, const epoch::SparseFrame& local,
 template <typename Frame>
 BcResult lockstep_frames(const graph::Graph& graph,
                          const LockstepOptions& options,
-                         mpisim::Comm& world) {
+                         comm::Substrate& world) {
   WallTimer total_timer;
   PhaseTimer phases;
   BcResult result;
@@ -167,7 +168,8 @@ BcResult lockstep_frames(const graph::Graph& graph,
     result.samples_attempted = world_taken;
     result.omega = context.omega;
     result.vertex_diameter = vd;
-    result.comm_volume = world.stats().volume();
+    result.comm_volume = world.volume();
+    result.substrate_used = world.name();
     result.comm_bytes = result.comm_volume.total();
     result.phases = phases;
   } else {
@@ -181,7 +183,7 @@ BcResult lockstep_frames(const graph::Graph& graph,
 
 BcResult lockstep_mpi_rank(const graph::Graph& graph,
                            const LockstepOptions& options,
-                           mpisim::Comm& world) {
+                           comm::Substrate& world) {
   DISTBC_ASSERT(options.threads_per_rank >= 1);
   return options.frame_rep == epoch::FrameRep::kDense
              ? lockstep_frames<epoch::StateFrame>(graph, options, world)
@@ -190,7 +192,7 @@ BcResult lockstep_mpi_rank(const graph::Graph& graph,
 
 BcResult lockstep_mpi(const graph::Graph& graph,
                       const LockstepOptions& options, int num_ranks,
-                      int ranks_per_node, mpisim::NetworkModel network) {
+                      int ranks_per_node, comm::NetworkModel network) {
   mpisim::RuntimeConfig config;
   config.num_ranks = num_ranks;
   config.ranks_per_node = ranks_per_node;
@@ -199,9 +201,11 @@ BcResult lockstep_mpi(const graph::Graph& graph,
 
   BcResult root_result;
   std::mutex result_mu;
-  runtime.run([&](mpisim::Comm& world) {
-    BcResult local = lockstep_mpi_rank(graph, options, world);
-    if (world.rank() == 0) {
+  runtime.run([&](auto& rank_comm) {
+    const auto substrate = comm::make_substrate(
+        comm::SubstrateKind::kMpisim, rank_comm);
+    BcResult local = lockstep_mpi_rank(graph, options, *substrate);
+    if (substrate->rank() == 0) {
       std::lock_guard lock(result_mu);
       root_result = std::move(local);
     }

@@ -1,0 +1,631 @@
+// Substrate-neutral communication API (the engine's transport seam).
+//
+// comm::Substrate declares the collective surface the epoch engine
+// actually uses - blocking/non-blocking reductions, the variable-length
+// merge family (flat, radix-tree, decentralized all-merge), gathers,
+// broadcasts, barriers, the window hook the hierarchical pre-reduction
+// rides, and the stats snapshot - so the engine, drivers, and tuner speak
+// one interface while the transport behind it is pluggable:
+//
+//   * MpisimSubstrate  - the simulated MPI stack (mpisim's slot protocol
+//     and interconnect model), the paper's CPU/OmniPath setting;
+//   * NcclSimSubstrate - a modeled NCCL-style GPU collective stack:
+//     NVLink-like intra-node and IB-like inter-node links, ring
+//     all-reduce pricing, no Ireduce progression penalty (a device-side
+//     progress engine), but a kernel-launch latency on every collective.
+//
+// Both backends share mpisim's slot data plane, so the deterministic
+// rank-order merge replay is common code and deterministic scores are
+// bitwise identical across substrates - only the cost model (and hence
+// modeled time, overlap behavior, and tuner-visible economics) differs.
+// This is the library axis of the CommBench library x pattern matrix
+// (bench/commbench_matrix.cpp); adding a real transport means deriving
+// from Substrate, implementing the byte-level do_* plane, and teaching
+// substrate_from_name/make_substrate about the new kind.
+//
+// The typed template methods mirror mpisim::Comm's documented semantics
+// verbatim (eager sends, slot matching by per-handle call order, merge
+// callables run under the communicator lock); see mpisim/comm.hpp for
+// the full contracts.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mpisim/comm.hpp"
+#include "support/assert.hpp"
+
+namespace distbc::comm {
+
+// The wire-level vocabulary is shared with mpisim so results, stats, and
+// request handles flow through unchanged regardless of backend.
+using Request = mpisim::Request;
+using ReduceOp = mpisim::ReduceOp;
+using CommStats = mpisim::CommStats;
+using CommVolume = mpisim::CommVolume;
+using NetworkModel = mpisim::NetworkModel;
+
+/// The selectable backends (api::Config key `comm_substrate`, env
+/// `DISTBC_COMM_SUBSTRATE`).
+enum class SubstrateKind : std::uint8_t { kMpisim, kNcclsim };
+
+[[nodiscard]] const char* substrate_name(SubstrateKind kind);
+[[nodiscard]] std::optional<SubstrateKind> substrate_from_name(
+    std::string_view name);
+
+/// The interconnect model a substrate kind runs on, derived from `base`:
+/// kMpisim returns base unchanged; kNcclsim swaps in NVLink-like local and
+/// IB-like remote link parameters, ring all-reduce pricing, a per-
+/// collective kernel-launch latency, and an ideal progress engine (no
+/// Ireduce progression penalty, free polls), while keeping base's master
+/// switch and dedicated-core economics.
+[[nodiscard]] NetworkModel network_model_for(SubstrateKind kind,
+                                             const NetworkModel& base);
+
+class Substrate {
+ public:
+  virtual ~Substrate() = default;
+
+  // --- Identity ---------------------------------------------------------
+
+  [[nodiscard]] virtual SubstrateKind kind() const = 0;
+  [[nodiscard]] const char* name() const { return substrate_name(kind()); }
+  [[nodiscard]] virtual bool valid() const = 0;
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+  [[nodiscard]] virtual int node() const = 0;
+  [[nodiscard]] virtual int num_nodes() const = 0;
+  [[nodiscard]] virtual int max_ranks_per_node() const = 0;
+
+  // --- Telemetry --------------------------------------------------------
+
+  [[nodiscard]] virtual CommStats& stats() = 0;
+  [[nodiscard]] virtual const NetworkModel& network() const = 0;
+  [[nodiscard]] virtual double modeled_collective_seconds(
+      std::uint64_t bytes) const = 0;
+
+  /// Stats snapshot stamped with this substrate's name, so results and
+  /// bench JSON attribute the bytes to the transport that moved them.
+  [[nodiscard]] CommVolume volume() {
+    CommVolume v = stats().volume();
+    v.substrate = name();
+    return v;
+  }
+
+  // --- Topology ---------------------------------------------------------
+
+  /// Child substrate over the ranks sharing this rank's node. Same
+  /// backend kind; always valid.
+  [[nodiscard]] virtual std::unique_ptr<Substrate> split_by_node() = 0;
+
+  /// Child substrate over the first rank of each node; non-leaders
+  /// receive an invalid (valid() == false) substrate.
+  [[nodiscard]] virtual std::unique_ptr<Substrate> split_node_leaders() = 0;
+
+  /// Window pre-reduce hook (paper §IV-E): creates or attaches to a
+  /// node-shared window of `bytes` zeroed bytes. Collective; all ranks
+  /// receive the same state. Used by comm::Window.
+  [[nodiscard]] virtual std::shared_ptr<mpisim::detail::WindowState>
+  window_collective(std::size_t bytes) = 0;
+
+  // --- Collectives (typed facade over the byte-level do_* plane) --------
+
+  virtual void barrier() = 0;
+  [[nodiscard]] virtual Request ibarrier() = 0;
+
+  template <typename T>
+  void reduce(std::span<const T> send, std::span<T> recv, int root,
+              ReduceOp op = ReduceOp::kSum) {
+    DISTBC_ASSERT(rank() != root || recv.size() == send.size());
+    do_reduce(as_bytes(send.data()), send.size() * sizeof(T), send.size(),
+              as_bytes_mut(recv.data()), mpisim::detail::combine_fn<T>(op),
+              root, /*blocking=*/true);
+  }
+
+  template <typename T>
+  [[nodiscard]] Request ireduce(std::span<const T> send, std::span<T> recv,
+                                int root, ReduceOp op = ReduceOp::kSum) {
+    DISTBC_ASSERT(rank() != root || recv.size() == send.size());
+    return do_ireduce(as_bytes(send.data()), send.size() * sizeof(T),
+                      send.size(), as_bytes_mut(recv.data()),
+                      mpisim::detail::combine_fn<T>(op), root);
+  }
+
+  template <typename T>
+  void allreduce(std::span<const T> send, std::span<T> recv,
+                 ReduceOp op = ReduceOp::kSum) {
+    DISTBC_ASSERT(recv.size() == send.size());
+    do_allreduce(as_bytes(send.data()), send.size() * sizeof(T), send.size(),
+                 as_bytes_mut(recv.data()),
+                 mpisim::detail::combine_fn<T>(op));
+  }
+
+  template <typename T>
+  [[nodiscard]] Request iallreduce(std::span<const T> send, std::span<T> recv,
+                                   ReduceOp op = ReduceOp::kSum) {
+    DISTBC_ASSERT(recv.size() == send.size());
+    return do_iallreduce(as_bytes(send.data()), send.size() * sizeof(T),
+                         send.size(), as_bytes_mut(recv.data()),
+                         mpisim::detail::combine_fn<T>(op));
+  }
+
+  template <typename T>
+  void reduce_scatter(std::span<const T> send, std::span<T> recv,
+                      ReduceOp op = ReduceOp::kSum) {
+    DISTBC_ASSERT(send.size() ==
+                  recv.size() * static_cast<std::size_t>(size()));
+    do_reduce_scatter(as_bytes(send.data()), send.size() * sizeof(T),
+                      send.size(), as_bytes_mut(recv.data()),
+                      mpisim::detail::combine_fn<T>(op));
+  }
+
+  template <typename T>
+  void all_gather(std::span<const T> send, std::span<T> recv) {
+    DISTBC_ASSERT(recv.size() ==
+                  send.size() * static_cast<std::size_t>(size()));
+    do_all_gather(as_bytes(send.data()), send.size() * sizeof(T),
+                  as_bytes_mut(recv.data()));
+  }
+
+  template <typename T>
+  void bcast(std::span<T> buffer, int root) {
+    do_bcast(as_bytes_mut(buffer.data()), buffer.size() * sizeof(T), root,
+             /*blocking=*/true);
+  }
+
+  template <typename T>
+  [[nodiscard]] Request ibcast(std::span<T> buffer, int root) {
+    return do_ibcast(as_bytes_mut(buffer.data()), buffer.size() * sizeof(T),
+                     root);
+  }
+
+  template <typename T, typename MergeFn>
+  void reduce_merge(std::span<const T> send, MergeFn&& merge, int root) {
+    do_mergev(mpisim::detail::SlotKind::kReduceMerge, as_bytes(send.data()),
+              send.size() * sizeof(T),
+              erase_merge<T>(std::forward<MergeFn>(merge), root), root);
+  }
+
+  template <typename T, typename MergeFn>
+  [[nodiscard]] Request ireduce_merge(std::span<const T> send,
+                                      MergeFn&& merge, int root) {
+    return do_imergev(mpisim::detail::SlotKind::kReduceMerge,
+                      as_bytes(send.data()), send.size() * sizeof(T),
+                      erase_merge<T>(std::forward<MergeFn>(merge), root),
+                      root);
+  }
+
+  template <typename T, typename MergeFn>
+  void allreduce_merge(std::span<const T> send, MergeFn&& merge) {
+    do_allmerge(as_bytes(send.data()), send.size() * sizeof(T),
+                erase_merge_all<T>(std::forward<MergeFn>(merge)));
+  }
+
+  template <typename T, typename MergeFn>
+  [[nodiscard]] Request iallreduce_merge(std::span<const T> send,
+                                         MergeFn&& merge) {
+    return do_iallmerge(as_bytes(send.data()), send.size() * sizeof(T),
+                        erase_merge_all<T>(std::forward<MergeFn>(merge)));
+  }
+
+  template <typename T, typename CombineFn, typename MergeFn>
+  void reduce_merge_tree(std::span<const T> send, CombineFn&& combine,
+                         MergeFn&& merge, int root, int radix) {
+    do_tree(as_bytes(send.data()), send.size() * sizeof(T),
+            erase_combine<T>(std::forward<CombineFn>(combine)),
+            erase_merge<T>(std::forward<MergeFn>(merge), root), root, radix);
+  }
+
+  template <typename T, typename CombineFn, typename MergeFn>
+  [[nodiscard]] Request ireduce_merge_tree(std::span<const T> send,
+                                           CombineFn&& combine,
+                                           MergeFn&& merge, int root,
+                                           int radix) {
+    return do_itree(as_bytes(send.data()), send.size() * sizeof(T),
+                    erase_combine<T>(std::forward<CombineFn>(combine)),
+                    erase_merge<T>(std::forward<MergeFn>(merge), root), root,
+                    radix);
+  }
+
+  template <typename T>
+  void gatherv(std::span<const T> send, std::vector<std::vector<T>>& recv,
+               int root) {
+    do_mergev(mpisim::detail::SlotKind::kGatherv, as_bytes(send.data()),
+              send.size() * sizeof(T), erase_gather<T>(recv, root), root);
+  }
+
+  template <typename T>
+  [[nodiscard]] Request igatherv(std::span<const T> send,
+                                 std::vector<std::vector<T>>& recv,
+                                 int root) {
+    return do_imergev(mpisim::detail::SlotKind::kGatherv,
+                      as_bytes(send.data()), send.size() * sizeof(T),
+                      erase_gather<T>(recv, root), root);
+  }
+
+ protected:
+  // Byte-level data plane a backend implements. Signatures mirror
+  // mpisim::Comm's byte layer; the typed facade above erases types once
+  // and every backend shares that code.
+  virtual void do_reduce(const std::byte* send, std::size_t bytes,
+                         std::size_t count, std::byte* recv,
+                         mpisim::detail::CombineFn combine, int root,
+                         bool blocking) = 0;
+  virtual Request do_ireduce(const std::byte* send, std::size_t bytes,
+                             std::size_t count, std::byte* recv,
+                             mpisim::detail::CombineFn combine, int root) = 0;
+  virtual void do_allreduce(const std::byte* send, std::size_t bytes,
+                            std::size_t count, std::byte* recv,
+                            mpisim::detail::CombineFn combine) = 0;
+  virtual Request do_iallreduce(const std::byte* send, std::size_t bytes,
+                                std::size_t count, std::byte* recv,
+                                mpisim::detail::CombineFn combine) = 0;
+  virtual void do_reduce_scatter(const std::byte* send, std::size_t bytes,
+                                 std::size_t count, std::byte* recv,
+                                 mpisim::detail::CombineFn combine) = 0;
+  virtual void do_all_gather(const std::byte* send, std::size_t bytes,
+                             std::byte* recv) = 0;
+  virtual void do_mergev(mpisim::detail::SlotKind slot_kind,
+                         const std::byte* send, std::size_t bytes,
+                         mpisim::detail::MergeBytesFn merge, int root) = 0;
+  virtual Request do_imergev(mpisim::detail::SlotKind slot_kind,
+                             const std::byte* send, std::size_t bytes,
+                             mpisim::detail::MergeBytesFn merge,
+                             int root) = 0;
+  virtual void do_allmerge(const std::byte* send, std::size_t bytes,
+                           mpisim::detail::MergeBytesFn merge) = 0;
+  virtual Request do_iallmerge(const std::byte* send, std::size_t bytes,
+                               mpisim::detail::MergeBytesFn merge) = 0;
+  virtual void do_tree(const std::byte* send, std::size_t bytes,
+                       mpisim::detail::CombineImagesFn combine,
+                       mpisim::detail::MergeBytesFn merge, int root,
+                       int radix) = 0;
+  virtual Request do_itree(const std::byte* send, std::size_t bytes,
+                           mpisim::detail::CombineImagesFn combine,
+                           mpisim::detail::MergeBytesFn merge, int root,
+                           int radix) = 0;
+  virtual void do_bcast(std::byte* buffer, std::size_t bytes, int root,
+                        bool blocking) = 0;
+  virtual Request do_ibcast(std::byte* buffer, std::size_t bytes,
+                            int root) = 0;
+
+  static const std::byte* as_bytes(const void* p) {
+    return static_cast<const std::byte*>(p);
+  }
+  static std::byte* as_bytes_mut(void* p) {
+    return static_cast<std::byte*>(p);
+  }
+
+  // Type-erasure helpers shared by every backend (ported from mpisim's
+  // typed layer; they depend only on rank()/size()).
+
+  template <typename T, typename MergeFn>
+  mpisim::detail::MergeBytesFn erase_merge(MergeFn&& merge, int root) {
+    if (rank() != root) return {};
+    return [m = std::forward<MergeFn>(merge)](int src, const std::byte* data,
+                                              std::size_t bytes) mutable {
+      m(src, std::span<const T>(reinterpret_cast<const T*>(data),
+                                bytes / sizeof(T)));
+    };
+  }
+
+  template <typename T, typename MergeFn>
+  mpisim::detail::MergeBytesFn erase_merge_all(MergeFn&& merge) {
+    return [m = std::forward<MergeFn>(merge)](int src, const std::byte* data,
+                                              std::size_t bytes) mutable {
+      m(src, std::span<const T>(reinterpret_cast<const T*>(data),
+                                bytes / sizeof(T)));
+    };
+  }
+
+  template <typename T>
+  mpisim::detail::MergeBytesFn erase_gather(std::vector<std::vector<T>>& recv,
+                                            int root) {
+    if (rank() != root) return {};
+    recv.assign(static_cast<std::size_t>(size()), {});
+    return [&recv](int src, const std::byte* data, std::size_t bytes) {
+      const T* typed = reinterpret_cast<const T*>(data);
+      recv[static_cast<std::size_t>(src)].assign(typed,
+                                                 typed + bytes / sizeof(T));
+    };
+  }
+
+  template <typename T, typename CombineFn>
+  mpisim::detail::CombineImagesFn erase_combine(CombineFn&& combine) {
+    return [c = std::forward<CombineFn>(combine), words = std::vector<T>()](
+               std::vector<std::byte>& acc, const std::byte* in,
+               std::size_t bytes) mutable {
+      const T* acc_typed = reinterpret_cast<const T*>(acc.data());
+      words.assign(acc_typed, acc_typed + acc.size() / sizeof(T));
+      c(words, std::span<const T>(reinterpret_cast<const T*>(in),
+                                  bytes / sizeof(T)));
+      const auto* out = reinterpret_cast<const std::byte*>(words.data());
+      acc.assign(out, out + words.size() * sizeof(T));
+    };
+  }
+};
+
+/// The simulated-MPI backend: a thin forwarding shell over one
+/// mpisim::Comm handle (which carries the per-handle collective call
+/// counter, so all of a rank's traffic must flow through one substrate).
+class MpisimSubstrate : public Substrate {
+ public:
+  explicit MpisimSubstrate(mpisim::Comm comm) : comm_(std::move(comm)) {}
+
+  [[nodiscard]] SubstrateKind kind() const override {
+    return SubstrateKind::kMpisim;
+  }
+  [[nodiscard]] bool valid() const override { return comm_.valid(); }
+  [[nodiscard]] int rank() const override { return comm_.rank(); }
+  [[nodiscard]] int size() const override { return comm_.size(); }
+  [[nodiscard]] int node() const override { return comm_.node(); }
+  [[nodiscard]] int num_nodes() const override { return comm_.num_nodes(); }
+  [[nodiscard]] int max_ranks_per_node() const override {
+    return comm_.max_ranks_per_node();
+  }
+
+  [[nodiscard]] CommStats& stats() override { return comm_.stats(); }
+  [[nodiscard]] const NetworkModel& network() const override {
+    return comm_.network();
+  }
+  [[nodiscard]] double modeled_collective_seconds(
+      std::uint64_t bytes) const override {
+    return comm_.modeled_collective_seconds(bytes);
+  }
+
+  [[nodiscard]] std::unique_ptr<Substrate> split_by_node() override {
+    return wrap(comm_.split_by_node());
+  }
+  [[nodiscard]] std::unique_ptr<Substrate> split_node_leaders() override {
+    return wrap(comm_.split_node_leaders());
+  }
+  [[nodiscard]] std::shared_ptr<mpisim::detail::WindowState>
+  window_collective(std::size_t bytes) override {
+    return comm_.window_collective(bytes);
+  }
+
+  void barrier() override { comm_.barrier(); }
+  [[nodiscard]] Request ibarrier() override { return comm_.ibarrier(); }
+
+  /// The wrapped native handle (tests and interop; library code should
+  /// stay on the Substrate surface).
+  [[nodiscard]] mpisim::Comm& native() { return comm_; }
+
+ protected:
+  /// Rewraps a child communicator in this backend's kind, so topology
+  /// splits preserve the derived substrate.
+  [[nodiscard]] virtual std::unique_ptr<Substrate> wrap(mpisim::Comm child) {
+    return std::make_unique<MpisimSubstrate>(std::move(child));
+  }
+
+  void do_reduce(const std::byte* send, std::size_t bytes, std::size_t count,
+                 std::byte* recv, mpisim::detail::CombineFn combine, int root,
+                 bool blocking) override {
+    comm_.reduce_bytes_impl(send, bytes, count, recv, combine, root,
+                            blocking);
+  }
+  Request do_ireduce(const std::byte* send, std::size_t bytes,
+                     std::size_t count, std::byte* recv,
+                     mpisim::detail::CombineFn combine, int root) override {
+    return comm_.ireduce_bytes_impl(send, bytes, count, recv, combine, root);
+  }
+  void do_allreduce(const std::byte* send, std::size_t bytes,
+                    std::size_t count, std::byte* recv,
+                    mpisim::detail::CombineFn combine) override {
+    comm_.allreduce_bytes_impl(send, bytes, count, recv, combine);
+  }
+  Request do_iallreduce(const std::byte* send, std::size_t bytes,
+                        std::size_t count, std::byte* recv,
+                        mpisim::detail::CombineFn combine) override {
+    return comm_.iallreduce_bytes_impl(send, bytes, count, recv, combine);
+  }
+  void do_reduce_scatter(const std::byte* send, std::size_t bytes,
+                         std::size_t count, std::byte* recv,
+                         mpisim::detail::CombineFn combine) override {
+    comm_.reduce_scatter_bytes_impl(send, bytes, count, recv, combine);
+  }
+  void do_all_gather(const std::byte* send, std::size_t bytes,
+                     std::byte* recv) override {
+    comm_.all_gather_bytes_impl(send, bytes, recv);
+  }
+  void do_mergev(mpisim::detail::SlotKind slot_kind, const std::byte* send,
+                 std::size_t bytes, mpisim::detail::MergeBytesFn merge,
+                 int root) override {
+    comm_.mergev_bytes_impl(slot_kind, send, bytes, std::move(merge), root);
+  }
+  Request do_imergev(mpisim::detail::SlotKind slot_kind,
+                     const std::byte* send, std::size_t bytes,
+                     mpisim::detail::MergeBytesFn merge, int root) override {
+    return comm_.imergev_bytes_impl(slot_kind, send, bytes, std::move(merge),
+                                    root);
+  }
+  void do_allmerge(const std::byte* send, std::size_t bytes,
+                   mpisim::detail::MergeBytesFn merge) override {
+    comm_.allmerge_bytes_impl(send, bytes, std::move(merge));
+  }
+  Request do_iallmerge(const std::byte* send, std::size_t bytes,
+                       mpisim::detail::MergeBytesFn merge) override {
+    return comm_.iallmerge_bytes_impl(send, bytes, std::move(merge));
+  }
+  void do_tree(const std::byte* send, std::size_t bytes,
+               mpisim::detail::CombineImagesFn combine,
+               mpisim::detail::MergeBytesFn merge, int root,
+               int radix) override {
+    comm_.tree_bytes_impl(send, bytes, std::move(combine), std::move(merge),
+                          root, radix);
+  }
+  Request do_itree(const std::byte* send, std::size_t bytes,
+                   mpisim::detail::CombineImagesFn combine,
+                   mpisim::detail::MergeBytesFn merge, int root,
+                   int radix) override {
+    return comm_.itree_bytes_impl(send, bytes, std::move(combine),
+                                  std::move(merge), root, radix);
+  }
+  void do_bcast(std::byte* buffer, std::size_t bytes, int root,
+                bool blocking) override {
+    comm_.bcast_bytes_impl(buffer, bytes, root, blocking);
+  }
+  Request do_ibcast(std::byte* buffer, std::size_t bytes, int root) override {
+    return comm_.ibcast_bytes_impl(buffer, bytes, root);
+  }
+
+ private:
+  mpisim::Comm comm_;
+};
+
+/// The modeled NCCL-style backend. Shares mpisim's slot data plane (the
+/// deterministic rank-order merge replay is literally the same code), so
+/// deterministic scores are bitwise identical to MpisimSubstrate; the
+/// NCCL economics live in the NetworkModel the owning runtime was built
+/// with - pair this class with network_model_for(kNcclsim, base).
+class NcclSimSubstrate : public MpisimSubstrate {
+ public:
+  using MpisimSubstrate::MpisimSubstrate;
+
+  [[nodiscard]] SubstrateKind kind() const override {
+    return SubstrateKind::kNcclsim;
+  }
+
+ protected:
+  [[nodiscard]] std::unique_ptr<Substrate> wrap(mpisim::Comm child) override {
+    return std::make_unique<NcclSimSubstrate>(std::move(child));
+  }
+};
+
+/// Wraps a per-rank native communicator in the selected backend. Call
+/// once per rank before any traffic and route everything through the
+/// result: the handle carries the collective call counter that matches
+/// slots across ranks.
+[[nodiscard]] std::unique_ptr<Substrate> make_substrate(SubstrateKind kind,
+                                                        mpisim::Comm comm);
+
+/// RMA-style shared window over a Substrate: the node-local pre-reduction
+/// surface (paper §IV-E). Port of mpisim::Window onto the substrate seam;
+/// traffic is charged to the owning substrate's stats.
+template <typename T>
+class Window {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// Collective over `substrate`: every rank must construct the window
+  /// with the same element count. Contents start zeroed.
+  Window(Substrate& substrate, std::size_t count)
+      : substrate_(&substrate),
+        count_(count),
+        state_(substrate.window_collective(count * sizeof(T))) {
+    std::lock_guard lock(state_->mu);
+    state_->touched_bits.resize((count + 63) / 64, 0);
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Passive-target accumulate: atomically (under the window lock) adds
+  /// `values` elementwise into the window. The touched union becomes the
+  /// whole window (read_touched_pairs falls back to the dense read).
+  void accumulate(std::span<const T> values) {
+    DISTBC_ASSERT(values.size() == count_);
+    std::lock_guard lock(state_->mu);
+    T* data = reinterpret_cast<T*>(state_->data.data());
+    for (std::size_t i = 0; i < count_; ++i) data[i] += values[i];
+    state_->dense_touched = true;
+    substrate_->stats().p2p_messages.fetch_add(1, std::memory_order_relaxed);
+    substrate_->stats().p2p_bytes.fetch_add(values.size_bytes(),
+                                            std::memory_order_relaxed);
+  }
+
+  /// Passive-target scatter-accumulate of flat (index, delta) pairs - the
+  /// sparse-frame path of the pre-reduction, moving O(nonzeros).
+  void accumulate_pairs(std::span<const T> pairs) {
+    DISTBC_ASSERT(pairs.size() % 2 == 0);
+    std::lock_guard lock(state_->mu);
+    T* data = reinterpret_cast<T*>(state_->data.data());
+    for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+      const auto index = static_cast<std::size_t>(pairs[i]);
+      DISTBC_ASSERT(index < count_);
+      data[index] += pairs[i + 1];
+      state_->touched_bits[index / 64] |= std::uint64_t{1} << (index % 64);
+    }
+    substrate_->stats().p2p_messages.fetch_add(1, std::memory_order_relaxed);
+    substrate_->stats().p2p_bytes.fetch_add(pairs.size_bytes(),
+                                            std::memory_order_relaxed);
+  }
+
+  /// Windowed read-back: appends (index, value) pairs (ascending indices,
+  /// nonzero values only) for every slot touched since the last clear.
+  /// Returns false without touching `pairs` when a dense accumulate made
+  /// the union the whole window; callers then pay the O(V) read().
+  [[nodiscard]] bool read_touched_pairs(std::vector<T>& pairs) const {
+    std::lock_guard lock(state_->mu);
+    if (state_->dense_touched) return false;
+    const T* data = reinterpret_cast<const T*>(state_->data.data());
+    for (std::size_t w = 0; w < state_->touched_bits.size(); ++w) {
+      std::uint64_t bits = state_->touched_bits[w];
+      while (bits != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::size_t index = w * 64 + bit;
+        if (data[index] == 0) continue;  // deltas may cancel to zero
+        pairs.push_back(static_cast<T>(index));
+        pairs.push_back(data[index]);
+      }
+    }
+    return true;
+  }
+
+  /// Zeroes only the touched slots and resets the tracking (O(touched);
+  /// falls back to the full sweep after a dense accumulate).
+  void clear_touched() {
+    std::lock_guard lock(state_->mu);
+    if (state_->dense_touched) {
+      std::fill(state_->data.begin(), state_->data.end(), std::byte{0});
+      state_->dense_touched = false;
+    } else {
+      T* data = reinterpret_cast<T*>(state_->data.data());
+      for (std::size_t w = 0; w < state_->touched_bits.size(); ++w) {
+        std::uint64_t bits = state_->touched_bits[w];
+        while (bits != 0) {
+          const auto bit = static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          data[w * 64 + bit] = 0;
+        }
+      }
+    }
+    std::fill(state_->touched_bits.begin(), state_->touched_bits.end(), 0);
+  }
+
+  /// Copies the window contents into `out` under the window lock.
+  void read(std::span<T> out) const {
+    DISTBC_ASSERT(out.size() == count_);
+    std::lock_guard lock(state_->mu);
+    const T* data = reinterpret_cast<const T*>(state_->data.data());
+    std::copy(data, data + count_, out.begin());
+  }
+
+  /// Zeroes the window under the lock (start of a new aggregation round).
+  void clear() {
+    std::lock_guard lock(state_->mu);
+    std::fill(state_->data.begin(), state_->data.end(), std::byte{0});
+    std::fill(state_->touched_bits.begin(), state_->touched_bits.end(), 0);
+    state_->dense_touched = false;
+  }
+
+  /// Synchronization fence: a barrier over the owning substrate.
+  void fence() { substrate_->barrier(); }
+
+ private:
+  Substrate* substrate_;
+  std::size_t count_;
+  std::shared_ptr<mpisim::detail::WindowState> state_;
+};
+
+}  // namespace distbc::comm

@@ -24,8 +24,7 @@
 
 #include "engine/frame_traits.hpp"
 #include "epoch/frame_codec.hpp"
-#include "mpisim/comm.hpp"
-#include "mpisim/window.hpp"
+#include "comm/substrate.hpp"
 
 namespace distbc::engine {
 
@@ -36,10 +35,10 @@ class Hierarchy {
   /// Collective over `world`: splits node-local and node-leader
   /// communicators and creates the shared window of `frame_words` uint64
   /// slots. Must be called by every rank of `world`.
-  void init(mpisim::Comm& world, std::size_t frame_words) {
+  void init(comm::Substrate& world, std::size_t frame_words) {
     local_ = world.split_by_node();
     leader_ = world.split_node_leaders();
-    window_.emplace(local_, frame_words);
+    window_.emplace(*local_, frame_words);
     active_ = true;
   }
 
@@ -69,41 +68,41 @@ class Hierarchy {
   [[nodiscard]] bool pre_reduce(std::span<std::uint64_t> frame) {
     DISTBC_ASSERT(active_);
     window_->accumulate(std::span<const std::uint64_t>(frame));
-    local_.barrier();
-    const bool leader = local_.rank() == 0;
+    local_->barrier();
+    const bool leader = local_->rank() == 0;
     if (leader) {
       window_->read(frame);
       window_->clear();
     }
-    local_.barrier();
+    local_->barrier();
     return leader;
   }
 
   /// The inter-node communicator of the node leaders. Its rank zero is
   /// world rank zero; only valid on node leaders.
-  [[nodiscard]] mpisim::Comm& global() {
-    DISTBC_ASSERT(active_ && leader_.valid());
-    return leader_;
+  [[nodiscard]] comm::Substrate& global() {
+    DISTBC_ASSERT(active_ && leader_->valid());
+    return *leader_;
   }
 
   /// The intra-node communicator (valid on every rank; its rank zero is
   /// the node leader). The downward leg of the two-level path: leaders
   /// redistribute the globally merged aggregate over this communicator so
   /// every rank can evaluate the stopping rule locally.
-  [[nodiscard]] mpisim::Comm& node() {
+  [[nodiscard]] comm::Substrate& node() {
     DISTBC_ASSERT(active_);
-    return local_;
+    return *local_;
   }
 
   /// Payload moved by the hierarchical substrate (window + leader comm).
   [[nodiscard]] std::uint64_t comm_bytes() { return volume().total(); }
 
   /// Per-collective byte breakdown of the hierarchical substrate.
-  [[nodiscard]] mpisim::CommVolume volume() {
-    mpisim::CommVolume bytes;
+  [[nodiscard]] comm::CommVolume volume() {
+    comm::CommVolume bytes;
     if (!active_) return bytes;
-    bytes += local_.stats().volume();
-    if (leader_.valid()) bytes += leader_.stats().volume();
+    bytes += local_->volume();
+    if (leader_->valid()) bytes += leader_->volume();
     return bytes;
   }
 
@@ -118,8 +117,8 @@ class Hierarchy {
     } else {
       window_->accumulate_pairs(image.subspan(2));
     }
-    local_.barrier();
-    const bool leader = local_.rank() == 0;
+    local_->barrier();
+    const bool leader = local_->rank() == 0;
     if (leader) {
       frame.clear();
       // Windowed touched-bitmap read-back: as long as every rank scattered
@@ -142,13 +141,13 @@ class Hierarchy {
         frame.add_dense(scratch_);
       }
     }
-    local_.barrier();
+    local_->barrier();
     return leader;
   }
 
-  mpisim::Comm local_;
-  mpisim::Comm leader_;
-  std::optional<mpisim::Window<std::uint64_t>> window_;
+  std::unique_ptr<comm::Substrate> local_;
+  std::unique_ptr<comm::Substrate> leader_;
+  std::optional<comm::Window<std::uint64_t>> window_;
   std::vector<std::uint64_t> scratch_;  // leader's dense read-back buffer
   std::vector<std::uint64_t> image_;    // per-epoch encode buffer
   bool active_ = false;

@@ -34,7 +34,7 @@ std::chrono::nanoseconds NetworkModel::collective_cost(std::uint64_t bytes,
       local_hops * (local_latency_s + bytes_d / local_bandwidth_bps);
   const double remote =
       remote_hops * (remote_latency_s + bytes_d / remote_bandwidth_bps);
-  return to_ns(local + remote);
+  return to_ns(launch_latency_s + local + remote);
 }
 
 std::chrono::nanoseconds NetworkModel::message_cost(std::uint64_t bytes,
@@ -66,12 +66,27 @@ std::chrono::nanoseconds NetworkModel::butterfly_cost(
                        local_share * bytes_d / local_bandwidth_bps;
   const double remote = remote_hops * remote_latency_s +
                         remote_share * bytes_d / remote_bandwidth_bps;
-  return to_ns(local + remote);
+  return to_ns(launch_latency_s + local + remote);
 }
 
 std::chrono::nanoseconds NetworkModel::allreduce_cost(std::uint64_t bytes,
                                                       int ranks_per_node,
                                                       int num_nodes) const {
+  if (ring_allreduce) {
+    if (!enabled) return std::chrono::nanoseconds::zero();
+    const int total_ranks = ranks_per_node * num_nodes;
+    if (total_ranks <= 1) return to_ns(launch_latency_s);
+    // NCCL ring: reduce-scatter then all-gather, each (P-1) steps moving
+    // B/P per step. The slowest link prices every step, so hop parameters
+    // are remote as soon as the ring crosses a node boundary.
+    const double alpha = num_nodes > 1 ? remote_latency_s : local_latency_s;
+    const double beta =
+        num_nodes > 1 ? remote_bandwidth_bps : local_bandwidth_bps;
+    const double steps = 2.0 * (total_ranks - 1);
+    const double share =
+        steps / total_ranks * static_cast<double>(bytes) / beta;
+    return to_ns(launch_latency_s + steps * alpha + share);
+  }
   return butterfly_cost(bytes, ranks_per_node, num_nodes) +
          butterfly_cost(bytes, ranks_per_node, num_nodes);
 }

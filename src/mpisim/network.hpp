@@ -39,6 +39,15 @@ struct NetworkModel {
   // tree merges serialize this on the completion deadline; non-blocking
   // ones run it inside polls, overlapped with the caller's sampling.
   double combine_bandwidth_bps = 2e9;
+  // Fixed per-collective startup charge, independent of payload and hop
+  // count. Zero for a CPU MPI stack; an NCCL-style substrate pays a
+  // kernel-launch latency before any data moves.
+  double launch_latency_s = 0.0;
+  // Price all-reduces as a flat ring instead of butterfly halving +
+  // doubling: 2(P-1) alpha steps and a 2(P-1)/P byte share, the NCCL
+  // ring schedule. Hop parameters are remote when the communicator spans
+  // nodes, local otherwise.
+  bool ring_allreduce = false;
   // Master switch; disabled means zero-cost transport (useful in unit
   // tests that check semantics rather than timing).
   bool enabled = true;

@@ -35,6 +35,14 @@ void append_kv(std::string& out, const std::string& key, int value) {
   out += buffer;
 }
 
+void append_kv(std::string& out, const std::string& key,
+               std::string_view value) {
+  out += key;
+  out += " = ";
+  out += value;
+  out += '\n';
+}
+
 }  // namespace
 
 std::string TuningProfile::serialize() const {
@@ -47,6 +55,8 @@ std::string TuningProfile::serialize() const {
   append_kv(out, "work_unit_s", work_unit_s);
   append_kv(out, "tree_radix", tree_radix);
   append_kv(out, "leader_radix", leader_radix);
+  append_kv(out, "comm.substrate",
+            std::string_view(comm::substrate_name(substrate)));
   for (std::size_t p = 0; p < kNumPatterns; ++p) {
     const auto pattern = static_cast<Pattern>(p);
     if (!model.has(pattern)) continue;
@@ -55,11 +65,23 @@ std::string TuningProfile::serialize() const {
     append_kv(out, prefix + ".beta_s_per_byte",
               model.line(pattern).beta_s_per_byte);
   }
+  for (const auto& [key, value] : extras)
+    append_kv(out, key, std::string_view(value));
   return out;
 }
 
 std::optional<TuningProfile> TuningProfile::parse(std::string_view text) {
-  std::map<std::string, double, std::less<>> values;
+  // Values stay raw strings until a known key asks for them: unknown keys
+  // (a newer library's fields, deployment annotations) must survive the
+  // round-trip verbatim instead of being coerced through strtod - the old
+  // behavior silently dropped unknown numeric keys and rejected the whole
+  // file on any non-numeric value.
+  struct RawEntry {
+    std::string key;
+    std::string value;
+    bool consumed = false;
+  };
+  std::vector<RawEntry> raw;
   while (!text.empty()) {
     const std::size_t newline = text.find('\n');
     std::string_view line = text.substr(0, newline);
@@ -72,17 +94,33 @@ std::optional<TuningProfile> TuningProfile::parse(std::string_view text) {
     const std::string_view key = trim(line.substr(0, eq));
     const std::string_view value = trim(line.substr(eq + 1));
     if (key.empty() || value.empty()) return std::nullopt;
-    char* end = nullptr;
-    const std::string value_str(value);
-    const double parsed = std::strtod(value_str.c_str(), &end);
-    if (end == nullptr || *end != '\0') return std::nullopt;
-    values[std::string(key)] = parsed;
+    raw.push_back({std::string(key), std::string(value), false});
   }
 
+  // Duplicate keys keep the old map semantics: the last assignment wins,
+  // and every occurrence of a known key is consumed.
+  const auto consume_str = [&](std::string_view key)
+      -> std::optional<std::string_view> {
+    std::optional<std::string_view> found;
+    for (RawEntry& entry : raw) {
+      if (entry.key != key) continue;
+      entry.consumed = true;
+      found = std::string_view(entry.value);
+    }
+    return found;
+  };
+  bool malformed = false;
   const auto get = [&](std::string_view key) -> std::optional<double> {
-    const auto it = values.find(key);
-    if (it == values.end()) return std::nullopt;
-    return it->second;
+    const auto value = consume_str(key);
+    if (!value) return std::nullopt;
+    char* end = nullptr;
+    const std::string owned(*value);
+    const double parsed = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size()) {
+      malformed = true;  // known numeric key, non-numeric value
+      return std::nullopt;
+    }
+    return parsed;
   };
   const auto version = get("tune.version");
   if (!version || *version != 1.0) return std::nullopt;
@@ -103,6 +141,12 @@ std::optional<TuningProfile> TuningProfile::parse(std::string_view text) {
   // Absent in pre-tree profiles; 0 keeps the structured paths ineligible.
   profile.tree_radix = static_cast<int>(get("tree_radix").value_or(0.0));
   profile.leader_radix = static_cast<int>(get("leader_radix").value_or(0.0));
+  // String-valued known key (absent in pre-substrate profiles = mpisim).
+  if (const auto name = consume_str("comm.substrate")) {
+    const auto kind = comm::substrate_from_name(*name);
+    if (!kind.has_value()) return std::nullopt;
+    profile.substrate = *kind;
+  }
 
   for (std::size_t p = 0; p < kNumPatterns; ++p) {
     const auto pattern = static_cast<Pattern>(p);
@@ -116,6 +160,11 @@ std::optional<TuningProfile> TuningProfile::parse(std::string_view text) {
     line.beta_s_per_byte = *beta;
     line.valid = true;
   }
+  if (malformed) return std::nullopt;
+  for (RawEntry& entry : raw)
+    if (!entry.consumed)
+      profile.extras.emplace_back(std::move(entry.key),
+                                  std::move(entry.value));
   return profile;
 }
 
@@ -144,8 +193,22 @@ TuningProfile capture_profile(const MicrobenchConfig& config) {
   profile.work_unit_s = config.work_unit_s;
   profile.tree_radix = result.tree_radix;
   profile.leader_radix = result.leader_radix;
+  profile.substrate = config.substrate;
   profile.model = CostModel::fit(result);
   return profile;
+}
+
+std::vector<TuningProfile> capture_profiles(
+    const MicrobenchConfig& config,
+    std::span<const comm::SubstrateKind> substrates) {
+  std::vector<TuningProfile> profiles;
+  profiles.reserve(substrates.size());
+  for (const comm::SubstrateKind kind : substrates) {
+    MicrobenchConfig per_substrate = config;
+    per_substrate.substrate = kind;
+    profiles.push_back(capture_profile(per_substrate));
+  }
+  return profiles;
 }
 
 engine::Aggregation pattern_aggregation(Pattern pattern) {

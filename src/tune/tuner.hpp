@@ -34,7 +34,9 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
+#include "comm/substrate.hpp"
 #include "engine/engine.hpp"
 #include "support/timer.hpp"
 #include "tune/cost_model.hpp"
@@ -61,7 +63,14 @@ struct TuningProfile {
   int tree_radix = 0;
   /// Winning radix of the kTwoLevel leader-tree sweep (same contract).
   int leader_radix = 0;
+  /// The comm substrate the microbench arms ran on: a profile prices one
+  /// backend's link economics and is only valid for sessions on it.
+  comm::SubstrateKind substrate = comm::SubstrateKind::kMpisim;
   CostModel model;
+  /// Keys this parser did not recognize, preserved verbatim (in input
+  /// order) and re-emitted by serialize() - a profile written by a newer
+  /// library round-trips through an older one without losing fields.
+  std::vector<std::pair<std::string, std::string>> extras;
 
   /// Serializes to the "key = value" profile text format (one line per
   /// field, '#' comments allowed on parse).
@@ -76,8 +85,17 @@ struct TuningProfile {
 };
 
 /// Runs the microbench for the configured shape and fits the profile -
-/// the one-call capture path.
+/// the one-call capture path. The profile records config.substrate.
 [[nodiscard]] TuningProfile capture_profile(const MicrobenchConfig& config);
+
+/// Captures one profile per substrate on the same cluster shape: the full
+/// CommBench arm sweep re-runs under each backend's link economics
+/// (config.substrate is overridden per capture). Pattern rankings shift
+/// across backends, so a multi-substrate deployment needs one profile
+/// each.
+[[nodiscard]] std::vector<TuningProfile> capture_profiles(
+    const MicrobenchConfig& config,
+    std::span<const comm::SubstrateKind> substrates);
 
 struct TuneRequest {
   /// Flat uint64 words of the workload's epoch frame (the aggregation

@@ -10,8 +10,10 @@
 
 #include "adaptive/mean_distance.hpp"
 #include "bc/kadabra.hpp"
+#include "comm/substrate.hpp"
 #include "engine/engine.hpp"
 #include "engine/streams.hpp"
+#include "mpisim/runtime.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "graph/components.hpp"
 
@@ -60,13 +62,15 @@ TEST(EngineCalibrate, DistributesBudgetExactlyAcrossRanks) {
   config.num_ranks = 3;
   config.network = mpisim::NetworkModel::disabled();
   mpisim::Runtime runtime(config);
-  runtime.run([&](mpisim::Comm& world) {
+  runtime.run([&](auto& rank_comm) {
+    const auto world =
+        comm::make_substrate(comm::SubstrateKind::kMpisim, rank_comm);
     engine::EngineOptions options;
     options.threads_per_rank = 2;
     const CountFrame frame = engine::calibrate(
-        &world, CountFrame{}, [](std::uint64_t) { return CountSampler{}; },
+        world.get(), CountFrame{}, [](std::uint64_t) { return CountSampler{}; },
         /*total_budget=*/1001, options);
-    if (world.rank() == 0) {
+    if (world->rank() == 0) {
       EXPECT_EQ(frame.data[0], 1001u);
     }
   });
@@ -338,7 +342,9 @@ TEST(EngineEquivalence, EveryRankHoldsTheGlobalAggregate) {
   config.network = mpisim::NetworkModel::disabled();
   mpisim::Runtime runtime(config);
   std::vector<std::uint64_t> per_rank(4, 0);
-  runtime.run([&](mpisim::Comm& world) {
+  runtime.run([&](auto& rank_comm) {
+    const auto world =
+        comm::make_substrate(comm::SubstrateKind::kMpisim, rank_comm);
     engine::EngineOptions options;
     options.deterministic = true;
     options.virtual_streams = 4;
@@ -346,10 +352,10 @@ TEST(EngineEquivalence, EveryRankHoldsTheGlobalAggregate) {
     options.epoch_exponent = 0.0;
     options.hierarchical = true;
     const auto result = engine::run_epochs(
-        &world, CountFrame{}, [](std::uint64_t) { return CountSampler{}; },
+        world.get(), CountFrame{}, [](std::uint64_t) { return CountSampler{}; },
         [](const CountFrame& frame) { return frame.data[0] >= 100; },
         options);
-    per_rank[world.rank()] = result.aggregate.data[0];
+    per_rank[world->rank()] = result.aggregate.data[0];
   });
   EXPECT_GE(per_rank[0], 100u);
   for (int r = 1; r < 4; ++r) EXPECT_EQ(per_rank[r], per_rank[0]) << r;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bc/kadabra.hpp"
+#include "comm/substrate.hpp"
 #include "engine/hierarchy.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "graph/components.hpp"
@@ -32,13 +33,15 @@ std::vector<std::uint64_t> hierarchical_total(int num_ranks,
 
   std::vector<std::uint64_t> root_total;
   std::mutex mu;
-  runtime.run([&](mpisim::Comm& world) {
+  runtime.run([&](auto& rank_comm) {
+    const auto world =
+        comm::make_substrate(comm::SubstrateKind::kMpisim, rank_comm);
     engine::Hierarchy hierarchy;
-    hierarchy.init(world, frame_words);
+    hierarchy.init(*world, frame_words);
     ASSERT_TRUE(hierarchy.active());
 
     std::vector<std::uint64_t> frame(
-        frame_words, static_cast<std::uint64_t>(world.rank()) + 1);
+        frame_words, static_cast<std::uint64_t>(world->rank()) + 1);
     const bool leader = hierarchy.pre_reduce(frame);
     // Exactly the leaders join the global reduction; its rank zero is
     // world rank zero.
@@ -46,12 +49,12 @@ std::vector<std::uint64_t> hierarchical_total(int num_ranks,
       std::vector<std::uint64_t> total(frame_words, 0);
       hierarchy.global().reduce(std::span<const std::uint64_t>(frame),
                                 std::span<std::uint64_t>(total), 0);
-      if (world.rank() == 0) {
+      if (world->rank() == 0) {
         std::lock_guard lock(mu);
         root_total = std::move(total);
       }
     } else {
-      EXPECT_FALSE(world.rank() == 0) << "world rank 0 must be a leader";
+      EXPECT_FALSE(world->rank() == 0) << "world rank 0 must be a leader";
     }
   });
   return root_total;
