@@ -207,6 +207,73 @@ Status Session::preload_calibration(
   return Status::success();
 }
 
+// --- Dynamic graphs ---------------------------------------------------------
+
+void Session::ensure_dynamic() {
+  if (dynamic_ != nullptr) return;
+  dynamic::SketchParams sketch;
+  sketch.exact_cap = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(config_.dynamic_sketch_cap, UINT32_MAX));
+  dynamic_ = std::make_shared<dynamic::DynamicState>(graph_, sketch,
+                                                     config_.sample_batch);
+}
+
+void Session::bind_dynamic_state(
+    std::shared_ptr<dynamic::DynamicState> state) {
+  const ThreadGuard guard(*this);
+  DISTBC_ASSERT(state != nullptr);
+  dynamic_ = std::move(state);
+  graph_ = dynamic_->snapshot();
+  connected_.reset();
+  fingerprint_.reset();
+}
+
+void Session::adopt_apply(const dynamic::ApplyReport& report) {
+  graph_ = dynamic_->snapshot();
+  fingerprint_ = report.fingerprint;
+  connected_.reset();  // re-derived lazily (apply() checked deletions)
+  mean_distance_range_ = 0;
+  // Calibration-bound policy: a warm state survives as long as its cached
+  // vertex-diameter bound still covers the new graph - always on
+  // insert-only batches (distances only shrink; diameter_bound stays 0),
+  // and on deletion batches when the bound is at or above the recomputed
+  // one. Survivors are re-stamped to the new fingerprint so provenance
+  // checks keep accepting them; violated bounds drop the entry (omega
+  // would be too small for the grown diameter).
+  for (auto it = calibrations_.begin(); it != calibrations_.end();) {
+    const auto& warm = it->second;
+    if (report.had_deletes && warm->vertex_diameter < report.diameter_bound) {
+      it = calibrations_.erase(it);
+      continue;
+    }
+    auto restamped = std::make_shared<bc::KadabraWarmState>(*warm);
+    restamped->graph_fingerprint = report.fingerprint;
+    it->second = std::move(restamped);
+    ++it;
+  }
+}
+
+dynamic::ApplyReport Session::apply(dynamic::EdgeBatch batch) {
+  const ThreadGuard guard(*this);
+  if (!status_.ok) {
+    dynamic::ApplyReport report;
+    report.status = status_;
+    return report;
+  }
+  ensure_dynamic();
+  dynamic::ApplyReport report = dynamic_->apply(std::move(batch));
+  if (report.status.ok) adopt_apply(report);
+  return report;
+}
+
+void Session::sync_dynamic(const dynamic::ApplyReport& report) {
+  const ThreadGuard guard(*this);
+  DISTBC_ASSERT_MSG(dynamic_ != nullptr,
+                    "sync_dynamic requires a bound DynamicState");
+  DISTBC_ASSERT(report.status.ok);
+  adopt_apply(report);
+}
+
 std::vector<std::shared_ptr<const bc::KadabraWarmState>>
 Session::calibrations() const {
   const ThreadGuard guard(*this);
@@ -307,6 +374,8 @@ Result Session::run(const BetweennessQuery& query) {
     return result;
   }
 
+  if (query.incremental) return run_incremental(query);
+
   bc::KadabraOptions options;
   options.params.epsilon = query.epsilon;
   options.params.delta = query.delta;
@@ -340,6 +409,48 @@ Result Session::run(const BetweennessQuery& query) {
   result.substrate_used = std::move(bc_result.substrate_used);
   result.top_k = std::move(bc_result.top_k_pairs);
   result.scores = std::move(bc_result.scores);
+  return result;
+}
+
+Result Session::run_incremental(const BetweennessQuery& query) {
+  // Caller (run) already validated epsilon/delta/top_k/connectivity and
+  // holds the thread guard.
+  Result result;
+  ensure_dynamic();
+  bc::KadabraParams params;
+  params.epsilon = query.epsilon;
+  params.delta = query.delta;
+  params.exact_diameter = config_.exact_diameter;
+  params.seed = config_.seed;
+  params.initial_samples = config_.initial_samples;
+  params.balancing = config_.balancing;
+
+  const WallTimer timer;
+  dynamic::DynamicState::QueryView view = dynamic_->query(params);
+  result.status = view.status;
+  if (!result.status.ok) return result;
+  result.algorithm = "kadabra-incremental";
+  result.samples = view.samples;
+  result.epochs = view.epochs;
+  result.total_seconds = timer.elapsed_s();
+  // An engine that already existed served this query from retained state -
+  // the incremental analogue of a calibration-cache hit.
+  result.calibration_reused = !view.first_run;
+  if (query.top_k > 0) {
+    std::vector<graph::Vertex> order(graph_->num_vertices());
+    for (graph::Vertex v = 0; v < graph_->num_vertices(); ++v) order[v] = v;
+    const std::size_t k = std::min(query.top_k, order.size());
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(k),
+                      order.end(), [&](graph::Vertex a, graph::Vertex b) {
+                        if (view.scores[a] != view.scores[b])
+                          return view.scores[a] > view.scores[b];
+                        return a < b;
+                      });
+    order.resize(k);
+    result.top_k = pairs_from_order(view.scores, order);
+  }
+  result.scores = std::move(view.scores);
   return result;
 }
 

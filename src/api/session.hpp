@@ -54,6 +54,7 @@
 #include "api/config.hpp"
 #include "api/status.hpp"
 #include "bc/kadabra.hpp"
+#include "dynamic/dynamic_state.hpp"
 #include "graph/graph.hpp"
 #include "mpisim/runtime.hpp"
 #include "support/timer.hpp"
@@ -89,6 +90,12 @@ struct BetweennessQuery {
   double delta = 0.1;
   std::size_t top_k = 0;  // 0 = score vector only
   bool exact = false;     // force the exact-Brandes path
+  /// Route through the session's dynamic::IncrementalBc engine: the sample
+  /// set survives Session::apply(EdgeBatch) churn, so post-apply queries
+  /// pay only for the invalidated samples. Single-threaded engine, keyed
+  /// by (epsilon, delta) + the session's statistical config; ignored when
+  /// the exact-Brandes path is selected. EngineOverrides do not apply.
+  bool incremental = false;
   EngineOverrides engine{};
 };
 
@@ -206,6 +213,37 @@ class Session {
     return profile_;
   }
 
+  // --- Dynamic graphs (src/dynamic/) --------------------------------------
+
+  /// Applies one edge batch to the session's graph: validates it against
+  /// the current snapshot, publishes the next version, refreshes every
+  /// live incremental engine (clean samples kept, dirty ones resampled),
+  /// and updates the session caches - connectivity and fingerprint are
+  /// re-derived; cached calibrations survive insert-only batches unchanged
+  /// (distances only shrink, so their vertex-diameter bounds hold) and
+  /// survive deletion batches when their bound covers the recomputed one,
+  /// re-stamped to the new fingerprint; violated bounds drop the entry.
+  /// A rejected batch (report.status) leaves the session untouched.
+  [[nodiscard]] dynamic::ApplyReport apply(dynamic::EdgeBatch batch);
+
+  /// Adopts an apply() performed by another session sharing this one's
+  /// DynamicState (service::SessionPool replicas): updates this session's
+  /// snapshot and caches without re-applying the batch.
+  void sync_dynamic(const dynamic::ApplyReport& report);
+
+  /// Binds a shared DynamicState (pool replicas all bind the same one so
+  /// incremental results are identical across pool sizes). Must happen
+  /// before the first apply()/incremental query; the state's current
+  /// snapshot must be this session's graph.
+  void bind_dynamic_state(std::shared_ptr<dynamic::DynamicState> state);
+
+  /// The session's dynamic state (null until an apply() or incremental
+  /// query created one, or bind_dynamic_state installed a shared one).
+  [[nodiscard]] const std::shared_ptr<dynamic::DynamicState>& dynamic_state()
+      const {
+    return dynamic_;
+  }
+
   // --- Native entry points (the compatibility wrappers delegate here) ----
   // Same cluster lifecycle and caching as run(), legacy option/result
   // types, legacy misuse semantics (driver asserts, no Status).
@@ -246,6 +284,12 @@ class Session {
   [[nodiscard]] Status validate_query(double epsilon, double delta,
                                       std::size_t top_k,
                                       bool needs_connected);
+  /// Creates the session-private DynamicState on first dynamic use.
+  void ensure_dynamic();
+  /// The incremental-betweenness dispatch target of run(BetweennessQuery).
+  [[nodiscard]] Result run_incremental(const BetweennessQuery& query);
+  /// Cache updates shared by apply() and sync_dynamic() (see apply()).
+  void adopt_apply(const dynamic::ApplyReport& report);
   [[nodiscard]] bool connected();
   /// Lazily computed graph::fingerprint of the bound graph (cached; used
   /// by preload_calibration validation).
@@ -271,6 +315,7 @@ class Session {
   std::uint32_t mean_distance_range_ = 0;
   std::shared_ptr<const tune::TuningProfile> profile_;
   bool profile_used_ = false;
+  std::shared_ptr<dynamic::DynamicState> dynamic_;
 
   /// Thread currently inside an entry point (default id = none).
   mutable std::atomic<std::thread::id> active_thread_{};

@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 
 #include "graph/batched_bidirectional_bfs.hpp"
@@ -30,6 +31,18 @@
 #include "support/random.hpp"
 
 namespace distbc::bc {
+
+/// Per-sample tap on a BatchSampler: called once per finished sample,
+/// right after the frame record, while the lane's traversal state is
+/// still current. `path` holds the drawn path's interior vertices (empty
+/// for a disconnected pair), `scanned` the expanded vertices of both BFS
+/// sides. dynamic::SampleLedger records its invalidation sketches here.
+class SampleObserver {
+ public:
+  virtual ~SampleObserver() = default;
+  virtual void on_sample(bool connected, std::span<const graph::Vertex> path,
+                         std::span<const graph::Vertex> scanned) = 0;
+};
 
 class BatchSampler {
  public:
@@ -48,6 +61,10 @@ class BatchSampler {
                          graph, batch)) {}
 
   [[nodiscard]] int batch_capacity() const { return kernel_->capacity(); }
+
+  /// Installs (or clears, with nullptr) the per-sample observer. The
+  /// observer must outlive every subsequent sample.
+  void set_observer(SampleObserver* observer) { observer_ = observer; }
 
   /// Scalar protocol: one sample, recorded immediately. Bitwise identical
   /// to PathSampler::sample for the same stream.
@@ -87,13 +104,15 @@ class BatchSampler {
     DISTBC_ASSERT_MSG(lane_ >= 0 && kernel_->ran(),
                       "finish_sample needs a posted, flushed sample");
     ++taken_;
-    if (kernel_->result(lane_).connected) {
-      scratch_.clear();
+    const bool connected = kernel_->result(lane_).connected;
+    scratch_.clear();
+    if (connected) {
       kernel_->sample_path(lane_, rng_, scratch_);
       frame.record(scratch_);
     } else {
       frame.record_empty();
     }
+    notify_observer(lane_, connected);
     lane_ = -1;
   }
 
@@ -115,13 +134,15 @@ class BatchSampler {
       kernel_->run_staged();
       for (int lane = 0; lane < width; ++lane) {
         ++taken_;
-        if (kernel_->result(lane).connected) {
-          scratch_.clear();
+        const bool connected = kernel_->result(lane).connected;
+        scratch_.clear();
+        if (connected) {
           kernel_->sample_path(lane, rng_, scratch_);
           frame.record(scratch_);
         } else {
           frame.record_empty();
         }
+        notify_observer(lane, connected);
       }
       count -= static_cast<std::uint64_t>(width);
     }
@@ -130,12 +151,23 @@ class BatchSampler {
   [[nodiscard]] std::uint64_t samples_taken() const { return taken_; }
 
  private:
+  /// Observer tap for the lane just finished (scratch_ still holds its
+  /// path). Reads the scanned set while the lane state is current.
+  void notify_observer(int lane, bool connected) {
+    if (observer_ == nullptr) return;
+    scanned_scratch_.clear();
+    kernel_->append_lane_scanned(lane, scanned_scratch_);
+    observer_->on_sample(connected, scratch_, scanned_scratch_);
+  }
+
   const graph::Graph* graph_;
   std::shared_ptr<graph::BatchedBidirectionalBfs> kernel_;
   Rng rng_;
   std::vector<graph::Vertex> scratch_;
+  std::vector<graph::Vertex> scanned_scratch_;
   std::uint64_t taken_ = 0;
   int lane_ = -1;
+  SampleObserver* observer_ = nullptr;
 };
 
 }  // namespace distbc::bc

@@ -1,0 +1,126 @@
+// dynamic::DynamicState - the shared mutable-graph coordinator behind
+// api::Session::apply and the service tier's churn path.
+//
+// One DynamicState owns the MutableGraph and every IncrementalBc engine
+// keyed by its statistical parameters. Session replicas in a
+// service::SessionPool all bind the SAME DynamicState, so incremental
+// query results are bitwise identical across pool sizes by construction
+// (one engine instance, one deterministic stream counter) - the pool
+// serializes applies against queries, this class serializes everything
+// else with one mutex.
+//
+// apply(batch) is transactional: the batch is validated against the
+// current snapshot, applied, and - when it deletes edges - the new
+// snapshot is connectivity-checked (the sampling estimators require a
+// connected graph); a disconnecting batch is reverted and rejected with a
+// typed Status. Vertex-diameter bounds are touched only when they can be
+// violated: insert-only batches shrink distances and keep every cached
+// bound; deletion batches recompute the bound once per exactness class in
+// use and engines recalibrate only when their cached bound is exceeded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "api/status.hpp"
+#include "bc/kadabra_math.hpp"
+#include "dynamic/edge_batch.hpp"
+#include "dynamic/incremental_bc.hpp"
+#include "dynamic/mutable_graph.hpp"
+#include "graph/graph.hpp"
+
+namespace distbc::dynamic {
+
+/// Everything one apply() did, for callers to adopt: the new graph
+/// identity, what the batch contained, the bound policy outcome, and the
+/// aggregated ledger accounting across every refreshed engine.
+struct ApplyReport {
+  api::Status status;
+  std::uint64_t version = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t edges_inserted = 0;
+  std::uint64_t edges_deleted = 0;
+  bool had_deletes = false;
+  /// Whether the slack CSR served the batch without a rebuild.
+  bool in_place = false;
+  /// Vertex-diameter upper bound recomputed for the NEW graph (2-approx),
+  /// or 0 when the batch was insert-only and every cached bound stayed
+  /// valid untouched.
+  std::uint32_t diameter_bound = 0;
+
+  // Ledger accounting, summed over every refreshed engine.
+  std::uint64_t samples_retained = 0;
+  std::uint64_t samples_dirty = 0;
+  std::uint64_t samples_resampled = 0;
+  std::uint64_t samples_topup = 0;
+  std::uint64_t bloom_dirty = 0;
+  std::uint64_t engines_refreshed = 0;
+  std::uint64_t recalibrations = 0;
+
+  /// Fraction of retained-or-dirty samples the batch invalidated.
+  [[nodiscard]] double dirty_fraction() const {
+    const std::uint64_t total = samples_retained + samples_dirty;
+    return total == 0 ? 0.0
+                      : static_cast<double>(samples_dirty) /
+                            static_cast<double>(total);
+  }
+};
+
+class DynamicState {
+ public:
+  /// `sample_batch` is the traversal-kernel width engines run at
+  /// (0 = the default of 16).
+  DynamicState(std::shared_ptr<const graph::Graph> initial,
+               SketchParams sketch, int sample_batch);
+
+  /// Validates, applies, and propagates one batch through every live
+  /// engine. On a rejected batch (validation failure, empty batch, or a
+  /// deletion batch that disconnects the graph) the state is untouched and
+  /// report.status carries the reason.
+  [[nodiscard]] ApplyReport apply(EdgeBatch batch);
+
+  struct QueryView {
+    api::Status status;
+    std::vector<double> scores;
+    std::uint64_t samples = 0;
+    std::uint32_t epochs = 0;
+    /// Ledger records currently held as Bloom sketches.
+    std::uint64_t ledger_bloom = 0;
+    std::uint32_t vertex_diameter = 0;
+    /// True when this call created (and fully ran) the engine.
+    bool first_run = false;
+  };
+
+  /// Scores from the incremental engine for `params`, creating and running
+  /// it on the current snapshot on first use. The graph must be connected
+  /// (callers validate; a fresh engine asserts).
+  [[nodiscard]] QueryView query(const bc::KadabraParams& params);
+
+  [[nodiscard]] std::shared_ptr<const graph::Graph> snapshot() const;
+  [[nodiscard]] std::uint64_t version() const;
+  [[nodiscard]] std::uint64_t fingerprint() const;
+  [[nodiscard]] MutableGraph::Stats graph_stats() const;
+  [[nodiscard]] std::size_t engine_count() const;
+
+ private:
+  /// The statistical identity of one engine: (epsilon, delta, seed,
+  /// exact_diameter, initial_samples, balancing).
+  using EngineKey =
+      std::tuple<double, double, std::uint64_t, bool, std::uint64_t, double>;
+  [[nodiscard]] static EngineKey engine_key(const bc::KadabraParams& params) {
+    return {params.epsilon, params.delta,       params.seed,
+            params.exact_diameter, params.initial_samples, params.balancing};
+  }
+
+  mutable std::mutex mutex_;
+  MutableGraph graph_;
+  SketchParams sketch_;
+  int sample_batch_;
+  std::map<EngineKey, std::unique_ptr<IncrementalBc>> engines_;
+};
+
+}  // namespace distbc::dynamic

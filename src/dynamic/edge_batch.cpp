@@ -1,0 +1,58 @@
+#include "dynamic/edge_batch.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace distbc::dynamic {
+
+namespace {
+
+api::Status edge_error(const char* what, const Edge& edge) {
+  std::string message = what;
+  message += " (";
+  message += std::to_string(edge.u);
+  message += ", ";
+  message += std::to_string(edge.v);
+  message += ")";
+  return api::Status::error(std::move(message));
+}
+
+}  // namespace
+
+api::Status EdgeBatch::validate(const graph::Graph& graph) {
+  validated_ = false;
+  const graph::Vertex n = graph.num_vertices();
+  for (std::vector<Edge>* list : {&inserts_, &deletes_}) {
+    for (Edge& edge : *list) {
+      if (edge.u > edge.v) std::swap(edge.u, edge.v);
+      if (edge.u == edge.v)
+        return edge_error("edge batch rejects self-loop", edge);
+      if (edge.v >= n)
+        return edge_error("edge batch names an unknown vertex in edge", edge);
+    }
+    std::sort(list->begin(), list->end());
+    const auto dup = std::adjacent_find(list->begin(), list->end());
+    if (dup != list->end())
+      return edge_error("edge batch contains a duplicate edge", *dup);
+  }
+  // One edge in both lists would make the apply order ambiguous.
+  std::vector<Edge> both;
+  std::set_intersection(inserts_.begin(), inserts_.end(), deletes_.begin(),
+                        deletes_.end(), std::back_inserter(both));
+  if (!both.empty())
+    return edge_error("edge batch both inserts and deletes edge", both.front());
+  for (const Edge& edge : inserts_) {
+    if (graph.has_edge(edge.u, edge.v))
+      return edge_error("edge batch inserts an edge the graph already has",
+                        edge);
+  }
+  for (const Edge& edge : deletes_) {
+    if (!graph.has_edge(edge.u, edge.v))
+      return edge_error("edge batch deletes an edge the graph lacks", edge);
+  }
+  validated_ = true;
+  return api::Status::success();
+}
+
+}  // namespace distbc::dynamic

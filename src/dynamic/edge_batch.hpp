@@ -1,0 +1,77 @@
+// dynamic::EdgeBatch - one batch of undirected edge insertions and
+// deletions, validated against a concrete graph version before it can be
+// applied.
+//
+// A batch is built incrementally (insert()/remove() in any order and
+// orientation) and then sealed by validate(graph), which normalizes every
+// edge to u < v, sorts both lists, and rejects - with a typed api::Status
+// naming the offending edge, never an abort - batches that could corrupt
+// the CSR or the sample ledger's accounting:
+//
+//   * self-loops and endpoints outside [0, num_vertices);
+//   * duplicate edges within a list, or one edge in both lists (apply
+//     order would be ambiguous);
+//   * inserting an edge the graph already has, or deleting one it lacks.
+//
+// Validation is against ONE graph version; any later insert()/remove()
+// un-seals the batch. dynamic::MutableGraph and the Session/pool apply
+// paths require a sealed batch (they validate internally against their
+// current snapshot, so callers just build and submit).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "api/status.hpp"
+#include "graph/graph.hpp"
+
+namespace distbc::dynamic {
+
+/// One undirected edge; normalized to u < v by EdgeBatch::validate.
+struct Edge {
+  graph::Vertex u = 0;
+  graph::Vertex v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class EdgeBatch {
+ public:
+  /// Queues an insertion (orientation free). Un-seals the batch.
+  void insert(graph::Vertex u, graph::Vertex v) {
+    inserts_.push_back({u, v});
+    validated_ = false;
+  }
+
+  /// Queues a deletion (orientation free). Un-seals the batch.
+  void remove(graph::Vertex u, graph::Vertex v) {
+    deletes_.push_back({u, v});
+    validated_ = false;
+  }
+
+  /// Normalizes, sorts, and checks the batch against `graph` (see the file
+  /// comment for the rejection list). On success the batch is sealed for
+  /// exactly this graph content; on error it stays unsealed and the lists
+  /// keep their normalized order (safe to fix up and re-validate).
+  [[nodiscard]] api::Status validate(const graph::Graph& graph);
+
+  [[nodiscard]] bool validated() const { return validated_; }
+  [[nodiscard]] std::span<const Edge> inserts() const { return inserts_; }
+  [[nodiscard]] std::span<const Edge> deletes() const { return deletes_; }
+  [[nodiscard]] bool empty() const {
+    return inserts_.empty() && deletes_.empty();
+  }
+  /// Total churned edges (insertions + deletions).
+  [[nodiscard]] std::size_t size() const {
+    return inserts_.size() + deletes_.size();
+  }
+
+ private:
+  std::vector<Edge> inserts_;
+  std::vector<Edge> deletes_;
+  bool validated_ = false;
+};
+
+}  // namespace distbc::dynamic

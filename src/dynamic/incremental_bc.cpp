@@ -1,0 +1,191 @@
+#include "dynamic/incremental_bc.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace distbc::dynamic {
+
+void IncrementalBc::Recorder::on_sample(bool connected,
+                                        std::span<const graph::Vertex> path,
+                                        std::span<const graph::Vertex> scanned) {
+  if (ledger == nullptr) return;
+  if (replace_index < 0) {
+    ledger->record(stream, connected, path, scanned);
+  } else {
+    ledger->replace(static_cast<std::size_t>(replace_index), stream, connected,
+                    path, scanned);
+  }
+}
+
+IncrementalBc::IncrementalBc(bc::KadabraParams params, SketchParams sketch,
+                             int sample_batch)
+    : params_(params),
+      sketch_(sketch),
+      sample_batch_(std::clamp(sample_batch, 1,
+                               graph::BatchedBidirectionalBfs::kMaxBatch)),
+      ledger_(sketch) {}
+
+void IncrementalBc::sample_chunk(std::span<const std::uint64_t> streams,
+                                 std::span<const std::uint32_t> slots,
+                                 epoch::StateFrame& frame, bool record) {
+  DISTBC_ASSERT(!streams.empty() &&
+                streams.size() <=
+                    static_cast<std::size_t>(kernel_->capacity()));
+  DISTBC_ASSERT(slots.empty() || slots.size() == streams.size());
+  // One single-sample BatchSampler per stream, all sharing the kernel: the
+  // cross-stream protocol (post ascending, one flush, finish ascending)
+  // keeps every stream's draw order independent of the kernel width.
+  std::vector<bc::BatchSampler> samplers;
+  samplers.reserve(streams.size());
+  const Rng root(params_.seed);
+  for (const std::uint64_t stream : streams)
+    samplers.emplace_back(*graph_, root.split(stream), kernel_);
+  for (bc::BatchSampler& sampler : samplers) {
+    const bool posted = sampler.post_sample();
+    DISTBC_ASSERT_MSG(posted, "chunk width exceeds the kernel batch");
+  }
+  samplers.front().flush_staged();
+  Recorder recorder;
+  recorder.ledger = record ? &ledger_ : nullptr;
+  for (std::size_t i = 0; i < samplers.size(); ++i) {
+    recorder.stream = streams[i];
+    recorder.replace_index =
+        slots.empty() ? -1 : static_cast<std::int64_t>(slots[i]);
+    if (record) samplers[i].set_observer(&recorder);
+    samplers[i].finish_sample(frame);
+  }
+}
+
+void IncrementalBc::sample_fresh(std::uint64_t count, epoch::StateFrame& frame,
+                                 bool record) {
+  std::vector<std::uint64_t> streams;
+  while (count > 0) {
+    const auto width = static_cast<std::size_t>(std::min<std::uint64_t>(
+        count, static_cast<std::uint64_t>(sample_batch_)));
+    streams.clear();
+    for (std::size_t i = 0; i < width; ++i)
+      streams.push_back(next_stream_ + i);
+    sample_chunk(streams, {}, frame, record);
+    next_stream_ += width;
+    count -= width;
+  }
+}
+
+void IncrementalBc::resample_slots(std::span<const std::uint32_t> slots) {
+  std::vector<std::uint64_t> streams;
+  std::size_t done = 0;
+  while (done < slots.size()) {
+    const std::size_t width =
+        std::min(slots.size() - done, static_cast<std::size_t>(sample_batch_));
+    streams.clear();
+    for (std::size_t i = 0; i < width; ++i)
+      streams.push_back(next_stream_ + i);
+    sample_chunk(streams, slots.subspan(done, width), aggregate_,
+                 /*record=*/true);
+    next_stream_ += width;
+    done += width;
+  }
+}
+
+std::uint64_t IncrementalBc::adaptive_loop() {
+  std::uint64_t taken = 0;
+  while (!context_.stop_satisfied(aggregate_)) {
+    const std::uint64_t tau = aggregate_.tau();
+    // First epoch: a fixed slice of the budget so easy instances check the
+    // stop rule early; afterwards geometric doubling (epoch = current tau),
+    // always capped at the remaining omega budget.
+    std::uint64_t epoch =
+        tau == 0 ? std::max<std::uint64_t>(64, context_.omega / 8) : tau;
+    epoch = std::min(epoch, context_.omega - tau);
+    DISTBC_ASSERT(epoch > 0);
+    sample_fresh(epoch, aggregate_, /*record=*/true);
+    taken += epoch;
+    ++epochs_;
+  }
+  return taken;
+}
+
+void IncrementalBc::run(std::shared_ptr<const graph::Graph> graph) {
+  DISTBC_ASSERT(graph != nullptr);
+  graph_ = std::move(graph);
+  kernel_ = std::make_shared<graph::BatchedBidirectionalBfs>(*graph_,
+                                                             sample_batch_);
+  ledger_.clear();
+  epochs_ = 0;
+  vertex_diameter_ = bc::kadabra_vertex_diameter(*graph_, params_);
+  context_ = bc::begin_context(params_, vertex_diameter_);
+  aggregate_ = epoch::StateFrame(graph_->num_vertices());
+  // Phase 2: non-adaptive calibration samples feed only the stopping
+  // radii - not the estimator, so no ledger records.
+  epoch::StateFrame calibration_frame(graph_->num_vertices());
+  sample_fresh(context_.initial_samples, calibration_frame, /*record=*/false);
+  bc::finish_calibration(context_, calibration_frame);
+  // Phase 3: adaptive epochs, every sample sketched into the ledger.
+  (void)adaptive_loop();
+  ran_ = true;
+}
+
+IncrementalBc::RefreshStats IncrementalBc::refresh(
+    std::shared_ptr<const graph::Graph> graph, const EdgeBatch& batch,
+    std::uint32_t diameter_bound) {
+  DISTBC_ASSERT_MSG(ran_, "refresh requires a previous run()");
+  DISTBC_ASSERT(graph != nullptr);
+  RefreshStats stats;
+
+  const SampleLedger::Classification verdict = ledger_.classify(batch);
+  stats.dirty = verdict.dirty.size();
+  stats.retained = ledger_.size() - verdict.dirty.size();
+  stats.bloom_dirty = verdict.bloom_dirty;
+
+  // Subtract every dirty sample's contribution: its path counts and its
+  // tau share (disconnected records contributed tau only).
+  const std::span<std::uint64_t> raw = aggregate_.raw();
+  const std::uint32_t n = aggregate_.num_vertices();
+  for (const std::uint32_t index : verdict.dirty) {
+    for (const graph::Vertex v : ledger_.path(index)) {
+      DISTBC_DEBUG_ASSERT(raw[v] > 0);
+      --raw[v];
+    }
+    DISTBC_ASSERT(raw[n] > 0);
+    --raw[n];
+  }
+
+  graph_ = std::move(graph);
+  kernel_ = std::make_shared<graph::BatchedBidirectionalBfs>(*graph_,
+                                                             sample_batch_);
+  resample_slots(verdict.dirty);
+  stats.resampled = verdict.dirty.size();
+
+  // Calibration-bound policy: 0 asserts the cached bound still covers the
+  // new graph (insert-only batches); a bound within the cached one keeps
+  // omega and the stopping radii; only a VIOLATED bound re-derives omega
+  // and recalibrates - from the merged aggregate, no extra samples.
+  if (diameter_bound > vertex_diameter_) {
+    vertex_diameter_ = diameter_bound;
+    bc::KadabraContext fresh = bc::begin_context(params_, diameter_bound);
+    bc::finish_calibration(fresh, aggregate_);
+    context_ = fresh;
+    stats.recalibrated = true;
+  }
+
+  // The merged aggregate must still satisfy the stop rule under the
+  // (possibly regrown) omega; top up with regular adaptive epochs if not.
+  const std::uint32_t epochs_before = epochs_;
+  stats.topup = adaptive_loop();
+  stats.epochs = epochs_ - epochs_before;
+  return stats;
+}
+
+std::vector<double> IncrementalBc::scores() const {
+  DISTBC_ASSERT(ran_ && aggregate_.tau() > 0);
+  const std::uint32_t n = aggregate_.num_vertices();
+  std::vector<double> result(n, 0.0);
+  const auto tau = static_cast<double>(aggregate_.tau());
+  for (std::uint32_t v = 0; v < n; ++v)
+    result[v] = static_cast<double>(aggregate_.count(v)) / tau;
+  return result;
+}
+
+}  // namespace distbc::dynamic

@@ -1,0 +1,112 @@
+#include "dynamic/sample_ledger.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace distbc::dynamic {
+
+namespace {
+
+// splitmix64 finalizer: one well-mixed 64-bit word per vertex, split into
+// four 16-bit probe lanes below. Deterministic across platforms.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void bloom_set(std::vector<std::uint64_t>& bits, graph::Vertex v) {
+  const std::uint64_t h = mix(v);
+  const std::uint64_t total = bits.size() * 64;
+  for (int probe = 0; probe < 4; ++probe) {
+    const std::uint64_t bit = ((h >> (16 * probe)) & 0xffffULL) % total;
+    bits[bit / 64] |= 1ULL << (bit % 64);
+  }
+}
+
+bool bloom_test(const std::vector<std::uint64_t>& bits, graph::Vertex v) {
+  const std::uint64_t h = mix(v);
+  const std::uint64_t total = bits.size() * 64;
+  for (int probe = 0; probe < 4; ++probe) {
+    const std::uint64_t bit = ((h >> (16 * probe)) & 0xffffULL) % total;
+    if ((bits[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void SampleLedger::fill(Record& record, std::uint64_t stream, bool connected,
+                        std::span<const graph::Vertex> path,
+                        std::span<const graph::Vertex> scanned) const {
+  record.stream = stream;
+  record.connected = connected;
+  record.path.assign(path.begin(), path.end());
+  record.touched.clear();
+  record.bits.clear();
+  if (scanned.size() <= params_.exact_cap) {
+    record.bloom = false;
+    record.touched.assign(scanned.begin(), scanned.end());
+    std::sort(record.touched.begin(), record.touched.end());
+    record.touched.erase(
+        std::unique(record.touched.begin(), record.touched.end()),
+        record.touched.end());
+  } else {
+    record.bloom = true;
+    record.bits.assign(std::max<std::uint32_t>(1, params_.bloom_words), 0);
+    for (const graph::Vertex v : scanned) bloom_set(record.bits, v);
+  }
+}
+
+void SampleLedger::record(std::uint64_t stream, bool connected,
+                          std::span<const graph::Vertex> path,
+                          std::span<const graph::Vertex> scanned) {
+  Record& slot = records_.emplace_back();
+  fill(slot, stream, connected, path, scanned);
+  if (slot.bloom) ++bloom_sketches_;
+}
+
+void SampleLedger::replace(std::size_t index, std::uint64_t stream,
+                           bool connected,
+                           std::span<const graph::Vertex> path,
+                           std::span<const graph::Vertex> scanned) {
+  DISTBC_ASSERT(index < records_.size());
+  Record& slot = records_[index];
+  if (slot.bloom) --bloom_sketches_;
+  fill(slot, stream, connected, path, scanned);
+  if (slot.bloom) ++bloom_sketches_;
+}
+
+bool SampleLedger::may_contain(const Record& record, graph::Vertex v) {
+  if (record.bloom) return bloom_test(record.bits, v);
+  return std::binary_search(record.touched.begin(), record.touched.end(), v);
+}
+
+SampleLedger::Classification SampleLedger::classify(
+    const EdgeBatch& batch) const {
+  DISTBC_ASSERT_MSG(batch.validated(),
+                    "SampleLedger::classify requires a validated EdgeBatch");
+  Classification result;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& record = records_[i];
+    bool dirty = false;
+    for (std::span<const Edge> list : {batch.inserts(), batch.deletes()}) {
+      for (const Edge& edge : list) {
+        if (may_contain(record, edge.u) || may_contain(record, edge.v)) {
+          dirty = true;
+          break;
+        }
+      }
+      if (dirty) break;
+    }
+    if (dirty) {
+      result.dirty.push_back(static_cast<std::uint32_t>(i));
+      if (record.bloom) ++result.bloom_dirty;
+    }
+  }
+  return result;
+}
+
+}  // namespace distbc::dynamic

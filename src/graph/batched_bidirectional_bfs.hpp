@@ -85,6 +85,13 @@ class BatchedBidirectionalBfs {
   /// that no later lane's result has been read yet.
   void sample_path(int lane, Rng& rng, std::vector<Vertex>& out);
 
+  /// Appends lane `lane`'s SCANNED vertices — both sides' expanded levels
+  /// [0, completed_levels), i.e. every vertex whose adjacency list the
+  /// search read — to `out`. Same currency requirement as sample_path():
+  /// no later lane's result may have been read yet. Duplicates are
+  /// possible across (not within) sides.
+  void append_lane_scanned(int lane, std::vector<Vertex>& out);
+
   /// Vertices touched by lane `lane` (both sides) — equals the scalar
   /// kernel's last_touched() for the same pair.
   [[nodiscard]] std::uint64_t lane_touched(int lane) {

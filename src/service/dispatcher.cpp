@@ -46,10 +46,16 @@ Ticket Dispatcher::submit(Request request) {
   Response rejection;
   {
     const std::scoped_lock lock(mutex_);
-    if (!shards_.contains(request.graph_id)) {
+    const auto shard_it = shards_.find(request.graph_id);
+    if (shard_it == shards_.end()) {
       ++stats_.rejected_unknown_graph;
       rejection.status = api::Status::error(
           "unknown graph id '" + request.graph_id + "' (not bound)");
+    } else if (shard_it->second.mutating > 0) {
+      ++stats_.rejected_mutating;
+      rejection.status = api::Status::error(
+          "graph '" + request.graph_id +
+          "' is mid-apply (edge batch in progress); retry");
     } else if (stats_.scheduled >= queue_capacity_) {
       ++stats_.rejected_queue_full;
       rejection.status = api::Status::error(
@@ -111,6 +117,9 @@ void Dispatcher::pump() {
   while (progress) {
     progress = false;
     for (auto& [graph_id, shard] : shards_) {
+      // A mutating shard forwards nothing: its pool is quiescing for an
+      // apply() and would reject (scheduled work waits it out instead).
+      if (shard.mutating > 0) continue;
       while (shard.in_flight < shard.pool->size()) {
         const auto handle = scheduler_.pop(graph_id);
         if (!handle.has_value()) break;
@@ -150,8 +159,40 @@ void Dispatcher::on_complete(const std::string& graph_id, Response response,
   --stats_.in_flight;
   ++stats_.completed;
   pump();
-  if (stats_.in_flight == 0 && (paused_ || stats_.scheduled == 0))
-    idle_cv_.notify_all();
+  // Unconditional: besides drain()'s global predicate, apply() waits for
+  // ONE shard's in_flight to reach zero.
+  idle_cv_.notify_all();
+}
+
+dynamic::ApplyReport Dispatcher::apply(const std::string& graph_id,
+                                       dynamic::EdgeBatch batch) {
+  SessionPool* pool = nullptr;
+  {
+    std::unique_lock lock(mutex_);
+    const auto it = shards_.find(graph_id);
+    if (it == shards_.end()) {
+      dynamic::ApplyReport report;
+      report.status = api::Status::error("unknown graph id '" + graph_id +
+                                         "' (not bound)");
+      return report;
+    }
+    Shard& shard = it->second;
+    ++shard.mutating;  // closes the shard: submit rejects, pump skips
+    idle_cv_.wait(lock, [&shard] { return shard.in_flight == 0; });
+    pool = shard.pool.get();
+  }
+  // The pool quiesces and mutates on its own; other shards keep serving
+  // because the dispatcher lock is NOT held across the apply.
+  dynamic::ApplyReport report = pool->apply(std::move(batch));
+  {
+    const std::scoped_lock lock(mutex_);
+    Shard& shard = shards_.at(graph_id);
+    --shard.mutating;
+    if (report.status.ok) ++stats_.applies;
+    pump();
+  }
+  idle_cv_.notify_all();
+  return report;
 }
 
 }  // namespace distbc::service

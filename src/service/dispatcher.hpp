@@ -30,6 +30,8 @@
 #include <string>
 
 #include "api/session.hpp"
+#include "dynamic/dynamic_state.hpp"
+#include "dynamic/edge_batch.hpp"
 #include "service/scheduler.hpp"
 #include "service/session_pool.hpp"
 #include "service/ticket.hpp"
@@ -52,6 +54,10 @@ struct DispatcherStats {
   std::uint64_t in_flight = 0;
   /// Queries waiting in the fair scheduler.
   std::uint64_t scheduled = 0;
+  /// Edge batches applied through apply().
+  std::uint64_t applies = 0;
+  /// Submissions rejected because their graph was mid-apply.
+  std::uint64_t rejected_mutating = 0;
 };
 
 class Dispatcher {
@@ -88,6 +94,14 @@ class Dispatcher {
   /// Blocks until every admitted query has completed.
   void drain();
 
+  /// Applies one edge batch to `graph_id`'s pool: new submissions routed
+  /// to that graph are rejected with a typed Status ("graph ... is
+  /// mid-apply") while the apply is pending, the shard's in-flight
+  /// queries drain first, then the batch goes through SessionPool::apply.
+  /// Other graphs keep serving throughout. Unknown ids reject typed.
+  [[nodiscard]] dynamic::ApplyReport apply(const std::string& graph_id,
+                                           dynamic::EdgeBatch batch);
+
   [[nodiscard]] DispatcherStats stats() const;
   [[nodiscard]] const SessionPool* pool(const std::string& graph_id) const;
 
@@ -100,6 +114,11 @@ class Dispatcher {
   struct Shard {
     std::unique_ptr<SessionPool> pool;
     int in_flight = 0;
+    /// Pending apply() calls targeting this shard (a counter, not a flag:
+    /// concurrent applies on one graph must keep the shard closed until
+    /// the LAST one finishes). While positive, submit() rejects requests
+    /// to this graph and pump() stops forwarding its scheduled work.
+    int mutating = 0;
   };
 
   /// Forwards scheduler picks into pools with free replica slots. Caller

@@ -52,6 +52,14 @@ void SessionPool::bootstrap(api::Config config) {
   }
 
   const int pool_size = config.service_pool_size;
+  // One shared dynamic state for the whole pool: every replica binds it,
+  // so incremental engines (and their deterministic stream counters) are
+  // pool-global and apply()/query results cannot depend on the pool size.
+  dynamic::SketchParams sketch;
+  sketch.exact_cap = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(config.dynamic_sketch_cap, UINT32_MAX));
+  dynamic_ = std::make_shared<dynamic::DynamicState>(graph_, sketch,
+                                                     config.sample_batch);
   replicas_.reserve(pool_size);
   for (int i = 0; i < pool_size; ++i) {
     replicas_.push_back(std::make_unique<api::Session>(graph_, config));
@@ -60,6 +68,7 @@ void SessionPool::bootstrap(api::Config config) {
       replicas_.clear();
       return;
     }
+    replicas_.back()->bind_dynamic_state(dynamic_);
   }
   warm_cursor_.assign(pool_size, 0);
 
@@ -114,6 +123,16 @@ Ticket SessionPool::submit(api::Query query, std::string tenant,
       ticket.fulfill(std::move(response));
       return ticket;
     }
+    if (mutating_) {
+      ++stats_.rejected_mutating;
+      Response response;
+      response.status = api::Status::error(
+          "graph is mid-apply (edge batch in progress); retry");
+      response.tenant = job.tenant;
+      response.graph_id = job.graph_id;
+      ticket.fulfill(std::move(response));
+      return ticket;
+    }
     if (queue_.size() >= queue_capacity_) {
       ++stats_.rejected;
       Response response;
@@ -144,12 +163,18 @@ void SessionPool::submit_async(api::Query query, std::string tenant,
   job.dispatch_sequence = dispatch_sequence;
   job.callback = std::move(on_done);
 
-  bool rejected = false;
+  api::Status rejection;
   {
     const std::scoped_lock lock(mutex_);
     if (!status_.ok) {
       ++stats_.rejected;
-      rejected = true;
+      rejection = status_;
+    } else if (mutating_) {
+      // Safety net for direct users; the Dispatcher stops forwarding to a
+      // mutating shard before its own apply() reaches the pool.
+      ++stats_.rejected_mutating;
+      rejection = api::Status::error(
+          "graph is mid-apply (edge batch in progress); retry");
     } else {
       // No capacity check: the Dispatcher is the admission authority on
       // this path and keeps at most pool-size queries in flight per pool.
@@ -157,9 +182,9 @@ void SessionPool::submit_async(api::Query query, std::string tenant,
       queue_.push_back(std::move(job));
     }
   }
-  if (rejected) {
+  if (!rejection.ok) {
     Response response;
-    response.status = status_;
+    response.status = std::move(rejection);
     response.tenant = std::move(job.tenant);
     response.graph_id = std::move(job.graph_id);
     job.callback(std::move(response));
@@ -171,6 +196,67 @@ void SessionPool::submit_async(api::Query query, std::string tenant,
 void SessionPool::drain() {
   std::unique_lock lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && running_jobs_ == 0; });
+}
+
+dynamic::ApplyReport SessionPool::apply(dynamic::EdgeBatch batch) {
+  // Whole applies serialize: two concurrent applies must not interleave
+  // their quiesce/mutate/rebroadcast sequences (and api::Session is
+  // single-threaded by contract).
+  const std::scoped_lock apply_lock(apply_mutex_);
+  {
+    std::unique_lock lock(mutex_);
+    if (!status_.ok) {
+      dynamic::ApplyReport report;
+      report.status = status_;
+      return report;
+    }
+    // Quiesce: stop admitting (typed rejection in submit/submit_async),
+    // let every accepted query finish, then mutate on idle replicas.
+    mutating_ = true;
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && running_jobs_ == 0; });
+  }
+
+  dynamic::ApplyReport report = replicas_[0]->apply(std::move(batch));
+  if (report.status.ok) {
+    for (std::size_t i = 1; i < replicas_.size(); ++i)
+      replicas_[i]->sync_dynamic(report);
+    rebroadcast_warm();
+  }
+  {
+    const std::scoped_lock lock(mutex_);
+    if (report.status.ok) {
+      graph_ = dynamic_->snapshot();
+      fingerprint_ = report.fingerprint;
+      ++stats_.applies;
+    }
+    mutating_ = false;
+  }
+  work_cv_.notify_all();
+  return report;
+}
+
+void SessionPool::rebroadcast_warm() {
+  // Replica 0's adopt pass re-stamped the surviving calibrations to the
+  // new fingerprint and dropped the violated ones; that set becomes the
+  // whole pool cache (old-fingerprint entries must not be re-preloaded -
+  // provenance would reject them anyway).
+  const auto states = replicas_[0]->calibrations();
+  std::uint64_t saved = 0;
+  {
+    const std::scoped_lock lock(warm_mutex_);
+    warm_states_.assign(states.begin(), states.end());
+    warm_known_.clear();
+    for (const auto& state : warm_states_) warm_known_.insert(state.get());
+    // Replica 0 holds everything already; the rest re-preload from zero.
+    for (std::size_t i = 0; i < warm_cursor_.size(); ++i) warm_cursor_[i] = 0;
+    warm_cursor_[0] = warm_states_.size();
+  }
+  if (store_.enabled())
+    for (const auto& state : states)
+      if (store_.save(*state)) ++saved;
+  const std::scoped_lock lock(mutex_);
+  stats_.store_saves += saved;
 }
 
 std::size_t SessionPool::queue_depth() const {

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "api/session.hpp"
+#include "dynamic/dynamic_state.hpp"
 #include "service/ticket.hpp"
 #include "service/warm_store.hpp"
 #include "support/timer.hpp"
@@ -66,6 +67,10 @@ struct PoolStats {
   /// Queries that ran on a calibration cached before them (preloaded from
   /// the store or computed by any replica).
   std::uint64_t calibration_reuses = 0;
+  /// Edge batches applied through apply().
+  std::uint64_t applies = 0;
+  /// Submissions rejected because an apply() was quiescing the pool.
+  std::uint64_t rejected_mutating = 0;
   /// The tuning profile came from the warm store (vs captured/loaded).
   bool profile_from_store = false;
 };
@@ -90,8 +95,16 @@ class SessionPool {
 
   [[nodiscard]] const api::Status& status() const { return status_; }
   [[nodiscard]] int size() const { return static_cast<int>(replicas_.size()); }
+  /// The bound graph. NOT synchronized with apply(): callers that mutate
+  /// the pool concurrently should hold graph_snapshot() instead.
   [[nodiscard]] const graph::Graph& graph() const { return *graph_; }
+  /// The current snapshot, safe against concurrent apply().
+  [[nodiscard]] std::shared_ptr<const graph::Graph> graph_snapshot() const {
+    const std::scoped_lock lock(mutex_);
+    return graph_;
+  }
   [[nodiscard]] std::uint64_t graph_fingerprint() const {
+    const std::scoped_lock lock(mutex_);
     return fingerprint_;
   }
 
@@ -108,6 +121,22 @@ class SessionPool {
 
   /// Blocks until every accepted submission has completed.
   void drain();
+
+  /// Applies one edge batch to the pooled graph: quiesces the replicas
+  /// (new submissions are rejected with a typed Status while the apply is
+  /// pending, queued work completes first), applies through replica 0's
+  /// shared dynamic state, syncs the other replicas, and rebroadcasts the
+  /// re-stamped warm cache. Post-apply responses are bitwise identical
+  /// across pool sizes: every replica serves incremental queries from the
+  /// ONE shared dynamic::DynamicState. Concurrent applies serialize.
+  [[nodiscard]] dynamic::ApplyReport apply(dynamic::EdgeBatch batch);
+
+  /// The shared dynamic state behind apply() (never null after a
+  /// successful bootstrap).
+  [[nodiscard]] const std::shared_ptr<dynamic::DynamicState>& dynamic_state()
+      const {
+    return dynamic_;
+  }
 
   [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] PoolStats stats() const;
@@ -131,6 +160,10 @@ class SessionPool {
   /// Exports calibrations the replica just computed into the pool cache
   /// (and the store).
   void export_warm_from(int index);
+  /// Rebuilds the pool warm cache from replica 0 after an apply(): the
+  /// old-fingerprint entries are gone, the re-stamped survivors become the
+  /// new broadcast set (and are re-persisted under the new fingerprint).
+  void rebroadcast_warm();
 
   std::shared_ptr<const graph::Graph> graph_;
   api::Status status_;
@@ -147,7 +180,15 @@ class SessionPool {
   std::deque<Job> queue_;
   int running_jobs_ = 0;
   bool stopping_ = false;
+  /// Set while an apply() quiesces and mutates the pool; submissions are
+  /// rejected with a typed Status until it clears.
+  bool mutating_ = false;
   PoolStats stats_;
+
+  /// Serializes whole apply() calls (quiesce through rebroadcast).
+  std::mutex apply_mutex_;
+  /// The one dynamic state every replica binds (bootstrap).
+  std::shared_ptr<dynamic::DynamicState> dynamic_;
 
   /// Pool-level warm cache: states accepted by the replicas, in arrival
   /// order (append-only; per-replica cursors track what is already

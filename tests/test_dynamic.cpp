@@ -1,0 +1,618 @@
+// Tests for src/dynamic/: EdgeBatch validation must reject every batch
+// that could corrupt the CSR or the ledger accounting, MutableGraph must
+// serve small batches in place and rebuild on slot overflow (and revert
+// exactly), IncrementalBc must keep clean samples across churn, replay
+// bitwise-deterministically, and recalibrate only on a violated
+// vertex-diameter bound, Bloom sketch false positives must cost only
+// extra resamples (never wrong scores), and the Session/pool/dispatcher
+// apply paths must reject typed and stay bitwise identical across pool
+// sizes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/config.hpp"
+#include "api/session.hpp"
+#include "dynamic/dynamic_state.hpp"
+#include "dynamic/edge_batch.hpp"
+#include "dynamic/incremental_bc.hpp"
+#include "dynamic/mutable_graph.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "graph/components.hpp"
+#include "graph/diameter.hpp"
+#include "graph/stats.hpp"
+#include "service/dispatcher.hpp"
+#include "service/session_pool.hpp"
+#include "support/random.hpp"
+
+namespace distbc {
+namespace {
+
+graph::Graph churn_graph(std::uint64_t seed = 777) {
+  return graph::largest_component(gen::erdos_renyi(120, 360, seed));
+}
+
+bc::KadabraParams churn_params(double epsilon = 0.1) {
+  bc::KadabraParams params;
+  params.epsilon = epsilon;
+  params.delta = 0.1;
+  params.seed = 0x5eed;
+  params.exact_diameter = true;
+  return params;
+}
+
+dynamic::SketchParams exact_sketch() {
+  dynamic::SketchParams sketch;
+  sketch.exact_cap = 1u << 20;  // every record stays an exact sorted list
+  return sketch;
+}
+
+dynamic::SketchParams bloom_sketch() {
+  dynamic::SketchParams sketch;
+  sketch.exact_cap = 0;  // every record falls back to a Bloom filter
+  return sketch;
+}
+
+/// First missing edge (u, v) with u < v and u >= `from`.
+dynamic::Edge missing_edge(const graph::Graph& graph, graph::Vertex from = 0) {
+  for (graph::Vertex u = from; u < graph.num_vertices(); ++u)
+    for (graph::Vertex v = u + 1; v < graph.num_vertices(); ++v)
+      if (!graph.has_edge(u, v)) return {u, v};
+  ADD_FAILURE() << "graph is complete";
+  return {0, 0};
+}
+
+/// First present edge (u, v) with u < v and u >= `from`.
+dynamic::Edge present_edge(const graph::Graph& graph, graph::Vertex from = 0) {
+  for (graph::Vertex u = from; u < graph.num_vertices(); ++u)
+    for (const graph::Vertex v : graph.neighbors(u))
+      if (v > u) return {u, v};
+  ADD_FAILURE() << "graph is empty";
+  return {0, 0};
+}
+
+/// A batch of `count` random absent edges (deterministic in `rng`), none
+/// already queued in `taken`.
+dynamic::EdgeBatch random_insert_batch(const graph::Graph& graph, int count,
+                                       Rng& rng,
+                                       std::vector<dynamic::Edge>* inserted) {
+  dynamic::EdgeBatch batch;
+  int added = 0;
+  while (added < count) {
+    auto [a, b] = rng.next_distinct_pair(graph.num_vertices());
+    const dynamic::Edge edge{
+        static_cast<graph::Vertex>(std::min(a, b)),
+        static_cast<graph::Vertex>(std::max(a, b))};
+    if (graph.has_edge(edge.u, edge.v)) continue;
+    bool taken = false;
+    for (const dynamic::Edge& seen : *inserted)
+      taken |= seen == edge;
+    if (taken) continue;
+    batch.insert(edge.u, edge.v);
+    inserted->push_back(edge);
+    ++added;
+  }
+  return batch;
+}
+
+// --- EdgeBatch validation ----------------------------------------------------
+
+TEST(EdgeBatch, ValidationRejectsEveryMalformedBatch) {
+  const graph::Graph graph = churn_graph();
+  const dynamic::Edge absent = missing_edge(graph);
+  const dynamic::Edge existing = present_edge(graph);
+
+  {
+    dynamic::EdgeBatch batch;  // empty batches validate (apply rejects them)
+    EXPECT_TRUE(batch.validate(graph).ok);
+  }
+  {
+    dynamic::EdgeBatch batch;
+    batch.insert(3, 3);  // self-loop
+    EXPECT_FALSE(batch.validate(graph).ok);
+    EXPECT_FALSE(batch.validated());
+  }
+  {
+    dynamic::EdgeBatch batch;
+    batch.insert(0, graph.num_vertices());  // endpoint out of range
+    EXPECT_FALSE(batch.validate(graph).ok);
+  }
+  {
+    dynamic::EdgeBatch batch;  // duplicate (orientation-insensitive)
+    batch.insert(absent.u, absent.v);
+    batch.insert(absent.v, absent.u);
+    EXPECT_FALSE(batch.validate(graph).ok);
+  }
+  {
+    dynamic::EdgeBatch batch;  // same edge inserted AND deleted
+    batch.insert(absent.u, absent.v);
+    batch.remove(absent.u, absent.v);
+    EXPECT_FALSE(batch.validate(graph).ok);
+  }
+  {
+    dynamic::EdgeBatch batch;  // inserting an edge the graph already has
+    batch.insert(existing.u, existing.v);
+    EXPECT_FALSE(batch.validate(graph).ok);
+  }
+  {
+    dynamic::EdgeBatch batch;  // deleting an edge the graph lacks
+    batch.remove(absent.u, absent.v);
+    EXPECT_FALSE(batch.validate(graph).ok);
+  }
+  {
+    dynamic::EdgeBatch batch;  // a well-formed batch seals...
+    batch.insert(absent.v, absent.u);  // free orientation
+    batch.remove(existing.u, existing.v);
+    ASSERT_TRUE(batch.validate(graph).ok);
+    EXPECT_TRUE(batch.validated());
+    EXPECT_EQ(batch.inserts().front(), absent);  // normalized to u < v
+    batch.insert(5, 7);  // ...and any later edit un-seals it
+    EXPECT_FALSE(batch.validated());
+  }
+}
+
+// --- MutableGraph -------------------------------------------------------------
+
+TEST(MutableGraph, ServesInPlaceRebuildOnOverflowAndRevertsExactly) {
+  const auto initial = std::make_shared<const graph::Graph>(churn_graph());
+  const std::uint64_t fp0 = graph::fingerprint(*initial);
+  dynamic::MutableGraph mutable_graph(initial);
+  EXPECT_EQ(mutable_graph.version(), 0u);
+
+  // One insert + one delete fit every vertex's slack slots: in place.
+  const dynamic::Edge added = missing_edge(*initial);
+  const dynamic::Edge dropped = present_edge(*initial);
+  dynamic::EdgeBatch small;
+  small.insert(added.u, added.v);
+  small.remove(dropped.u, dropped.v);
+  ASSERT_TRUE(small.validate(*initial).ok);
+  EXPECT_TRUE(mutable_graph.apply(small));
+  EXPECT_EQ(mutable_graph.stats().in_place, 1u);
+  EXPECT_EQ(mutable_graph.version(), 1u);
+  EXPECT_NE(mutable_graph.fingerprint(), fp0);
+  EXPECT_TRUE(mutable_graph.snapshot()->has_edge(added.u, added.v));
+  EXPECT_FALSE(mutable_graph.snapshot()->has_edge(dropped.u, dropped.v));
+  EXPECT_EQ(mutable_graph.snapshot()->num_edges(), initial->num_edges());
+
+  // revert() restores the exact edge set - the content fingerprint is the
+  // original one again.
+  mutable_graph.revert(small);
+  EXPECT_EQ(mutable_graph.fingerprint(), fp0);
+  EXPECT_FALSE(mutable_graph.snapshot()->has_edge(added.u, added.v));
+  EXPECT_TRUE(mutable_graph.snapshot()->has_edge(dropped.u, dropped.v));
+
+  // Concentrating many inserts on one vertex overflows its slots: the
+  // apply takes the rebuild path and every edge still lands.
+  const graph::Vertex hub = 0;
+  dynamic::EdgeBatch heavy;
+  int queued = 0;
+  for (graph::Vertex v = 1; v < initial->num_vertices() && queued < 24; ++v) {
+    if (mutable_graph.snapshot()->has_edge(hub, v)) continue;
+    heavy.insert(hub, v);
+    ++queued;
+  }
+  ASSERT_EQ(queued, 24);
+  ASSERT_TRUE(heavy.validate(*mutable_graph.snapshot()).ok);
+  EXPECT_FALSE(mutable_graph.apply(heavy));
+  EXPECT_EQ(mutable_graph.stats().rebuilds, 1u);
+  for (const dynamic::Edge& edge : heavy.inserts())
+    EXPECT_TRUE(mutable_graph.snapshot()->has_edge(edge.u, edge.v));
+  EXPECT_EQ(mutable_graph.snapshot()->num_edges(),
+            initial->num_edges() + 24);
+}
+
+// --- IncrementalBc ------------------------------------------------------------
+
+TEST(IncrementalBc, CleanSamplesSurviveChurn) {
+  const auto initial = std::make_shared<const graph::Graph>(churn_graph());
+  dynamic::IncrementalBc engine(churn_params(), exact_sketch(),
+                                /*sample_batch=*/8);
+  engine.run(initial);
+  ASSERT_TRUE(engine.ran());
+  const std::uint64_t samples0 = engine.samples();
+  ASSERT_GT(samples0, 0u);
+  EXPECT_EQ(engine.ledger().size(), samples0);
+
+  dynamic::MutableGraph mutable_graph(initial);
+  dynamic::EdgeBatch batch;
+  const dynamic::Edge e1 = missing_edge(*initial, 10);
+  const dynamic::Edge e2 = missing_edge(*initial, 40);
+  batch.insert(e1.u, e1.v);
+  batch.insert(e2.u, e2.v);
+  ASSERT_TRUE(batch.validate(*initial).ok);
+  mutable_graph.apply(batch);
+
+  const auto stats =
+      engine.refresh(mutable_graph.snapshot(), batch, /*diameter_bound=*/0);
+  // The whole point of the ledger: most samples never scanned the touched
+  // region and survive the batch untouched.
+  EXPECT_GT(stats.retained, 0u);
+  EXPECT_LT(stats.dirty, samples0);
+  EXPECT_EQ(stats.retained + stats.dirty, samples0);
+  EXPECT_EQ(stats.resampled, stats.dirty);
+  EXPECT_FALSE(stats.recalibrated);
+  // Slot replacement keeps the estimator an average over exactly
+  // ledger-many samples; only the re-run stop rule can grow it.
+  EXPECT_EQ(engine.samples(), samples0 + stats.topup);
+  EXPECT_EQ(engine.ledger().size(), engine.samples());
+}
+
+TEST(IncrementalBc, RunPlusRefreshSequencesReplayBitwise) {
+  const auto initial = std::make_shared<const graph::Graph>(churn_graph());
+  const dynamic::Edge added = missing_edge(*initial, 5);
+  const dynamic::Edge dropped = present_edge(*initial, 20);
+
+  const auto replay = [&] {
+    dynamic::MutableGraph mutable_graph(initial);
+    dynamic::IncrementalBc engine(churn_params(), exact_sketch(), 8);
+    engine.run(initial);
+    dynamic::EdgeBatch first;
+    first.insert(added.u, added.v);
+    EXPECT_TRUE(first.validate(*mutable_graph.snapshot()).ok);
+    mutable_graph.apply(first);
+    engine.refresh(mutable_graph.snapshot(), first, 0);
+    dynamic::EdgeBatch second;
+    second.remove(added.u, added.v);
+    second.remove(dropped.u, dropped.v);
+    EXPECT_TRUE(second.validate(*mutable_graph.snapshot()).ok);
+    mutable_graph.apply(second);
+    EXPECT_TRUE(graph::is_connected(*mutable_graph.snapshot()));
+    engine.refresh(
+        mutable_graph.snapshot(), second,
+        graph::vertex_diameter(*mutable_graph.snapshot(), /*exact=*/true));
+    return std::tuple{engine.scores(), engine.samples(), engine.next_stream(),
+                      engine.epochs()};
+  };
+
+  const auto [scores_a, samples_a, stream_a, epochs_a] = replay();
+  const auto [scores_b, samples_b, stream_b, epochs_b] = replay();
+  EXPECT_EQ(samples_a, samples_b);
+  EXPECT_EQ(stream_a, stream_b);
+  EXPECT_EQ(epochs_a, epochs_b);
+  ASSERT_EQ(scores_a.size(), scores_b.size());
+  for (std::size_t v = 0; v < scores_a.size(); ++v)
+    EXPECT_EQ(scores_a[v], scores_b[v]) << "vertex " << v;
+}
+
+TEST(IncrementalBc, RecalibratesOnlyWhenTheBoundIsViolated) {
+  const auto initial = std::make_shared<const graph::Graph>(churn_graph());
+  dynamic::IncrementalBc engine(churn_params(), exact_sketch(), 8);
+  engine.run(initial);
+  const std::uint32_t vd0 = engine.vertex_diameter();
+  const std::uint64_t omega0 = engine.context().omega;
+
+  dynamic::MutableGraph mutable_graph(initial);
+  const auto apply_one_insert = [&](graph::Vertex from) {
+    dynamic::EdgeBatch batch;
+    const dynamic::Edge edge = missing_edge(*mutable_graph.snapshot(), from);
+    batch.insert(edge.u, edge.v);
+    EXPECT_TRUE(batch.validate(*mutable_graph.snapshot()).ok);
+    mutable_graph.apply(batch);
+    return batch;
+  };
+
+  // Bound 0: the caller asserts the cached bound still holds (insert-only).
+  auto stats = engine.refresh(mutable_graph.snapshot(), apply_one_insert(3), 0);
+  EXPECT_FALSE(stats.recalibrated);
+  EXPECT_EQ(engine.vertex_diameter(), vd0);
+  EXPECT_EQ(engine.context().omega, omega0);
+
+  // A recomputed bound at or below the cached one keeps omega too.
+  stats = engine.refresh(mutable_graph.snapshot(), apply_one_insert(17), vd0);
+  EXPECT_FALSE(stats.recalibrated);
+  EXPECT_EQ(engine.context().omega, omega0);
+
+  // Only a VIOLATED bound re-derives omega and the stopping radii.
+  stats =
+      engine.refresh(mutable_graph.snapshot(), apply_one_insert(31), vd0 + 6);
+  EXPECT_TRUE(stats.recalibrated);
+  EXPECT_EQ(engine.vertex_diameter(), vd0 + 6);
+  EXPECT_GT(engine.context().omega, omega0);
+  // The regrown omega re-ran the stop rule on the merged aggregate.
+  EXPECT_EQ(engine.samples(), engine.ledger().size());
+}
+
+// --- Bloom-sketch property: false positives never change scores ---------------
+
+TEST(SampleLedger, BloomFalsePositivesOnlyCostExtraResamples) {
+  const auto initial = std::make_shared<const graph::Graph>(churn_graph(42));
+  const bc::KadabraParams params = churn_params(0.05);
+
+  dynamic::IncrementalBc exact_engine(params, exact_sketch(), 8);
+  dynamic::IncrementalBc bloom_engine(params, bloom_sketch(), 8);
+  exact_engine.run(initial);
+  bloom_engine.run(initial);
+  EXPECT_EQ(bloom_engine.ledger().bloom_sketches(),
+            bloom_engine.ledger().size());
+  EXPECT_EQ(exact_engine.ledger().bloom_sketches(), 0u);
+
+  // Random churn: every round inserts fresh random edges, later rounds
+  // also delete edges inserted earlier (connectivity is preserved by
+  // construction - the original edges never leave).
+  Rng rng(1234);
+  dynamic::MutableGraph mutable_graph(initial);
+  std::vector<dynamic::Edge> inserted;
+  std::uint64_t exact_dirty = 0;
+  std::uint64_t bloom_dirty = 0;
+  for (int round = 0; round < 4; ++round) {
+    dynamic::EdgeBatch batch = random_insert_batch(
+        *mutable_graph.snapshot(), /*count=*/3, rng, &inserted);
+    bool deletes = false;
+    if (round >= 2) {
+      const dynamic::Edge victim = inserted.front();
+      inserted.erase(inserted.begin());
+      batch.remove(victim.u, victim.v);
+      deletes = true;
+    }
+    ASSERT_TRUE(batch.validate(*mutable_graph.snapshot()).ok);
+    mutable_graph.apply(batch);
+    ASSERT_TRUE(graph::is_connected(*mutable_graph.snapshot()));
+    const std::uint32_t bound =
+        deletes ? graph::vertex_diameter(*mutable_graph.snapshot(), true) : 0;
+    const auto exact_stats =
+        exact_engine.refresh(mutable_graph.snapshot(), batch, bound);
+    const auto bloom_stats =
+        bloom_engine.refresh(mutable_graph.snapshot(), batch, bound);
+    exact_dirty += exact_stats.dirty;
+    bloom_dirty += bloom_stats.dirty;
+    EXPECT_EQ(exact_stats.bloom_dirty, 0u);
+  }
+
+  // False positives can only ADD dirty verdicts...
+  EXPECT_GE(bloom_dirty, exact_dirty);
+
+  // ...and every extra verdict costs one resample, never a wrong score:
+  // both estimators agree with a from-scratch run on the final snapshot
+  // within the KADABRA error budget.
+  dynamic::IncrementalBc reference(params, exact_sketch(), 8);
+  reference.run(mutable_graph.snapshot());
+  const std::vector<double> ref = reference.scores();
+  for (const auto* engine : {&exact_engine, &bloom_engine}) {
+    const std::vector<double> scores = engine->scores();
+    ASSERT_EQ(scores.size(), ref.size());
+    for (std::size_t v = 0; v < ref.size(); ++v)
+      EXPECT_NEAR(scores[v], ref[v], 3 * params.epsilon) << "vertex " << v;
+    // Statistical contract: the estimator is an average over exactly
+    // ledger-many samples.
+    EXPECT_EQ(engine->samples(), engine->ledger().size());
+  }
+}
+
+// --- DynamicState --------------------------------------------------------------
+
+TEST(DynamicState, RejectsBadBatchesTransactionally) {
+  const auto initial = std::make_shared<const graph::Graph>(churn_graph());
+  dynamic::DynamicState state(initial, exact_sketch(), 8);
+  const std::uint64_t fp0 = state.fingerprint();
+
+  EXPECT_FALSE(state.apply(dynamic::EdgeBatch{}).status.ok);  // empty
+
+  dynamic::EdgeBatch self_loop;
+  self_loop.insert(4, 4);
+  EXPECT_FALSE(state.apply(std::move(self_loop)).status.ok);
+  EXPECT_EQ(state.fingerprint(), fp0);
+  EXPECT_EQ(state.version(), 0u);
+
+  // Deleting every edge of one vertex isolates it: the batch is valid in
+  // isolation but disconnects the graph, so apply reverts and rejects.
+  graph::Vertex loner = 0;
+  for (graph::Vertex v = 0; v < initial->num_vertices(); ++v)
+    if (initial->degree(v) < initial->degree(loner)) loner = v;
+  dynamic::EdgeBatch isolate;
+  for (const graph::Vertex v : initial->neighbors(loner))
+    isolate.remove(loner, v);
+  const dynamic::ApplyReport rejected = state.apply(std::move(isolate));
+  EXPECT_FALSE(rejected.status.ok);
+  EXPECT_NE(rejected.status.message.find("disconnect"), std::string::npos);
+  EXPECT_EQ(state.fingerprint(), fp0);  // revert restored the content
+
+  // A well-formed insert touches no cached bound and no calibration.
+  const dynamic::Edge edge = missing_edge(*initial);
+  dynamic::EdgeBatch good;
+  good.insert(edge.u, edge.v);
+  const dynamic::ApplyReport applied = state.apply(std::move(good));
+  ASSERT_TRUE(applied.status.ok);
+  EXPECT_EQ(applied.edges_inserted, 1u);
+  EXPECT_EQ(applied.diameter_bound, 0u);
+  EXPECT_EQ(applied.recalibrations, 0u);
+  EXPECT_NE(applied.fingerprint, fp0);
+  EXPECT_EQ(applied.engines_refreshed, 0u);  // no engine live yet
+}
+
+TEST(DynamicState, RefreshAccountingCoversEveryRetainedSample) {
+  const auto initial = std::make_shared<const graph::Graph>(churn_graph());
+  dynamic::DynamicState state(initial, exact_sketch(), 8);
+
+  const auto first = state.query(churn_params());
+  ASSERT_TRUE(first.status.ok);
+  EXPECT_TRUE(first.first_run);
+  ASSERT_GT(first.samples, 0u);
+  EXPECT_EQ(state.engine_count(), 1u);
+
+  const dynamic::Edge edge = missing_edge(*initial, 25);
+  dynamic::EdgeBatch batch;
+  batch.insert(edge.u, edge.v);
+  const dynamic::ApplyReport report = state.apply(std::move(batch));
+  ASSERT_TRUE(report.status.ok);
+  EXPECT_EQ(report.engines_refreshed, 1u);
+  EXPECT_EQ(report.samples_retained + report.samples_dirty, first.samples);
+  EXPECT_EQ(report.samples_resampled, report.samples_dirty);
+  EXPECT_GT(report.samples_retained, 0u);
+  EXPECT_LT(report.dirty_fraction(), 1.0);
+
+  const auto second = state.query(churn_params());
+  ASSERT_TRUE(second.status.ok);
+  EXPECT_FALSE(second.first_run);  // served from the refreshed engine
+  EXPECT_EQ(second.samples, first.samples + report.samples_topup);
+}
+
+// --- Session / pool / dispatcher apply paths -----------------------------------
+
+api::Config dynamic_config(int pool_size = 2) {
+  api::Config config;
+  config.seed = 4321;
+  config.sample_batch = 8;
+  config.service_pool_size = pool_size;
+  return config;
+}
+
+TEST(SessionApply, IncrementalQueriesSurviveChurn) {
+  const auto graph = std::make_shared<const graph::Graph>(churn_graph());
+  api::Session session(graph, dynamic_config());
+  ASSERT_TRUE(session.status().ok);
+
+  api::BetweennessQuery query;
+  query.epsilon = 0.1;
+  query.incremental = true;
+  query.top_k = 5;
+  const api::Result cold = session.run(query);
+  ASSERT_TRUE(cold.status.ok) << cold.status.message;
+  EXPECT_EQ(cold.algorithm, "kadabra-incremental");
+  EXPECT_FALSE(cold.calibration_reused);
+  EXPECT_EQ(cold.scores.size(), graph->num_vertices());
+  ASSERT_EQ(cold.top_k.size(), 5u);
+
+  // Same query again: the engine (and its sample set) is warm.
+  const api::Result warm = session.run(query);
+  ASSERT_TRUE(warm.status.ok);
+  EXPECT_TRUE(warm.calibration_reused);
+  EXPECT_EQ(warm.scores, cold.scores);
+
+  // Churn, then query the mutated graph through the same session.
+  const dynamic::Edge edge = missing_edge(*graph, 12);
+  dynamic::EdgeBatch batch;
+  batch.insert(edge.u, edge.v);
+  const dynamic::ApplyReport report = session.apply(std::move(batch));
+  ASSERT_TRUE(report.status.ok) << report.status.message;
+  EXPECT_EQ(report.recalibrations, 0u);
+  const api::Result after = session.run(query);
+  ASSERT_TRUE(after.status.ok);
+  EXPECT_TRUE(after.calibration_reused);
+  EXPECT_EQ(after.scores.size(), graph->num_vertices());
+
+  // A malformed batch rejects typed and leaves the session serving.
+  dynamic::EdgeBatch bad;
+  bad.insert(2, 2);
+  EXPECT_FALSE(session.apply(std::move(bad)).status.ok);
+  EXPECT_TRUE(session.run(query).status.ok);
+}
+
+TEST(SessionPoolApply, PostApplyResponsesBitwiseIdenticalAcrossPoolSizes) {
+  const auto graph = std::make_shared<const graph::Graph>(churn_graph());
+  api::BetweennessQuery query;
+  query.epsilon = 0.1;
+  query.incremental = true;
+
+  const dynamic::Edge edge = missing_edge(*graph, 8);
+
+  std::vector<std::vector<double>> before;
+  std::vector<std::vector<double>> after;
+  std::vector<std::uint64_t> fingerprints;
+  for (const int pool_size : {1, 3}) {
+    service::SessionPool pool(graph, dynamic_config(pool_size));
+    ASSERT_TRUE(pool.status().ok) << pool.status().message;
+
+    service::Ticket cold = pool.submit(query, "tenant", "g");
+    pool.drain();
+    const service::Response& cold_response = cold.wait();
+    ASSERT_TRUE(cold_response.status.ok) << cold_response.status.message;
+    before.push_back(cold_response.result.scores);
+
+    dynamic::EdgeBatch batch;
+    batch.insert(edge.u, edge.v);
+    const dynamic::ApplyReport report = pool.apply(std::move(batch));
+    ASSERT_TRUE(report.status.ok) << report.status.message;
+    EXPECT_EQ(pool.stats().applies, 1u);
+    EXPECT_EQ(pool.graph_fingerprint(), report.fingerprint);
+    EXPECT_TRUE(pool.graph_snapshot()->has_edge(edge.u, edge.v));
+    fingerprints.push_back(report.fingerprint);
+
+    service::Ticket hot = pool.submit(query, "tenant", "g");
+    pool.drain();
+    const service::Response& hot_response = hot.wait();
+    ASSERT_TRUE(hot_response.status.ok) << hot_response.status.message;
+    EXPECT_TRUE(hot_response.result.calibration_reused);
+    after.push_back(hot_response.result.scores);
+  }
+
+  // The pool serves incremental queries from ONE shared engine: pre- and
+  // post-apply score vectors are bitwise independent of the pool size.
+  ASSERT_EQ(before.size(), 2u);
+  EXPECT_EQ(before[0], before[1]);
+  EXPECT_EQ(after[0], after[1]);
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+}
+
+TEST(DispatcherApply, DrainsTheShardAndRejectsMidApplySubmissionsTyped) {
+  // Big enough that the fresh-engine query below runs for hundreds of
+  // milliseconds - the window in which the apply quiesces the shard.
+  const auto graph = std::make_shared<const graph::Graph>(
+      graph::largest_component(gen::erdos_renyi(1500, 4500, 99)));
+  service::Dispatcher dispatcher;
+  ASSERT_TRUE(dispatcher.bind("g", graph, dynamic_config()).ok);
+
+  // Unknown ids reject typed, exactly like query submission.
+  dynamic::EdgeBatch stray;
+  stray.insert(0, 1);
+  EXPECT_FALSE(dispatcher.apply("nope", std::move(stray)).status.ok);
+
+  api::BetweennessQuery warm;
+  warm.epsilon = 0.1;
+  warm.incremental = true;
+  ASSERT_TRUE(
+      dispatcher.submit({"tenant", "g", warm}).wait().status.ok);
+
+  // A long fresh-engine query keeps the shard busy while the apply
+  // quiesces it: submissions landing in that window get the typed
+  // mid-apply rejection instead of queueing behind the mutation.
+  api::BetweennessQuery slow;
+  slow.epsilon = 0.02;
+  slow.incremental = true;
+  service::Ticket slow_ticket = dispatcher.submit({"tenant", "g", slow});
+
+  std::atomic<bool> done{false};
+  dynamic::ApplyReport report;
+  std::thread applier([&] {
+    const dynamic::Edge edge = missing_edge(*graph, 30);
+    dynamic::EdgeBatch batch;
+    batch.insert(edge.u, edge.v);
+    report = dispatcher.apply("g", std::move(batch));
+    done = true;
+  });
+
+  // Fire-and-collect: waiting on a probe here would block behind the slow
+  // query and sleep straight through the mutating window.
+  std::vector<service::Ticket> probes;
+  while (!done.load()) {
+    probes.push_back(dispatcher.submit({"tenant", "g", warm}));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  applier.join();
+  dispatcher.drain();
+  bool saw_mid_apply = false;
+  for (service::Ticket& probe : probes) {
+    const service::Response& response = probe.wait();
+    if (response.status.ok) continue;
+    EXPECT_NE(response.status.message.find("mid-apply"), std::string::npos)
+        << response.status.message;
+    saw_mid_apply = true;
+  }
+
+  ASSERT_TRUE(report.status.ok) << report.status.message;
+  EXPECT_TRUE(saw_mid_apply);
+  EXPECT_TRUE(slow_ticket.wait().status.ok);  // pre-apply work completed
+  const service::DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.applies, 1u);
+  EXPECT_GE(stats.rejected_mutating, 1u);
+
+  // The shard reopens after the apply.
+  EXPECT_TRUE(dispatcher.submit({"tenant", "g", warm}).wait().status.ok);
+}
+
+}  // namespace
+}  // namespace distbc

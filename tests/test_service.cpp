@@ -434,6 +434,44 @@ TEST(WarmStore, EvictsOldestByMtimePastTheCaps) {
   EXPECT_EQ(byte_capped.load_all(state->graph_fingerprint).size(), 2u);
 }
 
+// Equal mtimes (coarse filesystem timestamps are real) must not make the
+// eviction order platform-dependent: ties break lexicographically by
+// path, smallest evicted first.
+TEST(WarmStore, EvictionTieBreaksEqualMtimesByPath) {
+  const ScratchDir dir("evict_tie");
+  const auto graph = std::make_shared<const graph::Graph>(service_graph());
+  const auto state = make_warm_state(graph, service_config());
+  ASSERT_NE(state, nullptr);
+
+  // Four states whose files all carry the SAME backdated mtime.
+  const service::WarmStore unbounded(dir.path);
+  std::vector<std::string> paths;
+  for (int i = 0; i < 4; ++i) {
+    bc::KadabraWarmState copy = *state;
+    copy.context.params.seed = 1000 + static_cast<std::uint64_t>(i);
+    ASSERT_TRUE(unbounded.save(copy));
+    paths.push_back(unbounded.state_path(copy));
+  }
+  const auto stamp = std::filesystem::last_write_time(paths.back()) -
+                     std::chrono::minutes(10);
+  for (const std::string& path : paths)
+    std::filesystem::last_write_time(path, stamp);
+  std::vector<std::string> sorted = paths;
+  std::sort(sorted.begin(), sorted.end());
+
+  // A capped save keeps itself plus two: among the four equal-mtime
+  // files, exactly the two lexicographically smallest paths go.
+  const service::WarmStore capped(dir.path, /*max_entries=*/3);
+  bc::KadabraWarmState fifth = *state;
+  fifth.context.params.seed = 2000;
+  ASSERT_TRUE(capped.save(fifth));
+  EXPECT_FALSE(std::filesystem::exists(sorted[0]));
+  EXPECT_FALSE(std::filesystem::exists(sorted[1]));
+  EXPECT_TRUE(std::filesystem::exists(sorted[2]));
+  EXPECT_TRUE(std::filesystem::exists(sorted[3]));
+  EXPECT_TRUE(std::filesystem::exists(capped.state_path(fifth)));
+}
+
 TEST(WarmStore, PreloadRejectsMismatchedProvenance) {
   const auto graph = std::make_shared<const graph::Graph>(service_graph());
   const api::Config config = service_config();
